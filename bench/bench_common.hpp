@@ -1,0 +1,62 @@
+// Helpers shared by the figure/table harnesses: flag parsing and the
+// CDF/box-whisker printers that emit the same rows/series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace dohperf::bench {
+
+/// Parse "--key=value" style integer flags; returns `fallback` if absent.
+inline std::size_t flag(int argc, char** argv, const std::string& key,
+                        std::size_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+inline bool flag_set(int argc, char** argv, const std::string& key) {
+  const std::string want = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (want == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Print a CDF as quantile rows plus a terminal sparkline.
+inline void print_cdf(const std::string& label, const stats::Cdf& cdf,
+                      const std::string& unit) {
+  if (cdf.empty()) {
+    std::printf("%-28s (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("%-28s n=%-6zu p10=%-9.1f p25=%-9.1f p50=%-9.1f p75=%-9.1f "
+              "p90=%-9.1f max=%-9.1f %s\n",
+              label.c_str(), cdf.count(), cdf.quantile(0.10),
+              cdf.quantile(0.25), cdf.quantile(0.50), cdf.quantile(0.75),
+              cdf.quantile(0.90), cdf.quantile(1.0), unit.c_str());
+}
+
+/// Print a box-whisker row (the paper's Figs 3-5 presentation).
+inline void print_box(const std::string& label,
+                      const std::vector<double>& xs,
+                      const std::string& unit) {
+  const auto bw = stats::BoxWhisker::from(xs);
+  std::printf("%-22s min=%-9.0f q1=%-9.0f med=%-9.0f q3=%-9.0f max=%-9.0f %s\n",
+              label.c_str(), bw.min, bw.q1, bw.median, bw.q3, bw.max,
+              unit.c_str());
+}
+
+}  // namespace dohperf::bench

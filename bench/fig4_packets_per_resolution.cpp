@@ -1,0 +1,40 @@
+// Figure 4: total packets per resolution across the six §4 scenarios.
+//
+// Paper medians: UDP 2 packets; fresh-connection DoH 27 (Cloudflare) and
+// 31 (Google) — ~15x UDP; persistent DoH 8 (CF) / 11 (GO).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "resolution_cost.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dohperf;
+  const std::size_t names = bench::flag(argc, argv, "names", 2000);
+
+  std::printf("=== Figure 4: total packets per DNS resolution (%zu names) "
+              "===\n\n", names);
+
+  const auto scenarios = bench::run_all_scenarios(names);
+  double udp_median = 0.0;
+  for (const auto& scenario : scenarios) {
+    std::vector<double> packets;
+    for (const auto& c : scenario.costs) {
+      packets.push_back(static_cast<double>(c.packets));
+    }
+    bench::print_box(scenario.label, packets, "packets");
+    if (scenario.label == "U/CF") udp_median = stats::median(packets);
+  }
+
+  std::printf("\nRatios vs UDP median (%0.0f packets):\n", udp_median);
+  for (const auto& scenario : scenarios) {
+    std::vector<double> packets;
+    for (const auto& c : scenario.costs) {
+      packets.push_back(static_cast<double>(c.packets));
+    }
+    std::printf("  %-8s %.1fx\n", scenario.label.c_str(),
+                stats::median(packets) / udp_median);
+  }
+  std::printf("\nPaper reference medians: U=2  H/CF=27  H/GO=31  HP/CF=8  "
+              "HP/GO=11\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared driver for Figures 3, 4 and 5: resolve a corpus of Alexa-derived
+// names through the six §4 scenarios —
+//   U/CF  U/GO   legacy UDP DNS against Cloudflare-/Google-like resolvers
+//   H/CF  H/GO   DoH (HTTP/2), one fresh connection per query
+//   HP/CF HP/GO  DoH (HTTP/2), persistent connection
+// and collect the per-resolution CostReport.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/doh_client.hpp"
+#include "core/udp_client.hpp"
+#include "resolver/doh_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "workload/alexa.hpp"
+
+namespace dohperf::bench {
+
+struct ScenarioCosts {
+  std::string label;
+  std::vector<core::CostReport> costs;
+};
+
+/// The corpus: unique domains of the first Alexa-model pages, capped at
+/// `max_names` (the paper resolved all 281,414 names; a few thousand give
+/// the same distributions).
+inline std::vector<dns::Name> corpus_names(std::size_t max_names) {
+  workload::AlexaPageModel model;
+  std::vector<dns::Name> names;
+  std::set<dns::Name> seen;
+  for (std::size_t rank = 1; names.size() < max_names; ++rank) {
+    for (const auto& domain : model.page(rank).unique_domains()) {
+      if (seen.insert(domain).second) {
+        names.push_back(domain);
+        if (names.size() >= max_names) break;
+      }
+    }
+  }
+  return names;
+}
+
+/// Run one scenario over `names`; provider is "CF" or "GO".
+inline ScenarioCosts run_scenario(const std::string& label,
+                                  const std::string& transport,  // U/H/HP
+                                  const std::string& provider,
+                                  const std::vector<dns::Name>& names) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, /*seed=*/21);
+  simnet::Host client(net, "client");
+  simnet::Host server(net, provider);
+  simnet::LinkConfig link;
+  link.latency = provider == "CF" ? simnet::ms(4) : simnet::ms(6);
+  net.connect(client.id(), server.id(), link);
+
+  resolver::EngineConfig engine_config;
+  if (provider == "GO") {
+    // Google answers with several A records and an ECS option, so its DNS
+    // bodies (and thus per-resolution bytes) run larger than Cloudflare's.
+    engine_config.answer_count = 4;
+    engine_config.ecs_option = true;
+  }
+  resolver::Engine engine(loop, engine_config);
+  resolver::UdpServer udp_server(server, engine, 53);
+  resolver::DohServerConfig doh_config;
+  doh_config.tls.chain = provider == "CF"
+                             ? tlssim::CertificateChain::cloudflare()
+                             : tlssim::CertificateChain::google();
+  resolver::DohServer doh_server(server, engine, doh_config, 443);
+
+  ScenarioCosts out;
+  out.label = label;
+  out.costs.reserve(names.size());
+
+  if (transport == "U") {
+    core::UdpResolverClient resolver(client, {server.id(), 53});
+    for (const auto& name : names) {
+      const auto id = resolver.resolve(name, dns::RType::kA, {});
+      loop.run();
+      out.costs.push_back(resolver.result(id).cost);
+    }
+    return out;
+  }
+
+  core::DohClientConfig config;
+  config.server_name = provider == "CF" ? "cloudflare-dns.com"
+                                        : "dns.google.com";
+  config.persistent = transport == "HP";
+  core::DohClient resolver(client, {server.id(), 443}, config);
+  for (const auto& name : names) {
+    const auto id = resolver.resolve(name, dns::RType::kA, {});
+    loop.run();  // drains teardown for fresh connections
+    out.costs.push_back(resolver.result(id).cost);
+  }
+  return out;
+}
+
+/// All six scenarios of Figures 3-4.
+inline std::vector<ScenarioCosts> run_all_scenarios(std::size_t max_names) {
+  const auto names = corpus_names(max_names);
+  return {
+      run_scenario("U/CF", "U", "CF", names),
+      run_scenario("U/GO", "U", "GO", names),
+      run_scenario("H/CF", "H", "CF", names),
+      run_scenario("H/GO", "H", "GO", names),
+      run_scenario("HP/CF", "HP", "CF", names),
+      run_scenario("HP/GO", "HP", "GO", names),
+  };
+}
+
+}  // namespace dohperf::bench

@@ -1,0 +1,60 @@
+// Survey a single (simulated) DoH provider the way §2 does: probe its
+// content types, walk TLS versions, inspect its certificate, look up CAA,
+// test QUIC and DoT — then print a one-provider feature card.
+//
+//   $ ./resolver_survey            # surveys Cloudflare
+//   $ ./resolver_survey G1         # surveys Google's /resolve service
+#include <cstdio>
+#include <string>
+
+#include "survey/deployment.hpp"
+#include "survey/prober.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dohperf;
+  const std::string marker = argc > 1 ? argv[1] : "CF";
+
+  simnet::EventLoop loop;
+  simnet::Network net(loop);
+  simnet::Host prober_host(net, "prober");
+  survey::ProviderDeployment deployment(net, prober_host,
+                                        survey::paper_providers());
+  survey::Prober prober(prober_host, deployment);
+
+  const survey::ProviderSpec* spec = nullptr;
+  for (const auto& p : survey::paper_providers()) {
+    if (p.marker == marker) spec = &p;
+  }
+  if (spec == nullptr) {
+    std::printf("unknown marker '%s' — use one of: ", marker.c_str());
+    for (const auto& p : survey::paper_providers()) {
+      std::printf("%s ", p.marker.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+
+  prober.probe(*spec);
+  loop.run();
+
+  const auto& r = prober.result(marker);
+  const auto flag = [](bool b) { return b ? "yes" : "no"; };
+  std::printf("=== %s (%s) ===\n", spec->name.c_str(), spec->hostname.c_str());
+  std::printf("endpoints probed:\n");
+  for (const auto& e : spec->endpoints) {
+    std::printf("  https://%s%s\n", spec->hostname.c_str(),
+                e.url_path.c_str());
+  }
+  std::printf("application/dns-message : %s\n", flag(r.dns_message));
+  std::printf("application/dns-json    : %s\n", flag(r.dns_json));
+  for (const auto& [version, ok] : r.tls) {
+    std::printf("%-23s : %s\n", tlssim::to_string(version).c_str(), flag(ok));
+  }
+  std::printf("certificate transparency: %s\n",
+              flag(r.certificate_transparency));
+  std::printf("OCSP must-staple        : %s\n", flag(r.ocsp_must_staple));
+  std::printf("DNS CAA record          : %s\n", flag(r.dns_caa));
+  std::printf("QUIC on UDP 443         : %s\n", flag(r.quic));
+  std::printf("DNS-over-TLS (853)      : %s\n", flag(r.dns_over_tls));
+  return 0;
+}

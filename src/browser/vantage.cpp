@@ -1,0 +1,47 @@
+#include "browser/vantage.hpp"
+
+#include "stats/rng.hpp"
+
+namespace dohperf::browser {
+
+Vantage Vantage::university() {
+  Vantage v;
+  v.local_resolver_latency = simnet::ms(1);
+  v.cloudflare_latency = simnet::ms(4);   // paper: CF slightly faster...
+  v.google_latency = simnet::ms(6);       // ...than Google from their campus
+  v.origin_base_latency = simnet::ms(20);
+  v.origin_latency_jitter = simnet::ms(30);
+  v.access_bandwidth_bps = 100e6;
+
+  // Local resolver: tiny user population, cold cache, full recursion on
+  // misses (but the authoritative servers are close to campus).
+  v.local_resolver.cache_hit_ratio = 0.55;
+  v.local_resolver.upstream_mu_ms = 40.0;
+  v.local_resolver.upstream_sigma = 0.9;
+  v.local_resolver.processing = simnet::us(200);
+
+  // Public resolvers: huge shared cache, short recursion on rare misses.
+  v.cloud_resolver.cache_hit_ratio = 0.92;
+  v.cloud_resolver.upstream_mu_ms = 18.0;
+  v.cloud_resolver.upstream_sigma = 0.8;
+  v.cloud_resolver.processing = simnet::us(150);
+  return v;
+}
+
+Vantage Vantage::planetlab(int node_index) {
+  stats::SplitMix64 rng(0x50414eULL ^ static_cast<std::uint64_t>(node_index));
+  Vantage v = university();
+  // PlanetLab nodes: farther from everything, slower access links, and a
+  // local resolver of unpredictable quality.
+  v.local_resolver_latency = simnet::ms(1 + rng.next_in(0, 14));
+  v.cloudflare_latency = simnet::ms(5 + rng.next_in(0, 45));
+  v.google_latency = simnet::ms(5 + rng.next_in(0, 55));
+  v.origin_base_latency = simnet::ms(30 + rng.next_in(0, 90));
+  v.origin_latency_jitter = simnet::ms(20 + rng.next_in(0, 60));
+  v.access_bandwidth_bps = 5e6 + static_cast<double>(rng.next_below(45)) * 1e6;
+  v.local_resolver.cache_hit_ratio = 0.35 + rng.next_double() * 0.4;
+  v.local_resolver.upstream_mu_ms = 40.0 + rng.next_double() * 80.0;
+  return v;
+}
+
+}  // namespace dohperf::browser

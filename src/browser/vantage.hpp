@@ -1,0 +1,38 @@
+// Vantage-point presets for the §5 page-load study: the paper measures from
+// a university server and from 39 PlanetLab nodes. A vantage bundles the
+// network parameters that differ between measurement locations.
+#pragma once
+
+#include <cstdint>
+
+#include "resolver/engine.hpp"
+#include "simnet/network.hpp"
+
+namespace dohperf::browser {
+
+struct Vantage {
+  /// one-way latency browser -> resolver
+  simnet::TimeUs local_resolver_latency = simnet::ms(1);
+  simnet::TimeUs cloudflare_latency = simnet::ms(4);
+  simnet::TimeUs google_latency = simnet::ms(6);
+  /// web origins
+  simnet::TimeUs origin_base_latency = simnet::ms(20);
+  simnet::TimeUs origin_latency_jitter = simnet::ms(30);
+  double access_bandwidth_bps = 50e6;
+
+  /// Cache behaviour of the resolvers seen from this vantage: the local
+  /// (university) resolver serves a small population so its cache is cold;
+  /// the big public resolvers are warm (this is why cloud UDP beats the
+  /// local resolver in Fig 6).
+  resolver::UpstreamModel local_resolver;
+  resolver::UpstreamModel cloud_resolver;
+
+  /// A well-connected campus network (the paper's primary vantage).
+  static Vantage university();
+
+  /// PlanetLab node `i` of the 39 usable ones: heterogeneous, generally
+  /// worse connectivity. Deterministic per index.
+  static Vantage planetlab(int node_index);
+};
+
+}  // namespace dohperf::browser

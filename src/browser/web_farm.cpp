@@ -1,0 +1,93 @@
+#include "browser/web_farm.hpp"
+
+#include <charconv>
+
+#include "simnet/stream.hpp"
+
+namespace dohperf::browser {
+
+WebFarm::WebFarm(simnet::Network& net, simnet::Host& browser_host,
+                 WebFarmConfig config)
+    : net_(net), browser_host_(browser_host), config_(config),
+      rng_(config.seed) {
+  tls_config_.alpn_preference = {"http/1.1"};
+  tls_config_.chain = tlssim::CertificateChain::generic("origin.web.example");
+}
+
+std::string WebFarm::object_target(std::size_t bytes) {
+  return "/o/" + std::to_string(bytes);
+}
+
+simnet::Address WebFarm::origin_for(const dns::Name& domain) {
+  const auto it = origins_.find(domain);
+  if (it != origins_.end()) return {it->second->host->id(), 443};
+
+  auto origin = std::make_unique<Origin>();
+  origin->host =
+      std::make_unique<simnet::Host>(net_, "origin:" + domain.to_string());
+
+  simnet::LinkConfig link;
+  link.latency = config_.base_latency +
+                 static_cast<simnet::TimeUs>(rng_.next_below(
+                     static_cast<std::uint64_t>(config_.latency_jitter) + 1));
+  link.bandwidth_bps = config_.bandwidth_bps;
+  net_.connect(browser_host_.id(), origin->host->id(), link);
+
+  Origin* origin_ptr = origin.get();
+  origin->host->tcp_listen(
+      443, [this, origin_ptr](std::shared_ptr<simnet::TcpConnection> c) {
+        accept(*origin_ptr, std::move(c));
+      });
+
+  const simnet::Address addr{origin->host->id(), 443};
+  origins_.emplace(domain, std::move(origin));
+  return addr;
+}
+
+void WebFarm::accept(Origin& origin,
+                     std::shared_ptr<simnet::TcpConnection> conn) {
+  std::erase_if(origin.sessions,
+                [](const std::shared_ptr<Session>& s) {
+                  return s->dead || (s->http && !s->http->is_open());
+                });
+
+  auto session = std::make_shared<Session>();
+  session->tls_holder = std::make_unique<tlssim::TlsConnection>(
+      std::make_unique<simnet::TcpByteStream>(std::move(conn)), &tls_config_);
+
+  std::weak_ptr<Session> weak = session;
+  tlssim::TlsConnection::Handlers h;
+  h.on_open = [this, weak]() {
+    const auto s = weak.lock();
+    if (!s) return;
+    s->http = std::make_unique<http1::Http1ServerConnection>(
+        std::move(s->tls_holder),
+        [this](const http1::Request& request,
+               http1::Http1ServerConnection::Responder respond) {
+          // "/o/<bytes>" -> body of that many bytes.
+          std::size_t size = 0;
+          if (request.target.rfind("/o/", 0) == 0) {
+            const std::string num = request.target.substr(3);
+            std::from_chars(num.data(), num.data() + num.size(), size);
+          }
+          ++objects_served_;
+          http1::Response response;
+          response.status = 200;
+          response.headers.add("Server", "webfarm/1.0");
+          response.headers.add("Content-Type", "application/octet-stream");
+          response.body.assign(size, 0x42);
+          // Model server think time before the first response byte.
+          net_.loop().schedule_in(
+              config_.server_think_time,
+              [respond = std::move(respond),
+               r = std::move(response)]() mutable { respond(std::move(r)); });
+        });
+  };
+  h.on_close = [weak]() {
+    if (const auto s = weak.lock()) s->dead = true;
+  };
+  session->tls_holder->set_handlers(std::move(h));
+  origin.sessions.push_back(std::move(session));
+}
+
+}  // namespace dohperf::browser

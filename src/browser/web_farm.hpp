@@ -1,0 +1,67 @@
+// The simulated web: one HTTPS origin server per domain, created lazily,
+// each on its own node with its own (slightly jittered) path from the
+// browser. Origins serve synthetic objects: a request for "/o/<n>" returns
+// an n-byte body.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "http1/server.hpp"
+#include "simnet/host.hpp"
+#include "stats/rng.hpp"
+#include "tlssim/connection.hpp"
+
+namespace dohperf::browser {
+
+struct WebFarmConfig {
+  simnet::TimeUs base_latency = simnet::ms(20);   ///< browser -> origin
+  simnet::TimeUs latency_jitter = simnet::ms(30); ///< uniform extra, per origin
+  double bandwidth_bps = 50e6;                    ///< access-link rate
+  simnet::TimeUs server_think_time = simnet::ms(2);
+  std::uint64_t seed = 99;
+};
+
+class WebFarm {
+ public:
+  WebFarm(simnet::Network& net, simnet::Host& browser_host,
+          WebFarmConfig config = {});
+
+  WebFarm(const WebFarm&) = delete;
+  WebFarm& operator=(const WebFarm&) = delete;
+
+  /// Address of the origin serving `domain` (HTTPS, port 443), creating
+  /// the host, server and link on first use.
+  simnet::Address origin_for(const dns::Name& domain);
+
+  std::size_t origin_count() const noexcept { return origins_.size(); }
+  std::uint64_t objects_served() const noexcept { return objects_served_; }
+
+  /// Request target that makes an origin return `bytes` of body.
+  static std::string object_target(std::size_t bytes);
+
+ private:
+  struct Session {
+    std::unique_ptr<tlssim::TlsConnection> tls_holder;
+    std::unique_ptr<http1::Http1ServerConnection> http;
+    bool dead = false;
+  };
+  struct Origin {
+    std::unique_ptr<simnet::Host> host;
+    std::vector<std::shared_ptr<Session>> sessions;
+  };
+
+  void accept(Origin& origin, std::shared_ptr<simnet::TcpConnection> conn);
+
+  simnet::Network& net_;
+  simnet::Host& browser_host_;
+  WebFarmConfig config_;
+  stats::SplitMix64 rng_;
+  tlssim::ServerConfig tls_config_;
+  std::map<dns::Name, std::unique_ptr<Origin>> origins_;
+  std::uint64_t objects_served_ = 0;
+};
+
+}  // namespace dohperf::browser

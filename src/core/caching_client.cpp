@@ -1,0 +1,87 @@
+#include "core/caching_client.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dohperf::core {
+
+CachingResolverClient::CachingResolverClient(simnet::EventLoop& loop,
+                                             ResolverClient& upstream,
+                                             CacheConfig config)
+    : loop_(loop), upstream_(upstream), config_(config) {}
+
+std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
+                                             dns::RType type,
+                                             ResolveCallback callback) {
+  const std::uint64_t id = results_.size();
+  const Key key{name, type};
+
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.expires_at > loop_.now()) {
+      ++stats_.hits;
+      ResolutionResult result;
+      result.success = true;
+      result.sent_at = loop_.now();
+      result.completed_at = loop_.now();
+      result.response = it->second.response;
+      results_.push_back(result);
+      ++completed_;
+      if (callback) callback(results_.back());
+      return id;
+    }
+    ++stats_.expirations;
+    entries_.erase(it);
+  }
+
+  ++stats_.misses;
+  results_.emplace_back();
+  upstream_.resolve(
+      name, type,
+      [this, id, key, callback = std::move(callback)](
+          const ResolutionResult& r) {
+        if (r.success) insert(key, r.response);
+        results_[id] = r;
+        ++completed_;
+        if (callback) callback(results_[id]);
+      });
+  return id;
+}
+
+void CachingResolverClient::insert(const Key& key,
+                                   const dns::Message& response) {
+  // TTL of the answer set = minimum record TTL (RFC 2181 §5.2), clamped.
+  std::uint32_t ttl_sec = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& rr : response.answers) {
+    ttl_sec = std::min(ttl_sec, rr.ttl);
+  }
+  if (response.answers.empty()) ttl_sec = 60;  // negative-ish caching
+  simnet::TimeUs ttl = simnet::seconds(ttl_sec);
+  ttl = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+  if (ttl == 0) return;
+
+  evict_if_needed();
+  Entry entry;
+  entry.response = response;
+  entry.expires_at = loop_.now() + ttl;
+  entry.inserted_seq = next_seq_++;
+  entries_[key] = std::move(entry);
+}
+
+void CachingResolverClient::evict_if_needed() {
+  if (entries_.size() < config_.max_entries) return;
+  // Evict the oldest insertion (FIFO — simple and deterministic).
+  auto oldest = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.inserted_seq < oldest->second.inserted_seq) oldest = it;
+  }
+  entries_.erase(oldest);
+  ++stats_.evictions;
+}
+
+const ResolutionResult& CachingResolverClient::result(
+    std::uint64_t id) const {
+  return results_.at(id);
+}
+
+}  // namespace dohperf::core

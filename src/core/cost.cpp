@@ -1,0 +1,68 @@
+#include "core/cost.hpp"
+
+#include <sstream>
+
+namespace dohperf::core {
+
+CostReport CostReport::operator-(const CostReport& other) const {
+  CostReport out;
+  out.wire_bytes = wire_bytes - other.wire_bytes;
+  out.packets = packets - other.packets;
+  out.tcp_overhead_bytes = tcp_overhead_bytes - other.tcp_overhead_bytes;
+  out.tls_overhead_bytes = tls_overhead_bytes - other.tls_overhead_bytes;
+  out.http_header_bytes = http_header_bytes - other.http_header_bytes;
+  out.http_body_bytes = http_body_bytes - other.http_body_bytes;
+  out.http_mgmt_bytes = http_mgmt_bytes - other.http_mgmt_bytes;
+  out.dns_message_bytes = dns_message_bytes - other.dns_message_bytes;
+  return out;
+}
+
+CostReport& CostReport::operator+=(const CostReport& other) {
+  wire_bytes += other.wire_bytes;
+  packets += other.packets;
+  tcp_overhead_bytes += other.tcp_overhead_bytes;
+  tls_overhead_bytes += other.tls_overhead_bytes;
+  http_header_bytes += other.http_header_bytes;
+  http_body_bytes += other.http_body_bytes;
+  http_mgmt_bytes += other.http_mgmt_bytes;
+  dns_message_bytes += other.dns_message_bytes;
+  return *this;
+}
+
+std::string CostReport::to_string() const {
+  std::ostringstream os;
+  os << "wire=" << wire_bytes << "B pkts=" << packets
+     << " tcp=" << tcp_overhead_bytes << " tls=" << tls_overhead_bytes
+     << " hdr=" << http_header_bytes << " body=" << http_body_bytes
+     << " mgmt=" << http_mgmt_bytes << " dns=" << dns_message_bytes;
+  return os.str();
+}
+
+CostReport snapshot(const simnet::TcpCounters* tcp,
+                    const tlssim::TlsCounters* tls,
+                    const http1::HttpCounters* h1,
+                    const http2::H2Counters* h2) {
+  CostReport r;
+  if (tcp != nullptr) {
+    r.wire_bytes = tcp->total_wire_bytes();
+    r.packets = tcp->total_packets();
+    r.tcp_overhead_bytes = tcp->overhead_bytes();
+  }
+  if (tls != nullptr) {
+    r.tls_overhead_bytes = tls->overhead_bytes();
+  }
+  if (h1 != nullptr) {
+    r.http_header_bytes =
+        h1->header_bytes_sent + h1->header_bytes_received;
+    r.http_body_bytes = h1->body_bytes_sent + h1->body_bytes_received;
+  }
+  if (h2 != nullptr) {
+    r.http_header_bytes +=
+        h2->header_bytes_sent + h2->header_bytes_received;
+    r.http_body_bytes += h2->body_bytes_sent + h2->body_bytes_received;
+    r.http_mgmt_bytes += h2->mgmt_bytes_sent + h2->mgmt_bytes_received;
+  }
+  return r;
+}
+
+}  // namespace dohperf::core

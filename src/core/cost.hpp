@@ -1,0 +1,44 @@
+// Per-resolution cost accounting: the quantities behind Figures 3-5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http1/client.hpp"
+#include "http2/connection.hpp"
+#include "simnet/tcp.hpp"
+#include "tlssim/types.hpp"
+
+namespace dohperf::core {
+
+/// Everything one resolution put on the wire, split by layer.
+/// Conventions (matching the paper's Figure 5):
+///   * dns_message_bytes — the DNS query + response in wire format ("Body")
+///   * http_header_bytes — HTTP/1.1 heads or HEADERS frames ("Hdr")
+///   * http_mgmt_bytes   — HTTP/2 connection management ("Mgmt")
+///   * tls_overhead_bytes — handshake flights + record framing ("TLS")
+///   * tcp_overhead_bytes — IP+TCP headers of every segment, including pure
+///     ACKs and handshake/teardown segments ("TCP")
+struct CostReport {
+  std::uint64_t wire_bytes = 0;    ///< total bytes on the wire (Fig 3)
+  std::uint64_t packets = 0;       ///< total packets (Fig 4)
+  std::uint64_t tcp_overhead_bytes = 0;
+  std::uint64_t tls_overhead_bytes = 0;
+  std::uint64_t http_header_bytes = 0;
+  std::uint64_t http_body_bytes = 0;
+  std::uint64_t http_mgmt_bytes = 0;
+  std::uint64_t dns_message_bytes = 0;
+
+  CostReport operator-(const CostReport& other) const;
+  CostReport& operator+=(const CostReport& other);
+  std::string to_string() const;
+};
+
+/// Build a snapshot from the counters of a connection stack. Any pointer
+/// may be null (e.g. no HTTP layer for DoT, nothing but UDP for legacy DNS).
+CostReport snapshot(const simnet::TcpCounters* tcp,
+                    const tlssim::TlsCounters* tls,
+                    const http1::HttpCounters* h1,
+                    const http2::H2Counters* h2);
+
+}  // namespace dohperf::core

@@ -1,0 +1,275 @@
+#include "core/doh_client.hpp"
+
+#include "dns/base64url.hpp"
+#include "dns/json.hpp"
+
+namespace dohperf::core {
+
+namespace {
+
+constexpr std::string_view kDnsMessage = "application/dns-message";
+constexpr std::string_view kDnsJson = "application/dns-json";
+constexpr std::string_view kUserAgent =
+    "Mozilla/5.0 (X11; Linux x86_64; rv:66.0) Gecko/20100101 Firefox/66.0";
+
+}  // namespace
+
+CostReport DohClient::Stack::snapshot() const {
+  return core::snapshot(tcp ? &tcp->counters() : nullptr,
+                        tls ? &tls->counters() : nullptr,
+                        h1 ? &h1->counters() : nullptr,
+                        h2 ? &h2->counters() : nullptr);
+}
+
+DohClient::DohClient(simnet::Host& host, simnet::Address server,
+                     DohClientConfig config)
+    : host_(host), server_(server), config_(std::move(config)) {}
+
+std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
+  auto stack = std::make_shared<Stack>();
+  stack->tcp = host_.tcp_connect(server_);
+
+  tlssim::ClientConfig tls_config;
+  tls_config.sni = config_.server_name;
+  tls_config.min_version = config_.min_tls;
+  tls_config.max_version = config_.max_tls;
+  tls_config.session_cache = config_.session_cache;
+  tls_config.alpn = {config_.http_version == HttpVersion::kHttp2
+                         ? "h2"
+                         : "http/1.1"};
+  auto tls = std::make_unique<tlssim::TlsConnection>(
+      std::make_unique<simnet::TcpByteStream>(stack->tcp),
+      std::move(tls_config));
+  stack->tls = tls.get();
+
+  if (config_.http_version == HttpVersion::kHttp2) {
+    stack->h2 = std::make_unique<http2::Http2Connection>(
+        std::move(tls), http2::Http2Connection::Role::kClient, config_.h2);
+  } else {
+    stack->h1 = std::make_unique<http1::Http1Client>(std::move(tls),
+                                                     config_.h1_pipelining);
+  }
+  return stack;
+}
+
+std::shared_ptr<DohClient::Stack> DohClient::stack_for_query() {
+  if (!config_.persistent) return make_stack();
+  // Reuse the stack while it is connecting or open; replace it once the
+  // TLS layer failed or closed.
+  const bool usable = persistent_stack_ && !persistent_stack_->tls->failed() &&
+                      !persistent_stack_->tls->closed();
+  if (!usable) persistent_stack_ = make_stack();
+  return persistent_stack_;
+}
+
+std::uint64_t DohClient::resolve(const dns::Name& name, dns::RType type,
+                                 ResolveCallback callback) {
+  const std::uint64_t query_id = next_query_id_++;
+  auto stack = stack_for_query();
+
+  ResolutionResult result;
+  result.sent_at = host_.loop().now();
+  results_.push_back(std::move(result));
+
+  QueryState state;
+  state.callback = std::move(callback);
+  state.stack = stack;
+  state.start = stack->snapshot();
+  state.fresh_stack = !config_.persistent;
+  states_.push_back(std::move(state));
+
+  issue(stack, query_id, name, type);
+  return query_id;
+}
+
+void DohClient::issue(const std::shared_ptr<Stack>& stack,
+                      std::uint64_t query_id, const dns::Name& name,
+                      dns::RType type) {
+  // RFC 8484 §4.1: use DNS ID 0 for cache friendliness; correlation is via
+  // the HTTP exchange itself.
+  dns::Message query = dns::Message::make_query(0, name, type);
+  if (config_.pad_queries_to > 0) {
+    query.pad_to_multiple(config_.pad_queries_to);
+  }
+  dns::Bytes body;
+  std::string target = config_.path;
+  std::string method = "POST";
+  std::string accept(kDnsMessage);
+  std::string content_type(kDnsMessage);
+  std::size_t query_dns_bytes = 0;
+
+  switch (config_.method) {
+    case DohMethod::kPost: {
+      body = query.encode();
+      query_dns_bytes = body.size();
+      break;
+    }
+    case DohMethod::kGet: {
+      const dns::Bytes wire = query.encode();
+      query_dns_bytes = wire.size();
+      target += "?dns=" + dns::base64url_encode(wire);
+      method = "GET";
+      content_type.clear();
+      break;
+    }
+    case DohMethod::kJsonGet: {
+      target += "?" + dns::dns_json_query_string(name, type);
+      method = "GET";
+      accept = kDnsJson;
+      content_type.clear();
+      break;
+    }
+  }
+  results_[query_id].cost.dns_message_bytes += query_dns_bytes;
+
+  std::weak_ptr<Stack> weak_stack = stack;
+  const auto handle_body = [this, query_id](int status,
+                                            const std::string& content_type,
+                                            const dns::Bytes& payload) {
+    if (status != 200) {
+      complete(query_id, false, {}, 0);
+      return;
+    }
+    try {
+      if (content_type == kDnsJson) {
+        dns::Message response =
+            dns::from_dns_json(dns::to_string(payload));
+        complete(query_id, true, std::move(response), payload.size());
+      } else {
+        dns::Message response = dns::Message::decode(payload);
+        complete(query_id, true, std::move(response), payload.size());
+      }
+    } catch (const std::exception&) {
+      complete(query_id, false, {}, 0);
+    }
+  };
+
+  if (stack->h2) {
+    http2::H2Message request;
+    request.headers.push_back({":method", method});
+    request.headers.push_back({":scheme", "https"});
+    request.headers.push_back({":authority", config_.server_name});
+    request.headers.push_back({":path", target});
+    request.headers.push_back({"accept", accept});
+    request.headers.push_back({"accept-encoding", "gzip, deflate, br"});
+    request.headers.push_back({"accept-language", "en-US,en;q=0.5"});
+    request.headers.push_back({"user-agent", std::string(kUserAgent)});
+    if (!content_type.empty()) {
+      request.headers.push_back({"content-type", content_type});
+      request.headers.push_back(
+          {"content-length", std::to_string(body.size())});
+    }
+    request.body = std::move(body);
+    stack->h2->set_error_handler([this, query_id]() {
+      complete(query_id, false, {}, 0);
+    });
+    stack->h2->request(std::move(request),
+                       [handle_body](const http2::H2Message& response) {
+                         std::string status = "0";
+                         std::string ct;
+                         for (const auto& f : response.headers) {
+                           if (f.name == ":status") status = f.value;
+                           if (f.name == "content-type") ct = f.value;
+                         }
+                         handle_body(std::atoi(status.c_str()), ct,
+                                     response.body);
+                       });
+  } else {
+    http1::Request request;
+    request.method = method;
+    request.target = target;
+    request.headers.add("Host", config_.server_name);
+    request.headers.add("User-Agent", std::string(kUserAgent));
+    request.headers.add("Accept", accept);
+    if (!content_type.empty()) {
+      request.headers.add("Content-Type", content_type);
+    }
+    if (!config_.persistent) {
+      request.headers.add("Connection", "close");
+    }
+    request.body = std::move(body);
+    stack->h1->set_error_handler([this, query_id]() {
+      complete(query_id, false, {}, 0);
+    });
+    stack->h1->request(std::move(request),
+                       [handle_body](const http1::Response& response) {
+                         handle_body(
+                             response.status,
+                             response.headers.get("content-type").value_or(""),
+                             response.body);
+                       });
+  }
+}
+
+void DohClient::complete(std::uint64_t query_id, bool success,
+                         dns::Message response, std::size_t dns_bytes) {
+  QueryState& state = states_[query_id];
+  if (state.done) return;  // error handler may race the response
+  state.done = true;
+  if (!state.fresh_stack && state.stack) {
+    // Persistent connection: freeze the counter window one event from now,
+    // so the TCP ACK triggered by the response segment is still attributed
+    // to this query, but later queries are not.
+    host_.loop().schedule_in(0, [this, query_id]() {
+      QueryState& s = states_[query_id];
+      if (s.stack && !s.have_end) {
+        s.end = s.stack->snapshot();
+        s.have_end = true;
+      }
+    });
+  }
+
+  ResolutionResult& result = results_[query_id];
+  result.success = success;
+  result.completed_at = host_.loop().now();
+  if (success) {
+    result.cost.dns_message_bytes += dns_bytes;
+    result.response = std::move(response);
+  } else {
+    ++failures_;
+  }
+  ++completed_;
+
+  if (!config_.persistent && state.stack) {
+    // Tear the connection down; the remaining FIN/close-notify bytes are
+    // captured when the cost is finalized in result().
+    if (state.stack->h2) state.stack->h2->close();
+    if (state.stack->h1) state.stack->h1->close();
+  }
+  if (state.callback) state.callback(result);
+}
+
+const ResolutionResult& DohClient::result(std::uint64_t id) const {
+  const QueryState& state = states_.at(id);
+  ResolutionResult& result = results_.at(id);
+  if (state.done && state.stack) {
+    // Finalize the transport cost. Fresh stacks are read at call time so
+    // the teardown packets are included (run the loop to idle first);
+    // persistent stacks use the window frozen at completion.
+    const std::size_t dns_bytes = result.cost.dns_message_bytes;
+    const CostReport end =
+        state.have_end ? state.end : state.stack->snapshot();
+    result.cost = end - state.start;
+    result.cost.dns_message_bytes = dns_bytes;
+  }
+  return result;
+}
+
+void DohClient::disconnect() {
+  if (!persistent_stack_) return;
+  if (persistent_stack_->h2) persistent_stack_->h2->close();
+  if (persistent_stack_->h1) persistent_stack_->h1->close();
+  persistent_stack_.reset();
+}
+
+const simnet::TcpCounters* DohClient::tcp_counters() const {
+  return persistent_stack_ ? &persistent_stack_->tcp->counters() : nullptr;
+}
+
+const tlssim::TlsCounters* DohClient::tls_counters() const {
+  return persistent_stack_ && persistent_stack_->tls
+             ? &persistent_stack_->tls->counters()
+             : nullptr;
+}
+
+}  // namespace dohperf::core

@@ -1,0 +1,116 @@
+// DNS-over-HTTPS client (RFC 8484).
+//
+// Supports the full configuration space the paper explores:
+//   * HTTP/2 (recommended by the RFC) or HTTP/1.1 with pipelining (§3)
+//   * persistent connections vs one fresh connection per query (§4, the
+//     H vs HP scenarios of Figs 3-4)
+//   * POST with application/dns-message, GET with ?dns=<base64url>, or the
+//     JSON API (?name=&type= with application/dns-json)
+//   * TLS version bounds and session resumption
+//
+// Cost accounting: every resolution records a CostReport. On persistent
+// connections it is the counter delta while the query was outstanding, so
+// the first resolution carries the TCP/TLS/SETTINGS setup, matching how
+// the paper's whiskers show the one-off costs. On non-persistent
+// connections the cost is the entire connection including teardown, and is
+// finalized once the connection has fully closed (run the event loop to
+// idle before reading it).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "http1/client.hpp"
+#include "http2/connection.hpp"
+#include "simnet/host.hpp"
+#include "simnet/stream.hpp"
+#include "tlssim/connection.hpp"
+
+namespace dohperf::core {
+
+enum class HttpVersion { kHttp1, kHttp2 };
+enum class DohMethod {
+  kPost,     ///< RFC 8484 POST, application/dns-message
+  kGet,      ///< RFC 8484 GET, ?dns=<base64url>
+  kJsonGet,  ///< JSON API, ?name=&type=, application/dns-json
+};
+
+struct DohClientConfig {
+  std::string server_name = "doh.example";  ///< SNI, Host/:authority
+  std::string path = "/dns-query";
+  HttpVersion http_version = HttpVersion::kHttp2;
+  DohMethod method = DohMethod::kPost;
+  bool persistent = true;
+  bool h1_pipelining = true;
+  tlssim::TlsVersion min_tls = tlssim::TlsVersion::kTls12;
+  tlssim::TlsVersion max_tls = tlssim::TlsVersion::kTls13;
+  tlssim::SessionCache* session_cache = nullptr;
+  http2::Http2Config h2;  ///< HPACK table size etc. (fig5 ablation knob)
+  /// EDNS0 padding block size for queries (RFC 8467 recommends 128 for
+  /// clients; 0 disables). Uniform sizes close the length side channel.
+  std::size_t pad_queries_to = 0;
+};
+
+class DohClient final : public ResolverClient {
+ public:
+  DohClient(simnet::Host& host, simnet::Address server,
+            DohClientConfig config = {});
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  /// Lazily finalizes the cost if the stack has quiesced.
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+  std::uint64_t failures() const noexcept { return failures_; }
+
+  /// Close the persistent connection (if any).
+  void disconnect();
+
+  /// Counters of the current persistent stack (null when none / fresh mode).
+  const simnet::TcpCounters* tcp_counters() const;
+  const tlssim::TlsCounters* tls_counters() const;
+
+ private:
+  /// One TCP+TLS+HTTP pile. Kept alive after close so late counter reads
+  /// (teardown packets) still work.
+  struct Stack {
+    std::shared_ptr<simnet::TcpConnection> tcp;
+    tlssim::TlsConnection* tls = nullptr;  ///< owned by the HTTP layer
+    std::unique_ptr<http1::Http1Client> h1;
+    std::unique_ptr<http2::Http2Connection> h2;
+
+    CostReport snapshot() const;
+  };
+
+  std::shared_ptr<Stack> make_stack();
+  std::shared_ptr<Stack> stack_for_query();
+  void issue(const std::shared_ptr<Stack>& stack, std::uint64_t query_id,
+             const dns::Name& name, dns::RType type);
+  void complete(std::uint64_t query_id, bool success, dns::Message response,
+                std::size_t dns_bytes);
+
+  simnet::Host& host_;
+  simnet::Address server_;
+  DohClientConfig config_;
+
+  std::shared_ptr<Stack> persistent_stack_;
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failures_ = 0;
+
+  struct QueryState {
+    ResolveCallback callback;
+    std::shared_ptr<Stack> stack;  ///< stack this query ran on
+    CostReport start;              ///< stack snapshot at issue time
+    CostReport end;                ///< snapshot at completion (persistent)
+    bool have_end = false;
+    bool fresh_stack = false;      ///< cost = whole stack incl. teardown
+    bool done = false;
+  };
+  mutable std::vector<ResolutionResult> results_;
+  std::vector<QueryState> states_;
+};
+
+}  // namespace dohperf::core

@@ -1,0 +1,105 @@
+#include "core/doq_client.hpp"
+
+namespace dohperf::core {
+
+DoqClient::DoqClient(simnet::Host& host, simnet::Address server,
+                     DoqClientConfig config)
+    : host_(host), server_(server), config_(std::move(config)) {}
+
+void DoqClient::ensure_connection() {
+  if (endpoint_ && !endpoint_->connection().closed()) return;
+  tlssim::ClientConfig tls;
+  tls.sni = config_.server_name;
+  tls.alpn = {"doq"};
+  endpoint_ = std::make_unique<quicsim::QuicClientEndpoint>(
+      host_, server_, std::move(tls), config_.quic);
+  endpoint_->connection().set_on_stream_data(
+      [this](std::uint64_t stream_id, std::span<const std::uint8_t> data,
+             bool fin) { on_stream_data(stream_id, data, fin); });
+  endpoint_->connection().set_on_closed([this]() { on_closed(); });
+}
+
+std::uint64_t DoqClient::resolve(const dns::Name& name, dns::RType type,
+                                 ResolveCallback callback) {
+  ensure_connection();
+  const std::uint64_t query_id = next_query_id_++;
+  ResolutionResult result;
+  result.sent_at = host_.loop().now();
+  results_.push_back(std::move(result));
+
+  // RFC 9250 §4.2: queries use DNS message ID 0; the stream correlates.
+  const dns::Message query = dns::Message::make_query(0, name, type);
+  const dns::Bytes wire = query.encode();
+  results_[query_id].cost.dns_message_bytes = wire.size();
+
+  dns::ByteWriter framed;
+  framed.u16(static_cast<std::uint16_t>(wire.size()));
+  framed.bytes(wire);
+
+  auto& conn = endpoint_->connection();
+  const std::uint64_t stream_id = conn.open_stream();
+  pending_.emplace(stream_id, PendingQuery{query_id, std::move(callback), {}});
+  conn.send_stream(stream_id, framed.take(), /*fin=*/true);
+  return query_id;
+}
+
+void DoqClient::on_stream_data(std::uint64_t stream_id,
+                               std::span<const std::uint8_t> data, bool fin) {
+  const auto it = pending_.find(stream_id);
+  if (it == pending_.end()) return;
+  PendingQuery& pq = it->second;
+  pq.rx.insert(pq.rx.end(), data.begin(), data.end());
+  if (!fin) return;  // the response ends with the stream
+
+  ResolutionResult& result = results_[pq.query_id];
+  result.completed_at = host_.loop().now();
+  if (pq.rx.size() >= 2) {
+    const std::size_t len =
+        (static_cast<std::size_t>(pq.rx[0]) << 8) | pq.rx[1];
+    if (pq.rx.size() >= 2 + len) {
+      try {
+        result.response = dns::Message::decode(
+            std::span(pq.rx.data() + 2, len));
+        result.success = true;
+        result.cost.dns_message_bytes += len;
+      } catch (const dns::WireError&) {
+        result.success = false;
+      }
+    }
+  }
+  ++completed_;
+  auto callback = std::move(pq.callback);
+  pending_.erase(it);
+  if (callback) callback(result);
+}
+
+void DoqClient::on_closed() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [stream_id, pq] : pending) {
+    ResolutionResult& result = results_[pq.query_id];
+    result.success = false;
+    result.completed_at = host_.loop().now();
+    ++completed_;
+    if (pq.callback) pq.callback(result);
+  }
+}
+
+void DoqClient::disconnect() {
+  if (endpoint_) endpoint_->connection().close();
+}
+
+bool DoqClient::connected() const {
+  return endpoint_ && endpoint_->connection().established() &&
+         !endpoint_->connection().closed();
+}
+
+const quicsim::QuicCounters* DoqClient::quic_counters() const {
+  return endpoint_ ? &endpoint_->connection().counters() : nullptr;
+}
+
+const ResolutionResult& DoqClient::result(std::uint64_t id) const {
+  return results_.at(id);
+}
+
+}  // namespace dohperf::core

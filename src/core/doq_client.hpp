@@ -1,0 +1,58 @@
+// DNS-over-QUIC client (RFC 9250) — EXTENSION beyond the paper's
+// transports. Each query travels on its own bidirectional QUIC stream
+// (2-byte length prefix + DNS message, then FIN), so queries are as
+// independent as DoH/2 streams but without TCP's loss-induced head-of-line
+// blocking underneath.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "quicsim/endpoint.hpp"
+
+namespace dohperf::core {
+
+struct DoqClientConfig {
+  std::string server_name = "doq.example";
+  quicsim::QuicConnectionConfig quic;
+};
+
+class DoqClient final : public ResolverClient {
+ public:
+  DoqClient(simnet::Host& host, simnet::Address server,
+            DoqClientConfig config = {});
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+
+  void disconnect();
+  bool connected() const;
+  const quicsim::QuicCounters* quic_counters() const;
+
+ private:
+  void ensure_connection();
+  void on_stream_data(std::uint64_t stream_id,
+                      std::span<const std::uint8_t> data, bool fin);
+  void on_closed();
+
+  simnet::Host& host_;
+  simnet::Address server_;
+  DoqClientConfig config_;
+  std::unique_ptr<quicsim::QuicClientEndpoint> endpoint_;
+
+  struct PendingQuery {
+    std::uint64_t query_id;
+    ResolveCallback callback;
+    dns::Bytes rx;
+  };
+  std::map<std::uint64_t, PendingQuery> pending_;  ///< keyed by stream id
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<ResolutionResult> results_;
+};
+
+}  // namespace dohperf::core

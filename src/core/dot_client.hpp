@@ -1,0 +1,61 @@
+// DNS-over-TLS client (RFC 7858): TLS to port 853, two-byte length framing,
+// multiple outstanding queries matched by DNS message ID.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "simnet/host.hpp"
+#include "simnet/stream.hpp"
+#include "tlssim/connection.hpp"
+
+namespace dohperf::core {
+
+struct DotClientConfig {
+  std::string server_name = "dot.example";  ///< SNI
+  tlssim::TlsVersion min_tls = tlssim::TlsVersion::kTls12;
+  tlssim::TlsVersion max_tls = tlssim::TlsVersion::kTls13;
+  tlssim::SessionCache* session_cache = nullptr;
+};
+
+class DotClient final : public ResolverClient {
+ public:
+  DotClient(simnet::Host& host, simnet::Address server,
+            DotClientConfig config = {});
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+
+  /// Close the TLS connection (a new one is opened on the next resolve).
+  void disconnect();
+  bool connected() const;
+
+  /// Connection-level counters of the current connection (null when none).
+  const tlssim::TlsCounters* tls_counters() const;
+  const simnet::TcpCounters* tcp_counters() const;
+
+ private:
+  void ensure_connection();
+  void on_data(std::span<const std::uint8_t> data);
+  void on_close();
+
+  simnet::Host& host_;
+  simnet::Address server_;
+  DotClientConfig config_;
+
+  std::shared_ptr<simnet::TcpConnection> tcp_;
+  std::unique_ptr<tlssim::TlsConnection> tls_;
+  dns::Bytes rx_;
+
+  std::uint16_t next_dns_id_ = 1;
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint16_t, std::pair<std::uint64_t, ResolveCallback>> pending_;
+  std::vector<ResolutionResult> results_;
+};
+
+}  // namespace dohperf::core

@@ -1,0 +1,88 @@
+#include "core/fallback_client.hpp"
+
+namespace dohperf::core {
+
+FallbackResolverClient::FallbackResolverClient(simnet::EventLoop& loop,
+                                               ResolverClient& primary,
+                                               ResolverClient& fallback,
+                                               FallbackConfig config)
+    : loop_(loop), primary_(primary), fallback_(fallback), config_(config) {}
+
+std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
+                                              dns::RType type,
+                                              ResolveCallback callback) {
+  const std::uint64_t id = results_.size();
+  ResolutionResult placeholder;
+  placeholder.sent_at = loop_.now();
+  results_.push_back(placeholder);
+
+  Pending pending;
+  pending.callback = std::move(callback);
+  pending.name = name;
+  pending.type = type;
+  pending.deadline = loop_.schedule_in(config_.primary_deadline, [this, id]() {
+    start_fallback(id);
+  });
+  pending_.emplace(id, std::move(pending));
+
+  primary_.resolve(name, type, [this, id](const ResolutionResult& r) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.done) return;
+    if (r.success) {
+      if (!it->second.fallback_started) ++stats_.primary_wins;
+      finish(id, r, /*from_primary=*/true);
+    } else if (!it->second.fallback_started) {
+      // Hard failure before the deadline: fall back immediately.
+      start_fallback(id);
+    }
+    // Primary failed after the fallback started: wait for the fallback.
+  });
+  return id;
+}
+
+void FallbackResolverClient::start_fallback(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.done ||
+      it->second.fallback_started) {
+    return;
+  }
+  it->second.fallback_started = true;
+  loop_.cancel(it->second.deadline);
+  fallback_.resolve(it->second.name, it->second.type,
+                    [this, id](const ResolutionResult& r) {
+                      const auto p = pending_.find(id);
+                      if (p == pending_.end() || p->second.done) return;
+                      if (r.success) {
+                        ++stats_.fallback_used;
+                      } else {
+                        ++stats_.both_failed;
+                      }
+                      finish(id, r, /*from_primary=*/false);
+                    });
+}
+
+void FallbackResolverClient::finish(std::uint64_t id,
+                                    const ResolutionResult& r,
+                                    bool /*from_primary*/) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.done) return;
+  it->second.done = true;
+  loop_.cancel(it->second.deadline);
+
+  ResolutionResult& out = results_[id];
+  const auto sent_at = out.sent_at;
+  out = r;
+  out.sent_at = sent_at;  // measure from when *we* were asked
+  out.completed_at = loop_.now();
+  ++completed_;
+  auto callback = std::move(it->second.callback);
+  pending_.erase(it);
+  if (callback) callback(out);
+}
+
+const ResolutionResult& FallbackResolverClient::result(
+    std::uint64_t id) const {
+  return results_.at(id);
+}
+
+}  // namespace dohperf::core

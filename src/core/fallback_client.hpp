@@ -1,0 +1,64 @@
+// TRR-style fallback resolution: try the secure (DoH) resolver first and
+// fall back to classic UDP when it fails or exceeds a deadline — the policy
+// Firefox shipped for its DoH rollout ("TRR first" mode), referenced by the
+// paper's related-work discussion of Mozilla's experiment. It bounds the
+// user-visible cost of a misbehaving DoH service at the fallback deadline.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/client.hpp"
+#include "simnet/event_loop.hpp"
+
+namespace dohperf::core {
+
+struct FallbackConfig {
+  /// How long to wait for the primary before also asking the fallback.
+  simnet::TimeUs primary_deadline = simnet::ms(1500);
+};
+
+struct FallbackStats {
+  std::uint64_t primary_wins = 0;    ///< primary answered in time
+  std::uint64_t fallback_used = 0;   ///< deadline hit or primary failed
+  std::uint64_t both_failed = 0;
+};
+
+class FallbackResolverClient final : public ResolverClient {
+ public:
+  /// Both clients must outlive this one.
+  FallbackResolverClient(simnet::EventLoop& loop, ResolverClient& primary,
+                         ResolverClient& fallback,
+                         FallbackConfig config = {});
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+
+  const FallbackStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    ResolveCallback callback;
+    dns::Name name;
+    dns::RType type = dns::RType::kA;
+    simnet::EventId deadline;
+    bool fallback_started = false;
+    bool done = false;
+  };
+
+  void finish(std::uint64_t id, const ResolutionResult& r, bool from_primary);
+  void start_fallback(std::uint64_t id);
+
+  simnet::EventLoop& loop_;
+  ResolverClient& primary_;
+  ResolverClient& fallback_;
+  FallbackConfig config_;
+  FallbackStats stats_;
+  std::uint64_t completed_ = 0;
+  std::vector<ResolutionResult> results_;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace dohperf::core

@@ -1,0 +1,104 @@
+#include "core/tcp_dns_client.hpp"
+
+namespace dohperf::core {
+
+TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server)
+    : host_(host), server_(server) {}
+
+void TcpDnsClient::ensure_connection() {
+  if (stream_ && stream_->is_open()) return;
+  if (tcp_ && (tcp_->state() == simnet::TcpState::kSynSent ||
+               tcp_->established())) {
+    return;  // still connecting or usable
+  }
+  tcp_ = host_.tcp_connect(server_);
+  stream_ = std::make_unique<simnet::TcpByteStream>(tcp_);
+  simnet::ByteStream::Handlers h;
+  h.on_data = [this](std::span<const std::uint8_t> d) { on_data(d); };
+  h.on_close = [this]() { on_close(); };
+  stream_->set_handlers(std::move(h));
+  rx_.clear();
+}
+
+std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
+                                    ResolveCallback callback) {
+  ensure_connection();
+  const std::uint64_t query_id = next_query_id_++;
+  std::uint16_t dns_id = next_dns_id_++;
+  while (pending_.count(dns_id) != 0 || dns_id == 0) dns_id = next_dns_id_++;
+
+  ResolutionResult result;
+  result.sent_at = host_.loop().now();
+  results_.push_back(std::move(result));
+  pending_.emplace(dns_id, std::make_pair(query_id, std::move(callback)));
+
+  const dns::Message query = dns::Message::make_query(dns_id, name, type);
+  const dns::Bytes wire = query.encode();
+  results_[query_id].cost.dns_message_bytes = wire.size();
+  dns::ByteWriter framed;
+  framed.u16(static_cast<std::uint16_t>(wire.size()));
+  framed.bytes(wire);
+  stream_->send(framed.take());  // TCP queues until established
+  return query_id;
+}
+
+void TcpDnsClient::on_data(std::span<const std::uint8_t> data) {
+  rx_.insert(rx_.end(), data.begin(), data.end());
+  while (rx_.size() >= 2) {
+    const std::size_t len = (static_cast<std::size_t>(rx_[0]) << 8) | rx_[1];
+    if (rx_.size() < 2 + len) break;
+    dns::Bytes wire(rx_.begin() + 2,
+                    rx_.begin() + static_cast<std::ptrdiff_t>(2 + len));
+    rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(2 + len));
+
+    dns::Message response;
+    try {
+      response = dns::Message::decode(wire);
+    } catch (const dns::WireError&) {
+      continue;
+    }
+    const auto it = pending_.find(response.id);
+    if (it == pending_.end()) continue;
+    auto [query_id, callback] = std::move(it->second);
+    pending_.erase(it);
+
+    ResolutionResult& result = results_[query_id];
+    result.success = true;
+    result.completed_at = host_.loop().now();
+    result.cost.dns_message_bytes += wire.size();
+    result.response = std::move(response);
+    ++completed_;
+    if (callback) callback(result);
+  }
+}
+
+void TcpDnsClient::on_close() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [dns_id, entry] : pending) {
+    auto& [query_id, callback] = entry;
+    ResolutionResult& result = results_[query_id];
+    result.success = false;
+    result.completed_at = host_.loop().now();
+    ++completed_;
+    if (callback) callback(result);
+  }
+}
+
+void TcpDnsClient::disconnect() {
+  if (stream_) stream_->close();
+}
+
+bool TcpDnsClient::connected() const {
+  return stream_ && stream_->is_open();
+}
+
+const simnet::TcpCounters* TcpDnsClient::tcp_counters() const {
+  return tcp_ ? &tcp_->counters() : nullptr;
+}
+
+const ResolutionResult& TcpDnsClient::result(std::uint64_t id) const {
+  return results_.at(id);
+}
+
+}  // namespace dohperf::core

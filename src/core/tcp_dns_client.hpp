@@ -1,0 +1,47 @@
+// Plain DNS-over-TCP client (RFC 7766): persistent TCP connection, two-byte
+// length framing, multiple outstanding queries matched by DNS message ID —
+// connection-oriented DNS without encryption (the paper's reference [26]).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "simnet/host.hpp"
+#include "simnet/stream.hpp"
+
+namespace dohperf::core {
+
+class TcpDnsClient final : public ResolverClient {
+ public:
+  TcpDnsClient(simnet::Host& host, simnet::Address server);
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+
+  void disconnect();
+  bool connected() const;
+  const simnet::TcpCounters* tcp_counters() const;
+
+ private:
+  void ensure_connection();
+  void on_data(std::span<const std::uint8_t> data);
+  void on_close();
+
+  simnet::Host& host_;
+  simnet::Address server_;
+  std::shared_ptr<simnet::TcpConnection> tcp_;
+  std::unique_ptr<simnet::TcpByteStream> stream_;
+  dns::Bytes rx_;
+
+  std::uint16_t next_dns_id_ = 1;
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint16_t, std::pair<std::uint64_t, ResolveCallback>> pending_;
+  std::vector<ResolutionResult> results_;
+};
+
+}  // namespace dohperf::core

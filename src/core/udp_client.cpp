@@ -1,0 +1,111 @@
+#include "core/udp_client.hpp"
+
+namespace dohperf::core {
+
+UdpResolverClient::UdpResolverClient(simnet::Host& host,
+                                     simnet::Address server,
+                                     UdpClientConfig config)
+    : host_(host), server_(server), config_(config),
+      socket_(&host.udp_open()) {
+  socket_->set_receiver(
+      [this](const dns::Bytes& payload, simnet::Address /*from*/) {
+        on_datagram(payload);
+      });
+}
+
+UdpResolverClient::~UdpResolverClient() {
+  for (auto& [dns_id, p] : pending_) {
+    host_.loop().cancel(p.timer);
+  }
+  host_.udp_close(*socket_);
+}
+
+std::uint64_t UdpResolverClient::resolve(const dns::Name& name,
+                                         dns::RType type,
+                                         ResolveCallback callback) {
+  const std::uint64_t query_id = next_query_id_++;
+  // Allocate a DNS message ID not currently in flight.
+  std::uint16_t dns_id = next_dns_id_++;
+  while (pending_.count(dns_id) != 0 || dns_id == 0) dns_id = next_dns_id_++;
+
+  const dns::Message query =
+      dns::Message::make_query(dns_id, name, type, config_.edns);
+  Pending pending;
+  pending.query_id = query_id;
+  pending.wire = query.encode();
+  pending.callback = std::move(callback);
+  pending.retries_left = config_.max_retries;
+
+  ResolutionResult result;
+  result.sent_at = host_.loop().now();
+  // UDP cost is exact and known up-front for the query half; the response
+  // half is added on completion.
+  result.cost.dns_message_bytes = pending.wire.size();
+  results_.push_back(std::move(result));
+
+  pending_.emplace(dns_id, std::move(pending));
+  send_query(dns_id);
+  return query_id;
+}
+
+void UdpResolverClient::send_query(std::uint16_t dns_id) {
+  auto& pending = pending_.at(dns_id);
+  auto& result = results_[pending.query_id];
+  result.cost.wire_bytes +=
+      pending.wire.size() + simnet::kIpHeaderBytes + simnet::kUdpHeaderBytes;
+  result.cost.packets += 1;
+  socket_->send_to(server_, pending.wire);
+  pending.timer = host_.loop().schedule_in(
+      config_.timeout, [this, dns_id]() { on_timeout(dns_id); });
+}
+
+void UdpResolverClient::on_timeout(std::uint16_t dns_id) {
+  const auto it = pending_.find(dns_id);
+  if (it == pending_.end()) return;
+  if (it->second.retries_left > 0) {
+    --it->second.retries_left;
+    send_query(dns_id);
+    return;
+  }
+  ++timeouts_;
+  finish(dns_id, false, {}, 0);
+}
+
+void UdpResolverClient::on_datagram(const dns::Bytes& payload) {
+  dns::Message response;
+  try {
+    response = dns::Message::decode(payload);
+  } catch (const dns::WireError&) {
+    return;  // garbage datagram; ignore like a real stub
+  }
+  const auto it = pending_.find(response.id);
+  if (it == pending_.end() || !response.flags.qr) return;
+  finish(response.id, true, std::move(response), payload.size());
+}
+
+void UdpResolverClient::finish(std::uint16_t dns_id, bool success,
+                               dns::Message response,
+                               std::size_t response_bytes) {
+  auto node = pending_.extract(dns_id);
+  Pending& pending = node.mapped();
+  host_.loop().cancel(pending.timer);
+
+  ResolutionResult& result = results_[pending.query_id];
+  result.success = success;
+  result.completed_at = host_.loop().now();
+  if (success) {
+    result.cost.dns_message_bytes += response_bytes;
+    result.cost.wire_bytes +=
+        response_bytes + simnet::kIpHeaderBytes + simnet::kUdpHeaderBytes;
+    result.cost.packets += 1;
+    result.response = std::move(response);
+  }
+  ++completed_;
+  if (pending.callback) pending.callback(result);
+}
+
+const ResolutionResult& UdpResolverClient::result(std::uint64_t id) const {
+  return results_.at(id);
+}
+
+}  // namespace dohperf::core

@@ -1,0 +1,59 @@
+// Legacy UDP DNS stub resolver client with ID matching, timeout and
+// retransmission.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/client.hpp"
+#include "simnet/host.hpp"
+
+namespace dohperf::core {
+
+struct UdpClientConfig {
+  simnet::TimeUs timeout = simnet::seconds(5);
+  int max_retries = 0;  ///< retransmissions after the first attempt
+  bool edns = true;     ///< attach an EDNS0 OPT record to queries
+};
+
+class UdpResolverClient final : public ResolverClient {
+ public:
+  UdpResolverClient(simnet::Host& host, simnet::Address server,
+                    UdpClientConfig config = {});
+  ~UdpResolverClient() override;
+
+  std::uint64_t resolve(const dns::Name& name, dns::RType type,
+                        ResolveCallback callback) override;
+  const ResolutionResult& result(std::uint64_t id) const override;
+  std::size_t completed() const override { return completed_; }
+
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  struct Pending {
+    std::uint64_t query_id;
+    dns::Bytes wire;  ///< for retransmission
+    ResolveCallback callback;
+    simnet::EventId timer;
+    int retries_left;
+  };
+
+  void on_datagram(const dns::Bytes& payload);
+  void send_query(std::uint16_t dns_id);
+  void on_timeout(std::uint16_t dns_id);
+  void finish(std::uint16_t dns_id, bool success, dns::Message response,
+              std::size_t response_bytes);
+
+  simnet::Host& host_;
+  simnet::Address server_;
+  UdpClientConfig config_;
+  simnet::UdpSocket* socket_;
+  std::uint16_t next_dns_id_ = 1;
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::map<std::uint16_t, Pending> pending_;  ///< keyed by DNS message ID
+  std::vector<ResolutionResult> results_;     ///< indexed by query id
+};
+
+}  // namespace dohperf::core

@@ -1,0 +1,72 @@
+#include "dns/base64url.hpp"
+
+#include <array>
+
+namespace dohperf::dns {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::array<std::int8_t, 256> reverse_table() {
+  std::array<std::int8_t, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string base64url_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out += kAlphabet[(n >> 18) & 0x3f];
+    out += kAlphabet[(n >> 12) & 0x3f];
+    out += kAlphabet[(n >> 6) & 0x3f];
+    out += kAlphabet[n & 0x3f];
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out += kAlphabet[(n >> 18) & 0x3f];
+    out += kAlphabet[(n >> 12) & 0x3f];
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out += kAlphabet[(n >> 18) & 0x3f];
+    out += kAlphabet[(n >> 12) & 0x3f];
+    out += kAlphabet[(n >> 6) & 0x3f];
+  }
+  return out;
+}
+
+Bytes base64url_decode(std::string_view text) {
+  static const auto kReverse = reverse_table();
+  const std::size_t rem = text.size() % 4;
+  if (rem == 1) throw WireError("invalid base64url length");
+  Bytes out;
+  out.reserve(text.size() / 4 * 3 + 2);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) throw WireError("invalid base64url character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace dohperf::dns

@@ -1,0 +1,17 @@
+// base64url (RFC 4648 §5) without padding, as required by RFC 8484 for
+// DoH GET requests (?dns=<base64url(wire-format query)>).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dns/wire.hpp"
+
+namespace dohperf::dns {
+
+std::string base64url_encode(std::span<const std::uint8_t> data);
+
+/// Throws WireError on invalid input characters or impossible lengths.
+Bytes base64url_decode(std::string_view text);
+
+}  // namespace dohperf::dns

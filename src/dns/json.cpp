@@ -1,0 +1,159 @@
+#include "dns/json.hpp"
+
+#include "dns/json_value.hpp"
+
+namespace dohperf::dns {
+
+namespace {
+
+std::string rdata_presentation(const ResourceRecord& rr) {
+  // dns-json carries rdata in presentation form.
+  return std::visit(
+      [&](const auto& rd) -> std::string {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARdata> ||
+                      std::is_same_v<T, AaaaRdata>) {
+          return rd.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          return rd.target.to_string() + ".";
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          return rd.nsdname.to_string() + ".";
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          return rd.ptrdname.to_string() + ".";
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          return std::to_string(rd.preference) + " " +
+                 rd.exchange.to_string() + ".";
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          std::string out;
+          for (const auto& s : rd.strings) {
+            if (!out.empty()) out += ' ';
+            out += '"' + s + '"';
+          }
+          return out;
+        } else if constexpr (std::is_same_v<T, CaaRdata>) {
+          return std::to_string(rd.flags) + " " + rd.tag + " \"" + rd.value +
+                 "\"";
+        } else {
+          return "";
+        }
+      },
+      rr.rdata);
+}
+
+Rdata rdata_from_presentation(RType type, const std::string& text) {
+  switch (type) {
+    case RType::kA:
+      return ARdata::parse(text);
+    case RType::kCNAME: {
+      return CnameRdata{Name::parse(text)};
+    }
+    case RType::kNS:
+      return NsRdata{Name::parse(text)};
+    case RType::kTXT: {
+      TxtRdata rd;
+      // Strip a single level of quoting if present.
+      std::string s = text;
+      if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+        s = s.substr(1, s.size() - 2);
+      }
+      rd.strings.push_back(std::move(s));
+      return rd;
+    }
+    default:
+      return RawRdata{to_bytes(text)};
+  }
+}
+
+JsonValue record_to_json(const ResourceRecord& rr) {
+  JsonObject o;
+  o.emplace("name", rr.name.to_string() + ".");
+  o.emplace("type", JsonValue(static_cast<std::int64_t>(
+                        static_cast<std::uint16_t>(rr.type))));
+  o.emplace("TTL", JsonValue(static_cast<std::int64_t>(rr.ttl)));
+  o.emplace("data", rdata_presentation(rr));
+  return JsonValue(std::move(o));
+}
+
+ResourceRecord record_from_json(const JsonValue& v) {
+  ResourceRecord rr;
+  std::string name_text = v.at("name").as_string();
+  rr.name = Name::parse(name_text);
+  rr.type = static_cast<RType>(v.at("type").as_int());
+  if (v.contains("TTL")) {
+    rr.ttl = static_cast<std::uint32_t>(v.at("TTL").as_int());
+  }
+  rr.rdata = rdata_from_presentation(rr.type, v.at("data").as_string());
+  return rr;
+}
+
+}  // namespace
+
+std::string to_dns_json(const Message& msg) {
+  JsonObject root;
+  root.emplace("Status", JsonValue(static_cast<std::int64_t>(
+                             static_cast<std::uint8_t>(msg.flags.rcode))));
+  root.emplace("TC", msg.flags.tc);
+  root.emplace("RD", msg.flags.rd);
+  root.emplace("RA", msg.flags.ra);
+  root.emplace("AD", msg.flags.ad);
+  root.emplace("CD", msg.flags.cd);
+
+  JsonArray questions;
+  for (const auto& q : msg.questions) {
+    JsonObject o;
+    o.emplace("name", q.qname.to_string() + ".");
+    o.emplace("type", JsonValue(static_cast<std::int64_t>(
+                          static_cast<std::uint16_t>(q.qtype))));
+    questions.emplace_back(std::move(o));
+  }
+  root.emplace("Question", JsonValue(std::move(questions)));
+
+  if (!msg.answers.empty()) {
+    JsonArray answers;
+    for (const auto& rr : msg.answers) answers.push_back(record_to_json(rr));
+    root.emplace("Answer", JsonValue(std::move(answers)));
+  }
+  if (!msg.authorities.empty()) {
+    JsonArray auth;
+    for (const auto& rr : msg.authorities) auth.push_back(record_to_json(rr));
+    root.emplace("Authority", JsonValue(std::move(auth)));
+  }
+  return JsonValue(std::move(root)).dump();
+}
+
+Message from_dns_json(std::string_view json_text) {
+  const JsonValue root = JsonValue::parse(json_text);
+  Message m;
+  m.flags.qr = true;
+  m.flags.rcode = static_cast<Rcode>(root.at("Status").as_int());
+  if (root.contains("TC")) m.flags.tc = root.at("TC").as_bool();
+  if (root.contains("RD")) m.flags.rd = root.at("RD").as_bool();
+  if (root.contains("RA")) m.flags.ra = root.at("RA").as_bool();
+  if (root.contains("AD")) m.flags.ad = root.at("AD").as_bool();
+  if (root.contains("CD")) m.flags.cd = root.at("CD").as_bool();
+  if (root.contains("Question")) {
+    for (const auto& q : root.at("Question").as_array()) {
+      Question question;
+      question.qname = Name::parse(q.at("name").as_string());
+      question.qtype = static_cast<RType>(q.at("type").as_int());
+      m.questions.push_back(std::move(question));
+    }
+  }
+  if (root.contains("Answer")) {
+    for (const auto& a : root.at("Answer").as_array()) {
+      m.answers.push_back(record_from_json(a));
+    }
+  }
+  if (root.contains("Authority")) {
+    for (const auto& a : root.at("Authority").as_array()) {
+      m.authorities.push_back(record_from_json(a));
+    }
+  }
+  return m;
+}
+
+std::string dns_json_query_string(const Name& name, RType type) {
+  return "name=" + name.to_string() + "&type=" + to_string(type);
+}
+
+}  // namespace dohperf::dns

@@ -1,0 +1,24 @@
+// application/dns-json encoding (draft-bortzmeyer-dns-json, as deployed by
+// Google and Cloudflare's JSON DoH endpoints). Table 2 of the paper probes
+// which providers support this format alongside application/dns-message.
+#pragma once
+
+#include <string>
+
+#include "dns/message.hpp"
+
+namespace dohperf::dns {
+
+/// Serialize a DNS response message to the dns-json format:
+///   {"Status":0,"TC":false,...,"Question":[...],"Answer":[...]}
+std::string to_dns_json(const Message& msg);
+
+/// Parse a dns-json document back to a Message (ID is always 0 in the JSON
+/// representation, as the format carries no transaction ID).
+Message from_dns_json(std::string_view json_text);
+
+/// Build the query string for a GET-style JSON query, e.g.
+///   "name=example.com&type=A" (the Google /resolve API shape).
+std::string dns_json_query_string(const Name& name, RType type);
+
+}  // namespace dohperf::dns

@@ -1,0 +1,337 @@
+#include "dns/json_value.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace dohperf::dns {
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw JsonError("not a bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_double() const {
+  if (std::holds_alternative<double>(value_)) return std::get<double>(value_);
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    return static_cast<double>(std::get<std::int64_t>(value_));
+  }
+  throw JsonError("not a number");
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    return std::get<std::int64_t>(value_);
+  }
+  if (std::holds_alternative<double>(value_)) {
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+  throw JsonError("not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw JsonError("not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw JsonError("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw JsonError("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& JsonValue::as_array() {
+  if (!is_array()) throw JsonError("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& JsonValue::as_object() {
+  if (!is_object()) throw JsonError("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw JsonError("missing key: " + key);
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return as_object().count(key) != 0;
+}
+
+namespace {
+
+void dump_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw JsonError("trailing characters");
+    return v;
+  }
+
+ private:
+  char peek() const {
+    if (pos_ >= text_.size()) throw JsonError("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      throw JsonError(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        throw JsonError("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        throw JsonError("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        throw JsonError("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else throw JsonError("invalid \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are not needed for DNS payloads).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            throw JsonError("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only valid inside exponents; accept loosely, strtod
+        // validates below.
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") throw JsonError("invalid number");
+    if (!is_double) {
+      std::int64_t iv = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return JsonValue(iv);
+      }
+    }
+    double dv = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), dv);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      throw JsonError("invalid number: " + std::string(token));
+    }
+    return JsonValue(dv);
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return JsonValue(std::move(arr));
+      if (c != ',') throw JsonError("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return JsonValue(std::move(obj));
+      if (c != ',') throw JsonError("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          os << "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, double>) {
+          if (v == std::floor(v) && std::abs(v) < 1e15) {
+            os << static_cast<std::int64_t>(v);
+          } else {
+            os << v;
+          }
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          os << v;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          dump_string(os, v);
+        } else if constexpr (std::is_same_v<T, JsonArray>) {
+          os << '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i) os << ',';
+            os << v[i].dump();
+          }
+          os << ']';
+        } else if constexpr (std::is_same_v<T, JsonObject>) {
+          os << '{';
+          bool first = true;
+          for (const auto& [k, val] : v) {
+            if (!first) os << ',';
+            first = false;
+            dump_string(os, k);
+            os << ':' << val.dump();
+          }
+          os << '}';
+        }
+      },
+      value_);
+  return os.str();
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace dohperf::dns

@@ -1,0 +1,82 @@
+// A small self-contained JSON value type with parser and serializer.
+// Needed for the application/dns-json content type (Table 2 of the paper)
+// and kept deliberately minimal: objects, arrays, strings, doubles,
+// integers, booleans and null. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dohperf::dns {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps key order deterministic, which makes encoded output
+/// reproducible across runs (important for byte-accounting tests).
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member access; throws JsonError if absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serialize compactly (no whitespace) — matches what real dns-json
+  /// servers emit.
+  std::string dump() const;
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  static JsonValue parse(std::string_view text);
+
+  bool operator==(const JsonValue&) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace dohperf::dns

@@ -1,0 +1,190 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dohperf::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+constexpr std::uint8_t kPointerMask = 0xc0;
+
+std::string fold(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Canonical text of the name starting at label index i ("example.com").
+std::string suffix_key(const std::vector<std::string>& labels, std::size_t i) {
+  std::string key;
+  for (std::size_t j = i; j < labels.size(); ++j) {
+    if (!key.empty()) key += '.';
+    key += fold(labels[j]);
+  }
+  return key;
+}
+
+}  // namespace
+
+Name Name::parse(std::string_view text) {
+  Name name;
+  if (text.empty()) throw WireError("empty domain name");
+  if (text == ".") return name;
+  if (text.back() == '.') text.remove_suffix(1);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view label = dot == std::string_view::npos
+                                       ? text.substr(start)
+                                       : text.substr(start, dot - start);
+    if (label.empty()) throw WireError("empty label in name: " + std::string(text));
+    if (label.size() > kMaxLabel) {
+      throw WireError("label exceeds 63 octets: " + std::string(label));
+    }
+    name.labels_.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  if (name.wire_length() > kMaxName) {
+    throw WireError("name exceeds 255 octets: " + std::string(text));
+  }
+  return name;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    if (!out.empty()) out += '.';
+    out += l;
+  }
+  return out;
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t len = 1;  // terminating zero octet
+  for (const auto& l : labels_) len += 1 + l.size();
+  return len;
+}
+
+Name Name::parent() const {
+  Name p;
+  if (labels_.size() > 1) {
+    p.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return p;
+}
+
+Name Name::child(std::string_view label) const {
+  if (label.empty() || label.size() > kMaxLabel) {
+    throw WireError("invalid child label");
+  }
+  Name c;
+  c.labels_.reserve(labels_.size() + 1);
+  c.labels_.emplace_back(label);
+  c.labels_.insert(c.labels_.end(), labels_.begin(), labels_.end());
+  if (c.wire_length() > kMaxName) throw WireError("child name too long");
+  return c;
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (fold(labels_[offset + i]) != fold(ancestor.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool Name::operator==(const Name& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (fold(labels_[i]) != fold(other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool Name::operator<(const Name& other) const noexcept {
+  const std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = fold(labels_[i]);
+    const auto b = fold(other.labels_[i]);
+    if (a != b) return a < b;
+  }
+  return labels_.size() < other.labels_.size();
+}
+
+void NameCompressor::write(ByteWriter& w, const Name& name) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string key = suffix_key(labels, i);
+    if (enabled_) {
+      const auto it = offsets_.find(key);
+      if (it != offsets_.end() && it->second <= 0x3fff) {
+        // Emit a two-octet pointer to the earlier occurrence and stop.
+        w.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+    }
+    // Record this suffix's offset for future reuse (only if it fits the
+    // 14-bit pointer field).
+    if (w.size() <= 0x3fff) {
+      offsets_.emplace(key, w.size());
+    }
+    w.u8(static_cast<std::uint8_t>(labels[i].size()));
+    w.string(labels[i]);
+  }
+  w.u8(0);  // root label terminator
+}
+
+Name read_name(ByteReader& r) {
+  Name name;
+  std::vector<std::string> labels;
+  std::size_t total_len = 1;
+  // Loop protection: a valid chain can never visit more positions than the
+  // message has bytes.
+  std::size_t jumps = 0;
+  const std::size_t max_jumps = r.data().size() + 1;
+  bool jumped = false;
+  std::size_t resume = 0;
+
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if ((len & kPointerMask) == kPointerMask) {
+      // Compression pointer: 14-bit offset into the message.
+      const std::uint8_t lo = r.u8();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | lo;
+      if (!jumped) {
+        resume = r.offset();
+        jumped = true;
+      }
+      if (++jumps > max_jumps) throw WireError("compression pointer loop");
+      r.seek(target);
+      continue;
+    }
+    if ((len & kPointerMask) != 0) {
+      throw WireError("reserved label type");
+    }
+    if (len == 0) break;  // root terminator
+    total_len += 1 + len;
+    if (total_len > 255) throw WireError("decoded name exceeds 255 octets");
+    labels.push_back(r.string(len));
+  }
+  if (jumped) r.seek(resume);
+
+  // Rebuild through parse-free construction: child() prepends, so build from
+  // the rightmost label outwards.
+  Name out;
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    out = out.child(*it);
+  }
+  return out;
+}
+
+}  // namespace dohperf::dns

@@ -1,0 +1,84 @@
+// Domain names (RFC 1035 §3.1) with full wire-format support including
+// message compression (RFC 1035 §4.1.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/wire.hpp"
+
+namespace dohperf::dns {
+
+/// A fully-qualified domain name stored as a sequence of labels.
+/// Comparison is case-insensitive per RFC 1035 §2.3.3; the original casing
+/// is preserved for presentation.
+class Name {
+ public:
+  Name() = default;  ///< the root name "."
+
+  /// Parse from presentation format ("www.example.com", trailing dot
+  /// optional). Throws WireError on invalid names (empty labels, label
+  /// > 63 octets, total length > 255 octets).
+  static Name parse(std::string_view text);
+
+  /// The root name ".".
+  static Name root() { return Name{}; }
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  /// Presentation form without trailing dot (root renders as ".").
+  std::string to_string() const;
+
+  /// Length of the uncompressed wire encoding in octets (labels + lengths
+  /// + terminating zero octet).
+  std::size_t wire_length() const noexcept;
+
+  /// The name with its first label removed ("www.example.com" -> "example.com").
+  /// The parent of the root is the root.
+  Name parent() const;
+
+  /// Prepend a label ("www" + "example.com" -> "www.example.com").
+  Name child(std::string_view label) const;
+
+  /// True if this name equals `ancestor` or is a subdomain of it.
+  bool is_subdomain_of(const Name& ancestor) const;
+
+  bool operator==(const Name& other) const noexcept;
+  bool operator!=(const Name& other) const noexcept { return !(*this == other); }
+  /// Canonical (case-folded) ordering so Name can key std::map.
+  bool operator<(const Name& other) const noexcept;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Tracks name -> offset mappings while writing a message so later
+/// occurrences of a suffix can be encoded as compression pointers.
+class NameCompressor {
+ public:
+  /// When `enabled` is false every name is written in full (suffix offsets
+  /// are still recorded, but never reused).
+  explicit NameCompressor(bool enabled = true) : enabled_(enabled) {}
+
+  /// Write `name` at the writer's current position, reusing previously
+  /// written suffixes via pointers where possible (offsets must fit in the
+  /// 14-bit pointer field).
+  void write(ByteWriter& w, const Name& name);
+
+ private:
+  bool enabled_;
+  // Canonical (lowercased) suffix text -> wire offset.
+  std::map<std::string, std::size_t> offsets_;
+};
+
+/// Read a possibly-compressed name starting at the reader's position.
+/// Follows compression pointers with loop protection; the reader is left
+/// positioned just after the name's in-line portion.
+Name read_name(ByteReader& r);
+
+}  // namespace dohperf::dns

@@ -1,0 +1,91 @@
+// Big-endian byte-level reader/writer primitives shared by every protocol
+// codec in this repository (DNS, TLS records, HTTP/2 frames).
+//
+// Decoding errors are reported via WireError (derived from std::runtime_error)
+// rather than a result type: every caller of the codecs treats a malformed
+// message as fatal to that message and catches at the message boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dohperf::dns {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown when a decoder runs off the end of its input or meets a value
+/// that violates the wire format.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential big-endian reader over a non-owning byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool exhausted() const noexcept { return offset_ >= data_.size(); }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+
+  /// Read `n` raw bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Read `n` bytes as a string (used for DNS labels and TXT segments).
+  std::string string(std::size_t n);
+
+  /// Peek a byte at absolute position `pos` without consuming.
+  std::uint8_t peek_at(std::size_t pos) const;
+
+  /// Jump to absolute offset (used to follow DNS compression pointers).
+  void seek(std::size_t pos);
+
+  /// Skip `n` bytes.
+  void skip(std::size_t n);
+
+  std::span<const std::uint8_t> data() const noexcept { return data_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Append-only big-endian writer.
+class ByteWriter {
+ public:
+  std::size_t size() const noexcept { return out_.size(); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void string(std::string_view s);
+
+  /// Overwrite a previously written 16-bit field (e.g. RDLENGTH backpatch).
+  void patch_u16(std::size_t pos, std::uint16_t v);
+
+  const Bytes& data() const noexcept { return out_; }
+  Bytes take() noexcept { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Convenience conversions.
+Bytes to_bytes(std::string_view s);
+std::string to_string(std::span<const std::uint8_t> b);
+
+}  // namespace dohperf::dns

@@ -1,0 +1,300 @@
+#include "http1/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+
+namespace dohperf::http1 {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void HeaderMap::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::set(std::string name, std::string value) {
+  for (auto& [n, v] : entries_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Request::head() const {
+  std::ostringstream os;
+  os << method << ' ' << target << " HTTP/1.1\r\n";
+  for (const auto& [n, v] : headers.entries()) {
+    os << n << ": " << v << "\r\n";
+  }
+  os << "\r\n";
+  return os.str();
+}
+
+std::string Response::head() const {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n";
+  for (const auto& [n, v] : headers.entries()) {
+    os << n << ": " << v << "\r\n";
+  }
+  os << "\r\n";
+  return os.str();
+}
+
+namespace {
+
+template <typename Message>
+Bytes serialize_impl(Message msg, WireSizes* sizes) {
+  if (!msg.body.empty() || msg.headers.has("content-type")) {
+    msg.headers.set("Content-Length", std::to_string(msg.body.size()));
+  }
+  const std::string head = msg.head();
+  Bytes out;
+  out.reserve(head.size() + msg.body.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), msg.body.begin(), msg.body.end());
+  if (sizes != nullptr) {
+    sizes->header_bytes = head.size();
+    sizes->body_bytes = msg.body.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes serialize(const Request& request, WireSizes* sizes) {
+  return serialize_impl(request, sizes);
+}
+
+Bytes serialize(const Response& response, WireSizes* sizes) {
+  return serialize_impl(response, sizes);
+}
+
+Bytes serialize_chunked(const Response& response, std::size_t chunk_size,
+                        WireSizes* sizes) {
+  Response msg = response;
+  msg.headers.set("Transfer-Encoding", "chunked");
+  const std::string head = msg.head();
+  Bytes out(head.begin(), head.end());
+  const std::size_t body_start = out.size();
+  std::size_t offset = 0;
+  char size_line[32];
+  while (offset < msg.body.size()) {
+    const std::size_t n = std::min(chunk_size, msg.body.size() - offset);
+    std::snprintf(size_line, sizeof size_line, "%zx\r\n", n);
+    out.insert(out.end(), size_line, size_line + std::strlen(size_line));
+    out.insert(out.end(),
+               msg.body.begin() + static_cast<std::ptrdiff_t>(offset),
+               msg.body.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    out.push_back('\r');
+    out.push_back('\n');
+    offset += n;
+  }
+  const char* terminator = "0\r\n\r\n";
+  out.insert(out.end(), terminator, terminator + 5);
+  if (sizes != nullptr) {
+    sizes->header_bytes = head.size();
+    sizes->body_bytes = out.size() - body_start;
+  }
+  return out;
+}
+
+void Parser::feed(std::span<const std::uint8_t> data) {
+  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+bool Parser::parse_head() {
+  const std::size_t end = buffer_.find("\r\n\r\n");
+  if (end == std::string::npos) return false;
+  head_bytes_ = end + 4;
+
+  std::istringstream head(buffer_.substr(0, end));
+  std::string line;
+  if (!std::getline(head, line)) {
+    error_ = true;
+    return false;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  // Start line.
+  if (mode_ == Mode::kRequest) {
+    pending_request_ = Request{};
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    pending_request_.method = line.substr(0, sp1);
+    pending_request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  } else {
+    pending_response_ = Response{};
+    // "HTTP/1.1 200 OK"
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    const std::string code = line.substr(
+        sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+    int status = 0;
+    const auto [p, ec] =
+        std::from_chars(code.data(), code.data() + code.size(), status);
+    if (ec != std::errc{} || p != code.data() + code.size()) {
+      error_ = true;
+      return false;
+    }
+    pending_response_.status = status;
+    pending_response_.reason =
+        sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+  }
+
+  // Headers.
+  HeaderMap& headers = mode_ == Mode::kRequest ? pending_request_.headers
+                                               : pending_response_.headers;
+  content_length_ = 0;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error_ = true;
+      return false;
+    }
+    std::string name = line.substr(0, colon);
+    std::string value(trim(std::string_view(line).substr(colon + 1)));
+    if (iequals(name, "transfer-encoding") && iequals(value, "chunked")) {
+      chunked_ = true;
+    }
+    if (iequals(name, "content-length")) {
+      std::size_t len = 0;
+      const auto [p, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), len);
+      if (ec != std::errc{} || p != value.data() + value.size()) {
+        error_ = true;
+        return false;
+      }
+      content_length_ = len;
+    }
+    headers.add(std::move(name), std::move(value));
+  }
+  head_done_ = true;
+  return true;
+}
+
+bool Parser::try_extract_chunked() {
+  // RFC 7230 §4.1 framing: hex size CRLF, chunk CRLF, ..., 0 CRLF CRLF.
+  std::size_t pos = head_bytes_ + chunk_wire_bytes_;
+  for (;;) {
+    const std::size_t line_end = buffer_.find("\r\n", pos);
+    if (line_end == std::string::npos) return false;
+    std::size_t chunk_len = 0;
+    const auto [p, ec] = std::from_chars(
+        buffer_.data() + pos, buffer_.data() + line_end, chunk_len, 16);
+    if (ec != std::errc{} || p == buffer_.data() + pos) {
+      error_ = true;
+      return false;
+    }
+    if (chunk_len == 0) {
+      // Terminator: expect the final CRLF (no trailers supported).
+      if (buffer_.size() < line_end + 4) return false;
+      if (buffer_.compare(line_end, 4, "\r\n\r\n") != 0) {
+        error_ = true;
+        return false;
+      }
+      const std::size_t total = line_end + 4;
+      Bytes body = std::move(chunked_body_);
+      chunked_body_.clear();
+      if (mode_ == Mode::kRequest) {
+        pending_request_.body = std::move(body);
+      } else {
+        pending_response_.body = std::move(body);
+      }
+      last_sizes_.header_bytes = head_bytes_;
+      last_sizes_.body_bytes = total - head_bytes_;
+      buffer_.erase(0, total);
+      head_done_ = false;
+      chunked_ = false;
+      chunk_wire_bytes_ = 0;
+      have_message_ = true;
+      return true;
+    }
+    const std::size_t data_start = line_end + 2;
+    if (buffer_.size() < data_start + chunk_len + 2) return false;
+    chunked_body_.insert(
+        chunked_body_.end(), buffer_.begin() + static_cast<long>(data_start),
+        buffer_.begin() + static_cast<long>(data_start + chunk_len));
+    pos = data_start + chunk_len + 2;  // skip chunk + CRLF
+    chunk_wire_bytes_ = pos - head_bytes_;
+  }
+}
+
+bool Parser::try_extract() {
+  if (error_ || have_message_) return have_message_;
+  if (!head_done_ && !parse_head()) return false;
+  if (chunked_) return try_extract_chunked();
+  if (buffer_.size() < head_bytes_ + content_length_) return false;
+
+  Bytes body(buffer_.begin() + static_cast<std::ptrdiff_t>(head_bytes_),
+             buffer_.begin() +
+                 static_cast<std::ptrdiff_t>(head_bytes_ + content_length_));
+  if (mode_ == Mode::kRequest) {
+    pending_request_.body = std::move(body);
+  } else {
+    pending_response_.body = std::move(body);
+  }
+  last_sizes_.header_bytes = head_bytes_;
+  last_sizes_.body_bytes = content_length_;
+  buffer_.erase(0, head_bytes_ + content_length_);
+  head_done_ = false;
+  have_message_ = true;
+  return true;
+}
+
+std::optional<Request> Parser::next_request() {
+  if (!try_extract()) return std::nullopt;
+  have_message_ = false;
+  return std::move(pending_request_);
+}
+
+std::optional<Response> Parser::next_response() {
+  if (!try_extract()) return std::nullopt;
+  have_message_ = false;
+  return std::move(pending_response_);
+}
+
+}  // namespace dohperf::http1

@@ -1,0 +1,116 @@
+// HTTP/1.1 requests and responses: header containers, serialization and an
+// incremental parser (messages arrive in arbitrary TCP chunks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dns/wire.hpp"
+
+namespace dohperf::http1 {
+
+using dns::Bytes;
+
+/// Ordered header list with case-insensitive lookup (header order matters
+/// for byte-accurate serialization).
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+  /// Replace existing (first) occurrence or add.
+  void set(std::string name, std::string value);
+  std::optional<std::string> get(std::string_view name) const;
+  bool has(std::string_view name) const { return get(name).has_value(); }
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  HeaderMap headers;
+  Bytes body;
+
+  /// Serialized head (request line + headers + CRLF), excluding the body.
+  std::string head() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  Bytes body;
+
+  std::string head() const;
+};
+
+/// Byte sizes of the serialized parts — the paper's Fig 5 separates header
+/// bytes from body bytes.
+struct WireSizes {
+  std::size_t header_bytes = 0;
+  std::size_t body_bytes = 0;
+};
+
+/// Serialize with Content-Length set from the body.
+Bytes serialize(const Request& request, WireSizes* sizes = nullptr);
+Bytes serialize(const Response& response, WireSizes* sizes = nullptr);
+
+/// Serialize a response with "Transfer-Encoding: chunked", splitting the
+/// body into `chunk_size`-byte chunks (used by origin servers that stream
+/// documents of unknown length).
+Bytes serialize_chunked(const Response& response, std::size_t chunk_size,
+                        WireSizes* sizes = nullptr);
+
+/// Incremental parser: feed() bytes, poll for complete messages.
+/// Parses either requests or responses depending on `Mode`.
+class Parser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  explicit Parser(Mode mode) : mode_(mode) {}
+
+  /// Append raw bytes from the stream.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Extract the next complete request, if any. Mode must be kRequest.
+  std::optional<Request> next_request();
+  /// Extract the next complete response, if any. Mode must be kResponse.
+  std::optional<Response> next_response();
+
+  /// Wire size of the head/body of the last message extracted.
+  const WireSizes& last_sizes() const noexcept { return last_sizes_; }
+
+  /// True if the parser met malformed input; the connection should close.
+  bool error() const noexcept { return error_; }
+
+ private:
+  bool parse_head();
+  bool try_extract();
+  bool try_extract_chunked();
+
+  Mode mode_;
+  std::string buffer_;
+  bool error_ = false;
+
+  // In-progress message state.
+  bool head_done_ = false;
+  bool chunked_ = false;
+  std::size_t head_bytes_ = 0;
+  std::size_t content_length_ = 0;
+  Bytes chunked_body_;       ///< accumulated de-chunked body
+  std::size_t chunk_wire_bytes_ = 0;  ///< raw chunked framing consumed
+  Request pending_request_;
+  Response pending_response_;
+  bool have_message_ = false;
+  WireSizes last_sizes_;
+};
+
+}  // namespace dohperf::http1

@@ -1,0 +1,469 @@
+#include "http2/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dohperf::http2 {
+
+Http2Connection::Http2Connection(
+    std::unique_ptr<simnet::ByteStream> transport, Role role,
+    Http2Config config)
+    : transport_(std::move(transport)), role_(role), config_(config),
+      encoder_(config.header_table_size), decoder_(config.header_table_size),
+      next_stream_id_(role == Role::kClient ? 1 : 2) {
+  if (!config_.enable_hpack_dynamic_table) encoder_.disable_dynamic_table();
+  simnet::ByteStream::Handlers h;
+  h.on_open = [this]() { on_transport_open(); };
+  h.on_data = [this](std::span<const std::uint8_t> d) { on_transport_data(d); };
+  h.on_close = [this]() { on_transport_close(); };
+  transport_->set_handlers(std::move(h));
+  if (transport_->is_open()) on_transport_open();
+}
+
+void Http2Connection::on_transport_open() {
+  if (transport_open_) return;
+  transport_open_ = true;
+  send_preface_and_settings();
+  while (!pending_pings_.empty()) {
+    auto cb = std::move(pending_pings_.front());
+    pending_pings_.pop_front();
+    ping(std::move(cb));
+  }
+  // Flush requests queued before the transport opened.
+  while (!queued_requests_.empty()) {
+    auto [msg, handler] = std::move(queued_requests_.front());
+    queued_requests_.pop_front();
+    request(std::move(msg), std::move(handler));
+  }
+}
+
+void Http2Connection::send_preface_and_settings() {
+  if (settings_sent_) return;
+  settings_sent_ = true;
+  if (role_ == Role::kClient) {
+    Bytes preface(kConnectionPreface.begin(), kConnectionPreface.end());
+    counters_.mgmt_bytes_sent += preface.size();
+    cork();
+    cork_buffer_ = std::move(preface);
+    send_settings(/*ack=*/false);
+    uncork();
+    return;
+  }
+  send_settings(/*ack=*/false);
+}
+
+void Http2Connection::send_frame(Frame frame) {
+  // Dropping frames once the transport is gone mirrors a real server whose
+  // late responses hit a closed socket (e.g. a delayed answer racing a
+  // client disconnect).
+  if (!transport_->is_open()) return;
+  // Byte attribution per the Fig 5 convention (see H2Counters).
+  switch (frame.type) {
+    case FrameType::kHeaders:
+    case FrameType::kContinuation:
+      counters_.header_bytes_sent += frame.wire_size();
+      break;
+    case FrameType::kData:
+      counters_.body_bytes_sent += frame.payload.size();
+      counters_.mgmt_bytes_sent += kFrameHeaderBytes;
+      break;
+    default:
+      counters_.mgmt_bytes_sent += frame.wire_size();
+      break;
+  }
+  Bytes wire = encode_frame(frame);
+  if (corked_) {
+    cork_buffer_.insert(cork_buffer_.end(), wire.begin(), wire.end());
+  } else {
+    transport_->send(std::move(wire));
+  }
+}
+
+void Http2Connection::cork() { corked_ = true; }
+
+void Http2Connection::uncork() {
+  corked_ = false;
+  if (!cork_buffer_.empty()) {
+    Bytes wire = std::move(cork_buffer_);
+    cork_buffer_.clear();
+    if (transport_->is_open()) transport_->send(std::move(wire));
+  }
+}
+
+void Http2Connection::send_settings(bool ack) {
+  Frame frame;
+  frame.type = FrameType::kSettings;
+  frame.flags = ack ? kFlagAck : 0;
+  if (!ack) {
+    ByteWriter w;
+    auto put = [&w](SettingId id, std::uint32_t value) {
+      w.u16(static_cast<std::uint16_t>(id));
+      w.u32(value);
+    };
+    put(SettingId::kHeaderTableSize,
+        static_cast<std::uint32_t>(config_.header_table_size));
+    put(SettingId::kEnablePush, 0);
+    put(SettingId::kMaxConcurrentStreams, config_.max_concurrent_streams);
+    put(SettingId::kInitialWindowSize, config_.initial_window_size);
+    put(SettingId::kMaxFrameSize,
+        static_cast<std::uint32_t>(config_.max_frame_size));
+    frame.payload = w.take();
+  }
+  send_frame(std::move(frame));
+}
+
+void Http2Connection::send_window_update(std::uint32_t stream_id,
+                                         std::uint32_t increment) {
+  if (increment == 0) return;
+  Frame frame;
+  frame.type = FrameType::kWindowUpdate;
+  frame.stream_id = stream_id;
+  ByteWriter w;
+  w.u32(increment);
+  frame.payload = w.take();
+  send_frame(std::move(frame));
+}
+
+void Http2Connection::send_headers(std::uint32_t stream_id,
+                                   const std::vector<HeaderField>& headers,
+                                   bool end_stream) {
+  Bytes block = encoder_.encode(headers);
+  // Split into HEADERS + CONTINUATION if the block exceeds the frame limit.
+  std::size_t offset = 0;
+  bool first = true;
+  do {
+    const std::size_t chunk =
+        std::min(config_.max_frame_size, block.size() - offset);
+    Frame frame;
+    frame.type = first ? FrameType::kHeaders : FrameType::kContinuation;
+    frame.stream_id = stream_id;
+    frame.payload.assign(
+        block.begin() + static_cast<std::ptrdiff_t>(offset),
+        block.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    offset += chunk;
+    const bool last = offset >= block.size();
+    if (last) frame.flags |= kFlagEndHeaders;
+    if (first && end_stream) frame.flags |= kFlagEndStream;
+    send_frame(std::move(frame));
+    first = false;
+  } while (offset < block.size());
+}
+
+void Http2Connection::send_data(std::uint32_t stream_id, Bytes body,
+                                bool end_stream) {
+  auto& stream = streams_.at(stream_id);
+  std::size_t offset = 0;
+  while (offset < body.size()) {
+    const std::int64_t window =
+        std::min(connection_send_window_, stream.send_window);
+    if (window <= 0) break;
+    const std::size_t chunk =
+        std::min({config_.max_frame_size, body.size() - offset,
+                  static_cast<std::size_t>(window)});
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.stream_id = stream_id;
+    frame.payload.assign(
+        body.begin() + static_cast<std::ptrdiff_t>(offset),
+        body.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    offset += chunk;
+    connection_send_window_ -= static_cast<std::int64_t>(chunk);
+    stream.send_window -= static_cast<std::int64_t>(chunk);
+    const bool last = offset >= body.size();
+    if (last && end_stream) {
+      frame.flags |= kFlagEndStream;
+      stream.local_end = true;
+    }
+    send_frame(std::move(frame));
+  }
+  if (offset < body.size()) {
+    // Flow-control blocked: stash the remainder.
+    stream.pending_body.insert(
+        stream.pending_body.end(),
+        body.begin() + static_cast<std::ptrdiff_t>(offset), body.end());
+  } else if (body.empty() && end_stream && !stream.local_end) {
+    // Zero-length END_STREAM DATA frame.
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.stream_id = stream_id;
+    frame.flags = kFlagEndStream;
+    stream.local_end = true;
+    send_frame(std::move(frame));
+  }
+}
+
+void Http2Connection::try_flush_blocked() {
+  for (auto& [id, stream] : streams_) {
+    if (!stream.pending_body.empty()) {
+      Bytes body = std::move(stream.pending_body);
+      stream.pending_body.clear();
+      send_data(id, std::move(body), /*end_stream=*/true);
+    }
+  }
+}
+
+void Http2Connection::request(H2Message message,
+                              ResponseHandler on_response) {
+  assert(role_ == Role::kClient);
+  if (!transport_open_) {
+    queued_requests_.emplace_back(std::move(message), std::move(on_response));
+    return;
+  }
+  const std::uint32_t stream_id = next_stream_id_;
+  next_stream_id_ += 2;
+  Stream stream;
+  stream.on_response = std::move(on_response);
+  stream.send_window = peer_initial_window_;
+  streams_.emplace(stream_id, std::move(stream));
+  ++counters_.requests;
+
+  const bool has_body = !message.body.empty();
+  // HEADERS and DATA go out as separate writes (and thus separate TLS
+  // records / TCP segments), matching the 2019-era Python/doh-proxy
+  // stacks whose traffic the paper measured.
+  send_headers(stream_id, message.headers, /*end_stream=*/!has_body);
+  if (has_body) send_data(stream_id, std::move(message.body), true);
+}
+
+void Http2Connection::ping(std::function<void()> on_ack) {
+  if (!transport_open_) {
+    // Nothing may precede the connection preface on the wire.
+    pending_pings_.push_back(std::move(on_ack));
+    return;
+  }
+  ping_handlers_.push_back(std::move(on_ack));
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.payload.assign(8, 0);
+  send_frame(std::move(frame));
+}
+
+void Http2Connection::close(H2Error error) {
+  if (goaway_sent_) return;
+  goaway_sent_ = true;
+  if (transport_->is_open() || transport_open_) {
+    Frame frame;
+    frame.type = FrameType::kGoaway;
+    ByteWriter w;
+    w.u32(next_stream_id_ > 2 ? next_stream_id_ - 2 : 0);
+    w.u32(static_cast<std::uint32_t>(error));
+    frame.payload = w.take();
+    send_frame(std::move(frame));
+  }
+  transport_->close();
+}
+
+void Http2Connection::on_transport_data(std::span<const std::uint8_t> data) {
+  reader_.feed(data);
+  try {
+    if (role_ == Role::kServer && !preface_done_) {
+      if (!reader_.consume_preface()) return;
+      preface_done_ = true;
+      counters_.mgmt_bytes_received += kConnectionPreface.size();
+    }
+    while (auto frame = reader_.next(config_.max_frame_size)) {
+      handle_frame(*frame);
+    }
+  } catch (const WireError&) {
+    protocol_error();
+  } catch (const HpackError&) {
+    protocol_error();
+  }
+}
+
+void Http2Connection::protocol_error() {
+  close(H2Error::kProtocolError);
+  if (on_error_) on_error_();
+}
+
+void Http2Connection::handle_frame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHeaders:
+    case FrameType::kContinuation:
+      counters_.header_bytes_received += frame.wire_size();
+      handle_headers(frame);
+      return;
+    case FrameType::kData:
+      counters_.body_bytes_received += frame.payload.size();
+      counters_.mgmt_bytes_received += kFrameHeaderBytes;
+      handle_data(frame);
+      return;
+    case FrameType::kSettings:
+      counters_.mgmt_bytes_received += frame.wire_size();
+      handle_settings(frame);
+      return;
+    case FrameType::kWindowUpdate:
+      counters_.mgmt_bytes_received += frame.wire_size();
+      handle_window_update(frame);
+      return;
+    case FrameType::kPing:
+      counters_.mgmt_bytes_received += frame.wire_size();
+      handle_ping(frame);
+      return;
+    case FrameType::kGoaway:
+    case FrameType::kRstStream:
+    case FrameType::kPriority:
+    case FrameType::kPushPromise:
+      counters_.mgmt_bytes_received += frame.wire_size();
+      return;  // tolerated, nothing to do in the experiments
+  }
+  throw WireError("unknown frame type");
+}
+
+void Http2Connection::handle_headers(const Frame& frame) {
+  if (frame.stream_id == 0) throw WireError("HEADERS on stream 0");
+  auto [it, inserted] = streams_.try_emplace(frame.stream_id);
+  Stream& stream = it->second;
+  if (inserted) {
+    if (role_ == Role::kClient) throw WireError("server-initiated stream");
+    stream.send_window = peer_initial_window_;
+  }
+
+  // A header block split across HEADERS + CONTINUATION frames is one HPACK
+  // unit: it must be reassembled before decoding (RFC 7540 §4.3).
+  stream.header_block.insert(stream.header_block.end(),
+                             frame.payload.begin(), frame.payload.end());
+  if (frame.has_flag(kFlagEndHeaders)) {
+    const auto fields = decoder_.decode(stream.header_block);
+    stream.header_block.clear();
+    stream.headers.insert(stream.headers.end(), fields.begin(), fields.end());
+    stream.headers_done = true;
+  }
+  if (frame.has_flag(kFlagEndStream)) stream.remote_end = true;
+  if (stream.headers_done && stream.remote_end) {
+    stream_complete(frame.stream_id);
+  }
+}
+
+void Http2Connection::handle_data(const Frame& frame) {
+  const auto it = streams_.find(frame.stream_id);
+  if (it == streams_.end()) throw WireError("DATA on unknown stream");
+  Stream& stream = it->second;
+  stream.body.insert(stream.body.end(), frame.payload.begin(),
+                     frame.payload.end());
+  // Replenish flow-control windows in bulk once half the window has been
+  // consumed (like production stacks), not per frame.
+  if (!frame.payload.empty()) {
+    const std::uint64_t threshold = config_.initial_window_size / 2;
+    conn_consumed_ += frame.payload.size();
+    if (conn_consumed_ >= threshold) {
+      send_window_update(0, static_cast<std::uint32_t>(conn_consumed_));
+      conn_consumed_ = 0;
+    }
+    if (frame.has_flag(kFlagEndStream)) {
+      stream_consumed_.erase(frame.stream_id);
+    } else {
+      auto& consumed = stream_consumed_[frame.stream_id];
+      consumed += frame.payload.size();
+      if (consumed >= threshold) {
+        send_window_update(frame.stream_id,
+                           static_cast<std::uint32_t>(consumed));
+        consumed = 0;
+      }
+    }
+  }
+  if (frame.has_flag(kFlagEndStream)) {
+    stream.remote_end = true;
+    if (stream.headers_done) stream_complete(frame.stream_id);
+  }
+}
+
+void Http2Connection::handle_settings(const Frame& frame) {
+  if (frame.has_flag(kFlagAck)) return;
+  ByteReader r(frame.payload);
+  while (!r.exhausted()) {
+    const auto id = static_cast<SettingId>(r.u16());
+    const std::uint32_t value = r.u32();
+    switch (id) {
+      case SettingId::kInitialWindowSize: {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(value) - peer_initial_window_;
+        peer_initial_window_ = value;
+        for (auto& [sid, stream] : streams_) stream.send_window += delta;
+        break;
+      }
+      case SettingId::kMaxFrameSize:
+        config_.max_frame_size = value;
+        break;
+      default:
+        break;  // accepted, not modelled
+    }
+  }
+  send_settings(/*ack=*/true);
+  try_flush_blocked();
+}
+
+void Http2Connection::handle_window_update(const Frame& frame) {
+  ByteReader r(frame.payload);
+  const std::uint32_t increment = r.u32() & 0x7fffffff;
+  if (frame.stream_id == 0) {
+    connection_send_window_ += increment;
+  } else {
+    const auto it = streams_.find(frame.stream_id);
+    if (it != streams_.end()) it->second.send_window += increment;
+  }
+  try_flush_blocked();
+}
+
+void Http2Connection::handle_ping(const Frame& frame) {
+  if (frame.has_flag(kFlagAck)) {
+    if (!ping_handlers_.empty()) {
+      auto handler = std::move(ping_handlers_.front());
+      ping_handlers_.pop_front();
+      if (handler) handler();
+    }
+    return;
+  }
+  Frame pong;
+  pong.type = FrameType::kPing;
+  pong.flags = kFlagAck;
+  pong.payload = frame.payload;
+  send_frame(std::move(pong));
+}
+
+void Http2Connection::stream_complete(std::uint32_t stream_id) {
+  auto node = streams_.extract(stream_id);
+  Stream& stream = node.mapped();
+  H2Message message;
+  message.headers = std::move(stream.headers);
+  message.body = std::move(stream.body);
+
+  if (role_ == Role::kClient) {
+    ++counters_.responses;
+    if (stream.on_response) stream.on_response(message);
+    return;
+  }
+
+  // Server: hand the request to the application. The responder re-creates
+  // stream state so the (possibly delayed) answer can be sent on the same
+  // stream id, independent of other streams.
+  ++counters_.requests;
+  Stream response_stream;
+  response_stream.send_window = peer_initial_window_;
+  streams_.emplace(stream_id, std::move(response_stream));
+  if (!request_handler_) throw WireError("no request handler installed");
+  request_handler_(message, [this, stream_id](H2Message response) {
+    const auto it = streams_.find(stream_id);
+    if (it == streams_.end()) return;  // reset/closed meanwhile
+    ++counters_.responses;
+    const bool has_body = !response.body.empty();
+    send_headers(stream_id, response.headers, !has_body);
+    if (has_body) send_data(stream_id, std::move(response.body), true);
+    // If flow control blocked part of the body, it flushes on
+    // WINDOW_UPDATE; erase only when fully sent.
+    if (streams_.at(stream_id).pending_body.empty()) {
+      streams_.erase(stream_id);
+    }
+  });
+}
+
+void Http2Connection::on_transport_close() {
+  // Requests still queued behind a transport that never opened (e.g. the
+  // TCP SYN was refused) are just as dead as open streams.
+  if (on_error_ && role_ == Role::kClient &&
+      (!streams_.empty() || !queued_requests_.empty())) {
+    on_error_();
+  }
+}
+
+}  // namespace dohperf::http2

@@ -1,0 +1,168 @@
+// The HTTP/2 connection: preface and SETTINGS exchange, stream multiplexing
+// (the property that lets DoH/h2 dodge head-of-line blocking in Fig 2),
+// HPACK header blocks, flow control with WINDOW_UPDATE, PING and GOAWAY.
+//
+// One class serves both roles; clients use request(), servers install a
+// request handler whose responses may complete in any order — HTTP/2
+// streams are independent, so a delayed response never blocks others.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "http2/frame.hpp"
+#include "http2/hpack.hpp"
+#include "simnet/stream.hpp"
+
+namespace dohperf::http2 {
+
+/// Byte accounting matching the paper's Fig 5 convention:
+///  * header_bytes — HEADERS/CONTINUATION frames in full (9-byte frame
+///    header + HPACK block)
+///  * body_bytes   — DATA frame payloads (the DNS message itself)
+///  * mgmt_bytes   — everything needed to run the connection: the client
+///    preface, SETTINGS, WINDOW_UPDATE, PING, GOAWAY, RST_STREAM frames in
+///    full, plus the 9-byte frame headers of DATA frames
+struct H2Counters {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t header_bytes_sent = 0;
+  std::uint64_t header_bytes_received = 0;
+  std::uint64_t body_bytes_sent = 0;
+  std::uint64_t body_bytes_received = 0;
+  std::uint64_t mgmt_bytes_sent = 0;
+  std::uint64_t mgmt_bytes_received = 0;
+};
+
+struct H2Message {
+  std::vector<HeaderField> headers;
+  Bytes body;
+};
+
+struct Http2Config {
+  std::size_t header_table_size = 4096;
+  std::uint32_t max_concurrent_streams = 100;
+  std::uint32_t initial_window_size = 65535;
+  std::size_t max_frame_size = kDefaultMaxFrameSize;
+  bool enable_hpack_dynamic_table = true;  ///< off for the fig5 ablation
+};
+
+class Http2Connection {
+ public:
+  using ResponseHandler = std::function<void(const H2Message&)>;
+  /// Server side: respond may be called immediately or later; streams are
+  /// independent so late responses do not block other streams.
+  using Responder = std::function<void(H2Message)>;
+  using RequestHandler =
+      std::function<void(const H2Message&, Responder)>;
+  using ErrorHandler = std::function<void()>;
+
+  enum class Role { kClient, kServer };
+
+  Http2Connection(std::unique_ptr<simnet::ByteStream> transport, Role role,
+                  Http2Config config = {});
+
+  Http2Connection(const Http2Connection&) = delete;
+  Http2Connection& operator=(const Http2Connection&) = delete;
+
+  /// Client: open a new stream carrying one request.
+  void request(H2Message message, ResponseHandler on_response);
+
+  /// Server: install the application handler (must be set before data).
+  void set_request_handler(RequestHandler handler) {
+    request_handler_ = std::move(handler);
+  }
+
+  void set_error_handler(ErrorHandler handler) {
+    on_error_ = std::move(handler);
+  }
+
+  /// Send a PING (measures connection liveness/RTT); handler fires on ACK.
+  void ping(std::function<void()> on_ack);
+
+  /// Graceful shutdown: GOAWAY then transport close.
+  void close(H2Error error = H2Error::kNoError);
+
+  bool is_open() const { return !goaway_sent_ && transport_->is_open(); }
+  const H2Counters& counters() const noexcept { return counters_; }
+  simnet::ByteStream& transport() noexcept { return *transport_; }
+  std::size_t open_streams() const noexcept { return streams_.size(); }
+
+ private:
+  struct Stream {
+    std::vector<HeaderField> headers;   ///< decoded once END_HEADERS arrives
+    Bytes header_block;                 ///< fragments awaiting END_HEADERS
+    Bytes body;
+    bool remote_end = false;            ///< peer sent END_STREAM
+    bool local_end = false;             ///< we sent END_STREAM
+    bool headers_done = false;
+    ResponseHandler on_response;        ///< client side
+    std::int64_t send_window = 65535;
+    Bytes pending_body;                 ///< flow-control blocked DATA
+  };
+
+  void on_transport_open();
+  void on_transport_data(std::span<const std::uint8_t> data);
+  void on_transport_close();
+
+  /// Batch frames into one transport write while corked (so a HEADERS +
+  /// DATA pair shares one TLS record, like real stacks).
+  void cork();
+  void uncork();
+
+  void send_preface_and_settings();
+  void send_frame(Frame frame);
+  void send_settings(bool ack);
+  void send_window_update(std::uint32_t stream_id, std::uint32_t increment);
+  void send_headers(std::uint32_t stream_id,
+                    const std::vector<HeaderField>& headers, bool end_stream);
+  void send_data(std::uint32_t stream_id, Bytes body, bool end_stream);
+  void try_flush_blocked();
+
+  void handle_frame(const Frame& frame);
+  void handle_headers(const Frame& frame);
+  void handle_data(const Frame& frame);
+  void handle_settings(const Frame& frame);
+  void handle_window_update(const Frame& frame);
+  void handle_ping(const Frame& frame);
+  void stream_complete(std::uint32_t stream_id);
+  void protocol_error();
+
+  std::unique_ptr<simnet::ByteStream> transport_;
+  Role role_;
+  Http2Config config_;
+  HpackEncoder encoder_;
+  HpackDecoder decoder_;
+  FrameReader reader_;
+  H2Counters counters_;
+  RequestHandler request_handler_;
+  ErrorHandler on_error_;
+
+  bool transport_open_ = false;
+  bool preface_done_ = false;   ///< server: client preface consumed
+  bool settings_sent_ = false;
+  bool goaway_sent_ = false;
+
+  std::uint32_t next_stream_id_;  ///< client: 1, 3, 5, ...
+  std::map<std::uint32_t, Stream> streams_;
+  std::deque<std::pair<H2Message, ResponseHandler>> queued_requests_;
+  std::deque<std::function<void()>> ping_handlers_;
+  std::deque<std::function<void()>> pending_pings_;  ///< sent once open
+
+  std::int64_t connection_send_window_ = 65535;
+  std::uint32_t peer_initial_window_ = 65535;
+
+  /// Receive-side flow control: consumed bytes are granted back in bulk
+  /// once half the window has been used (nghttp2-style batching), not per
+  /// frame — per-frame WINDOW_UPDATEs would inflate the Mgmt bytes far
+  /// beyond what the paper measured.
+  std::uint64_t conn_consumed_ = 0;
+  std::map<std::uint32_t, std::uint64_t> stream_consumed_;
+
+  bool corked_ = false;
+  Bytes cork_buffer_;
+};
+
+}  // namespace dohperf::http2

@@ -1,0 +1,77 @@
+#include "http2/frame.hpp"
+
+namespace dohperf::http2 {
+
+std::string to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kHeaders: return "HEADERS";
+    case FrameType::kPriority: return "PRIORITY";
+    case FrameType::kRstStream: return "RST_STREAM";
+    case FrameType::kSettings: return "SETTINGS";
+    case FrameType::kPushPromise: return "PUSH_PROMISE";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoaway: return "GOAWAY";
+    case FrameType::kWindowUpdate: return "WINDOW_UPDATE";
+    case FrameType::kContinuation: return "CONTINUATION";
+  }
+  return "UNKNOWN";
+}
+
+Bytes encode_frame(const Frame& frame) {
+  if (frame.payload.size() > 0xffffff) throw WireError("frame too large");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((frame.payload.size() >> 16) & 0xff));
+  w.u16(static_cast<std::uint16_t>(frame.payload.size() & 0xffff));
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u8(frame.flags);
+  w.u32(frame.stream_id & 0x7fffffff);
+  w.bytes(frame.payload);
+  return w.take();
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+bool FrameReader::consume_preface() {
+  if (buffer_.size() < kConnectionPreface.size()) return false;
+  for (std::size_t i = 0; i < kConnectionPreface.size(); ++i) {
+    if (buffer_[i] != static_cast<std::uint8_t>(kConnectionPreface[i])) {
+      throw WireError("bad HTTP/2 connection preface");
+    }
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() +
+                    static_cast<std::ptrdiff_t>(kConnectionPreface.size()));
+  return true;
+}
+
+std::optional<Frame> FrameReader::next(std::size_t max_frame_size) {
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::size_t length = (static_cast<std::size_t>(buffer_[0]) << 16) |
+                             (static_cast<std::size_t>(buffer_[1]) << 8) |
+                             buffer_[2];
+  if (length > max_frame_size) {
+    throw WireError("frame exceeds SETTINGS_MAX_FRAME_SIZE");
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(buffer_[3]);
+  frame.flags = buffer_[4];
+  frame.stream_id = ((static_cast<std::uint32_t>(buffer_[5]) << 24) |
+                     (static_cast<std::uint32_t>(buffer_[6]) << 16) |
+                     (static_cast<std::uint32_t>(buffer_[7]) << 8) |
+                     buffer_[8]) &
+                    0x7fffffff;
+  frame.payload.assign(
+      buffer_.begin() + kFrameHeaderBytes,
+      buffer_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + length));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() +
+                    static_cast<std::ptrdiff_t>(kFrameHeaderBytes + length));
+  return frame;
+}
+
+}  // namespace dohperf::http2

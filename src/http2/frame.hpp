@@ -1,0 +1,100 @@
+// HTTP/2 frame codec (RFC 7540 §4): 9-byte frame header plus typed payloads
+// for the frame types the connection layer uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/wire.hpp"
+
+namespace dohperf::http2 {
+
+using dns::ByteReader;
+using dns::ByteWriter;
+using dns::Bytes;
+using dns::WireError;
+
+enum class FrameType : std::uint8_t {
+  kData = 0x0,
+  kHeaders = 0x1,
+  kPriority = 0x2,
+  kRstStream = 0x3,
+  kSettings = 0x4,
+  kPushPromise = 0x5,
+  kPing = 0x6,
+  kGoaway = 0x7,
+  kWindowUpdate = 0x8,
+  kContinuation = 0x9,
+};
+
+std::string to_string(FrameType t);
+
+// Frame flags.
+constexpr std::uint8_t kFlagEndStream = 0x1;   // DATA, HEADERS
+constexpr std::uint8_t kFlagAck = 0x1;         // SETTINGS, PING
+constexpr std::uint8_t kFlagEndHeaders = 0x4;  // HEADERS, CONTINUATION
+
+constexpr std::size_t kFrameHeaderBytes = 9;
+constexpr std::size_t kDefaultMaxFrameSize = 16384;
+
+/// The client connection preface (RFC 7540 §3.5).
+inline constexpr std::string_view kConnectionPreface =
+    "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+
+/// Settings identifiers (RFC 7540 §6.5.2).
+enum class SettingId : std::uint16_t {
+  kHeaderTableSize = 0x1,
+  kEnablePush = 0x2,
+  kMaxConcurrentStreams = 0x3,
+  kInitialWindowSize = 0x4,
+  kMaxFrameSize = 0x5,
+  kMaxHeaderListSize = 0x6,
+};
+
+/// Error codes (RFC 7540 §7).
+enum class H2Error : std::uint32_t {
+  kNoError = 0x0,
+  kProtocolError = 0x1,
+  kInternalError = 0x2,
+  kFlowControlError = 0x3,
+  kRefusedStream = 0x7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint8_t flags = 0;
+  std::uint32_t stream_id = 0;
+  Bytes payload;
+
+  bool has_flag(std::uint8_t flag) const noexcept {
+    return (flags & flag) != 0;
+  }
+  std::size_t wire_size() const noexcept {
+    return kFrameHeaderBytes + payload.size();
+  }
+};
+
+/// Serialize one frame (header + payload).
+Bytes encode_frame(const Frame& frame);
+
+/// Incremental frame reader over a byte stream.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Pop the next complete frame if buffered. Throws WireError on frames
+  /// exceeding `max_frame_size` (connection error in real HTTP/2).
+  std::optional<Frame> next(std::size_t max_frame_size = kDefaultMaxFrameSize);
+
+  /// For the server: consume and verify the 24-byte connection preface.
+  /// Returns false until enough bytes have arrived; throws on mismatch.
+  bool consume_preface();
+
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace dohperf::http2

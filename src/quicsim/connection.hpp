@@ -1,0 +1,151 @@
+// The QUIC connection: combined transport+crypto handshake in one round
+// trip (CRYPTO frames carrying the simulated TLS 1.3 messages), independent
+// bidirectional streams, packet-number-based acknowledgements and
+// PTO-driven loss recovery.
+//
+// The transport is injected as a datagram-send function so the same class
+// serves the client (own UDP socket) and the server (socket shared across
+// connections, demultiplexed by connection id in QuicServer).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "quicsim/packet.hpp"
+#include "simnet/event_loop.hpp"
+#include "tlssim/connection.hpp"  // ClientConfig/ServerConfig + handshake msgs
+
+namespace dohperf::quicsim {
+
+struct QuicConnectionConfig {
+  simnet::TimeUs pto_initial = simnet::ms(200);  ///< probe timeout
+  simnet::TimeUs pto_max = simnet::seconds(10);
+};
+
+class QuicConnection {
+ public:
+  using DatagramSender = std::function<void(Bytes)>;
+  using StreamDataHandler =
+      std::function<void(std::uint64_t stream_id,
+                         std::span<const std::uint8_t> data, bool fin)>;
+
+  enum class Role { kClient, kServer };
+
+  /// Client role: starts the handshake immediately.
+  QuicConnection(simnet::EventLoop& loop, DatagramSender sender,
+                 std::uint64_t connection_id, tlssim::ClientConfig tls,
+                 QuicConnectionConfig config = {});
+
+  /// Server role: `tls` must outlive the connection.
+  QuicConnection(simnet::EventLoop& loop, DatagramSender sender,
+                 std::uint64_t connection_id,
+                 const tlssim::ServerConfig* tls,
+                 QuicConnectionConfig config = {});
+
+  ~QuicConnection();
+
+  QuicConnection(const QuicConnection&) = delete;
+  QuicConnection& operator=(const QuicConnection&) = delete;
+
+  void set_on_established(std::function<void()> cb) {
+    on_established_ = std::move(cb);
+  }
+  void set_on_stream_data(StreamDataHandler cb) {
+    on_stream_data_ = std::move(cb);
+  }
+  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+
+  /// Feed one received UDP payload into the connection.
+  void handle_datagram(std::span<const std::uint8_t> payload);
+
+  /// Open a new bidirectional stream (client: 0, 4, 8, ...; server: 1, 5...).
+  std::uint64_t open_stream();
+
+  /// Send stream data (queued until established). `fin` half-closes it.
+  void send_stream(std::uint64_t stream_id, Bytes data, bool fin);
+
+  void close(std::uint64_t error_code = 0);
+
+  bool established() const noexcept { return established_; }
+  bool closed() const noexcept { return closed_; }
+  std::uint64_t connection_id() const noexcept { return connection_id_; }
+  const QuicCounters& counters() const noexcept { return counters_; }
+  const std::string& alpn() const noexcept { return alpn_; }
+
+ private:
+  struct RxStream {
+    std::map<std::uint64_t, Bytes> segments;  ///< offset -> data
+    std::uint64_t delivered = 0;
+    std::uint64_t fin_offset = std::uint64_t(-1);
+    bool fin_delivered = false;
+  };
+
+  void start_client_handshake();
+  void send_packet(std::vector<Frame> frames, bool long_header);
+  void handle_frame(const Frame& frame);
+  void handle_crypto(const CryptoFrame& frame);
+  void process_crypto_buffer();
+  void handle_handshake_message(const tlssim::HandshakeMessage& msg);
+  void handle_stream(const StreamFrame& frame);
+  void deliver_stream(std::uint64_t stream_id);
+  void schedule_ack();
+  void flush_acks();
+  void arm_pto();
+  void on_pto();
+  void become_established();
+  void flush_pending_streams();
+
+  simnet::EventLoop& loop_;
+  DatagramSender sender_;
+  std::uint64_t connection_id_;
+  Role role_;
+  tlssim::ClientConfig client_tls_;
+  const tlssim::ServerConfig* server_tls_ = nullptr;
+  QuicConnectionConfig config_;
+  QuicCounters counters_;
+
+  std::function<void()> on_established_;
+  StreamDataHandler on_stream_data_;
+  std::function<void()> on_closed_;
+
+  bool established_ = false;
+  bool closed_ = false;
+  bool handshake_done_sent_ = false;
+  std::string alpn_;
+
+  std::uint64_t next_packet_number_ = 0;
+  std::uint64_t next_stream_id_;
+
+  // Crypto stream reassembly.
+  Bytes crypto_rx_;
+  std::uint64_t crypto_rx_consumed_ = 0;
+  std::uint64_t crypto_tx_offset_ = 0;
+
+  // Streams.
+  std::map<std::uint64_t, RxStream> rx_streams_;
+  struct PendingStreamWrite {
+    std::uint64_t stream_id;
+    Bytes data;
+    bool fin;
+  };
+  std::vector<PendingStreamWrite> pending_writes_;
+  std::map<std::uint64_t, std::uint64_t> tx_offsets_;
+
+  // Acknowledgement + loss recovery.
+  std::vector<std::uint64_t> ack_pending_;
+  bool ack_scheduled_ = false;
+  struct SentPacket {
+    Packet packet;
+    simnet::TimeUs sent_at = 0;
+  };
+  std::map<std::uint64_t, SentPacket> unacked_;
+  simnet::EventId pto_timer_;
+  int pto_backoff_ = 0;
+  // RFC 9002-style RTT estimation driving the probe timeout.
+  double srtt_us_ = 0.0;
+  double rttvar_us_ = 0.0;
+  simnet::TimeUs current_pto() const noexcept;
+};
+
+}  // namespace dohperf::quicsim

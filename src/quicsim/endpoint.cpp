@@ -1,0 +1,75 @@
+#include "quicsim/endpoint.hpp"
+
+namespace dohperf::quicsim {
+
+namespace {
+
+/// Deterministic connection id from the client's address (unique per
+/// socket, stable per run).
+std::uint64_t make_connection_id(const simnet::Address& local) {
+  return (static_cast<std::uint64_t>(local.node) << 32) | local.port;
+}
+
+}  // namespace
+
+QuicClientEndpoint::QuicClientEndpoint(simnet::Host& host,
+                                       simnet::Address server,
+                                       tlssim::ClientConfig tls,
+                                       QuicConnectionConfig config)
+    : host_(host), socket_(&host.udp_open()) {
+  auto sender = [this, server](Bytes payload) {
+    socket_->send_to(server, std::move(payload));
+  };
+  connection_ = std::make_unique<QuicConnection>(
+      host.loop(), std::move(sender), make_connection_id(socket_->local()),
+      std::move(tls), config);
+  socket_->set_receiver(
+      [this](const Bytes& payload, simnet::Address /*from*/) {
+        connection_->handle_datagram(payload);
+      });
+}
+
+QuicClientEndpoint::~QuicClientEndpoint() { host_.udp_close(*socket_); }
+
+QuicServer::QuicServer(simnet::Host& host, std::uint16_t port,
+                       const tlssim::ServerConfig* tls,
+                       AcceptHandler on_accept, QuicConnectionConfig config)
+    : host_(host), socket_(&host.udp_open(port)), tls_(tls),
+      on_accept_(std::move(on_accept)), config_(config) {
+  socket_->set_receiver([this](const Bytes& payload, simnet::Address from) {
+    on_datagram(payload, from);
+  });
+}
+
+QuicServer::~QuicServer() { host_.udp_close(*socket_); }
+
+void QuicServer::on_datagram(const Bytes& payload, simnet::Address from) {
+  Packet packet;
+  try {
+    packet = Packet::decode(payload);
+  } catch (const dns::WireError&) {
+    return;
+  }
+  auto it = connections_.find(packet.connection_id);
+  if (it == connections_.end()) {
+    // New connection: only a long-header (Initial) packet may open one.
+    if (!packet.long_header) return;
+    auto sender = [this, from](Bytes data) {
+      socket_->send_to(from, std::move(data));
+    };
+    auto conn = std::make_unique<QuicConnection>(
+        host_.loop(), std::move(sender), packet.connection_id, tls_,
+        config_);
+    it = connections_.emplace(packet.connection_id, std::move(conn)).first;
+    if (on_accept_) on_accept_(*it->second);
+  }
+  it->second->handle_datagram(payload);
+
+  // Opportunistic cleanup of closed connections (not the one just touched).
+  std::erase_if(connections_, [&](const auto& entry) {
+    return entry.second->closed() &&
+           entry.first != packet.connection_id;
+  });
+}
+
+}  // namespace dohperf::quicsim

@@ -1,0 +1,33 @@
+// QUIC packet encode/decode: one packet per UDP datagram (no coalescing),
+// long headers during the handshake, short headers after.
+#pragma once
+
+#include "quicsim/types.hpp"
+
+namespace dohperf::quicsim {
+
+struct Packet {
+  bool long_header = false;
+  std::uint64_t connection_id = 0;
+  std::uint64_t packet_number = 0;
+  std::vector<Frame> frames;
+
+  /// Serialized size of the frames only (header/tag added by encode()).
+  std::size_t frames_size() const;
+
+  bool ack_eliciting() const noexcept;
+
+  /// Encode to a UDP payload: header + frames (+ synthetic AEAD tag).
+  Bytes encode() const;
+
+  /// Decode a UDP payload. Throws dns::WireError on malformed input.
+  static Packet decode(std::span<const std::uint8_t> payload);
+
+  /// Wire size on the simulated network once sent over UDP (adds IP+UDP).
+  std::size_t udp_wire_size() const;
+};
+
+void encode_frame(dns::ByteWriter& w, const Frame& frame);
+Frame decode_frame(dns::ByteReader& r);
+
+}  // namespace dohperf::quicsim

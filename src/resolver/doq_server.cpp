@@ -1,0 +1,62 @@
+#include "resolver/doq_server.hpp"
+
+namespace dohperf::resolver {
+
+DoqServer::DoqServer(simnet::Host& host, Engine& engine,
+                     DoqServerConfig config, std::uint16_t port)
+    : host_(host), engine_(engine), config_(std::move(config)) {
+  server_ = std::make_unique<quicsim::QuicServer>(
+      host_, port, &config_.tls,
+      [this](quicsim::QuicConnection& conn) { on_accept(conn); },
+      config_.quic);
+}
+
+void DoqServer::on_accept(quicsim::QuicConnection& conn) {
+  auto state = std::make_shared<ConnState>();
+  states_.emplace(&conn, state);
+
+  quicsim::QuicConnection* conn_ptr = &conn;
+  conn.set_on_stream_data([this, conn_ptr, state](
+                              std::uint64_t stream_id,
+                              std::span<const std::uint8_t> data, bool fin) {
+    auto& stream = state->streams[stream_id];
+    stream.rx.insert(stream.rx.end(), data.begin(), data.end());
+    if (!fin) return;
+    // Complete query: 2-byte length prefix + DNS message.
+    if (stream.rx.size() < 2) return;
+    const std::size_t len =
+        (static_cast<std::size_t>(stream.rx[0]) << 8) | stream.rx[1];
+    if (stream.rx.size() < 2 + len) return;
+    const dns::Bytes wire(stream.rx.begin() + 2,
+                          stream.rx.begin() +
+                              static_cast<std::ptrdiff_t>(2 + len));
+    state->streams.erase(stream_id);
+    on_query(*conn_ptr, stream_id, wire);
+  });
+  conn.set_on_closed([this, conn_ptr]() { states_.erase(conn_ptr); });
+}
+
+void DoqServer::on_query(quicsim::QuicConnection& conn,
+                         std::uint64_t stream_id, const dns::Bytes& wire) {
+  dns::Message query;
+  try {
+    query = dns::Message::decode(wire);
+  } catch (const dns::WireError&) {
+    conn.close(/*error_code=*/2);  // DOQ_PROTOCOL_ERROR
+    return;
+  }
+  quicsim::QuicConnection* conn_ptr = &conn;
+  // The continuation may outlive the connection (the QUIC server reaps
+  // closed connections); the states_ entry is erased on close, so its
+  // presence guarantees conn_ptr is alive and open.
+  engine_.handle(query, [this, conn_ptr, stream_id](dns::Message response) {
+    if (states_.find(conn_ptr) == states_.end()) return;
+    const dns::Bytes wire = response.encode();
+    dns::ByteWriter framed;
+    framed.u16(static_cast<std::uint16_t>(wire.size()));
+    framed.bytes(wire);
+    conn_ptr->send_stream(stream_id, framed.take(), /*fin=*/true);
+  });
+}
+
+}  // namespace dohperf::resolver

@@ -1,0 +1,92 @@
+#include "resolver/dot_server.hpp"
+
+#include "simnet/stream.hpp"
+
+namespace dohperf::resolver {
+
+DotServer::DotServer(simnet::Host& host, Engine& engine,
+                     DotServerConfig config, std::uint16_t port)
+    : host_(host), engine_(engine), config_(std::move(config)), port_(port) {
+  host_.tcp_listen(port_, [this](std::shared_ptr<simnet::TcpConnection> c) {
+    on_accept(std::move(c));
+  });
+}
+
+DotServer::~DotServer() { host_.tcp_stop_listening(port_); }
+
+void DotServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
+  prune();
+  auto session = std::make_shared<Session>();
+  Session* s = session.get();
+  session->tls = std::make_unique<tlssim::TlsConnection>(
+      std::make_unique<simnet::TcpByteStream>(std::move(conn)), &config_.tls);
+  tlssim::TlsConnection::Handlers h;
+  h.on_open = []() {};
+  h.on_data = [this, s](std::span<const std::uint8_t> d) { on_data(*s, d); };
+  h.on_close = [s]() { s->dead = true; };
+  session->tls->set_handlers(std::move(h));
+  session->self = session;
+  sessions_.push_back(std::move(session));
+}
+
+void DotServer::on_data(Session& session, std::span<const std::uint8_t> data) {
+  session.rx.insert(session.rx.end(), data.begin(), data.end());
+  // RFC 7858 framing: u16 length prefix per DNS message.
+  while (session.rx.size() >= 2) {
+    const std::size_t len =
+        (static_cast<std::size_t>(session.rx[0]) << 8) | session.rx[1];
+    if (session.rx.size() < 2 + len) break;
+    dns::Bytes wire(session.rx.begin() + 2,
+                    session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
+    session.rx.erase(session.rx.begin(),
+                     session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
+
+    dns::Message query;
+    try {
+      query = dns::Message::decode(wire);
+    } catch (const dns::WireError&) {
+      session.tls->close();
+      session.dead = true;
+      return;
+    }
+    const std::uint64_t sequence = session.next_assigned++;
+    // The continuation may outlive the session (client closed meanwhile);
+    // find the live session by address via the weak pointer.
+    std::weak_ptr<Session> weak = session.self;
+    engine_.handle(query, [this, weak, sequence](dns::Message response) {
+      if (const auto s = weak.lock()) answer(*s, sequence, response.encode());
+    });
+  }
+}
+
+void DotServer::answer(Session& session, std::uint64_t sequence,
+                       dns::Bytes wire) {
+  if (session.dead) return;
+  auto frame = [](const dns::Bytes& msg) {
+    dns::ByteWriter w;
+    w.u16(static_cast<std::uint16_t>(msg.size()));
+    w.bytes(msg);
+    return w.take();
+  };
+  if (config_.out_of_order) {
+    session.tls->send(frame(wire));
+    return;
+  }
+  // In-order: buffer until every earlier response has been sent. This is
+  // the serialization that makes delayed queries block later ones (Fig 2).
+  session.ready.emplace(sequence, std::move(wire));
+  while (true) {
+    const auto it = session.ready.find(session.next_to_send);
+    if (it == session.ready.end()) break;
+    session.tls->send(frame(it->second));
+    session.ready.erase(it);
+    ++session.next_to_send;
+  }
+}
+
+void DotServer::prune() {
+  std::erase_if(sessions_,
+                [](const std::shared_ptr<Session>& s) { return s->dead; });
+}
+
+}  // namespace dohperf::resolver

@@ -1,0 +1,77 @@
+#include "resolver/engine.hpp"
+
+#include <cmath>
+
+namespace dohperf::resolver {
+
+Engine::Engine(simnet::EventLoop& loop, EngineConfig config)
+    : loop_(loop), config_(std::move(config)),
+      upstream_latency_(std::log(config_.upstream.upstream_mu_ms),
+                        config_.upstream.upstream_sigma, config_.seed),
+      cache_rng_(config_.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+void Engine::add_record(const dns::Name& name, const std::string& address) {
+  zone_[name] = address;
+}
+
+dns::Message Engine::answer(const dns::Message& query) const {
+  if (query.questions.empty()) {
+    return dns::Message::make_error(query, dns::Rcode::kFormErr);
+  }
+  const auto& q = query.questions.front();
+  if (q.qtype != dns::RType::kA) {
+    // Only A queries are exercised by the experiments; others NOERROR/empty.
+    return dns::Message::make_response(query, {});
+  }
+  const auto it = zone_.find(q.qname);
+  const std::string& address =
+      it != zone_.end() ? it->second : config_.fixed_address;
+  std::vector<dns::ResourceRecord> answers;
+  dns::ARdata rdata = dns::ARdata::parse(address);
+  for (int i = 0; i < std::max(1, config_.answer_count); ++i) {
+    answers.push_back(dns::ResourceRecord{q.qname, dns::RType::kA,
+                                          dns::RClass::kIN, config_.ttl,
+                                          rdata});
+    // Subsequent records advertise adjacent addresses.
+    rdata.addr[3] = static_cast<std::uint8_t>(rdata.addr[3] + 1);
+  }
+  dns::Message response = dns::Message::make_response(query, std::move(answers));
+  if (config_.ecs_option && !response.additionals.empty()) {
+    for (auto& rr : response.additionals) {
+      if (rr.type != dns::RType::kOPT) continue;
+      auto& opt = std::get<dns::OptRdata>(rr.rdata);
+      dns::EdnsOption ecs;
+      ecs.code = 8;  // RFC 7871 CLIENT-SUBNET
+      ecs.data = dns::Bytes{0x00, 0x01, 0x18, 0x00, 0xc0, 0x00, 0x02};
+      opt.options.push_back(std::move(ecs));
+    }
+  }
+  return response;
+}
+
+simnet::TimeUs Engine::next_service_time() {
+  simnet::TimeUs t = config_.upstream.processing;
+  if (config_.upstream.cache_hit_ratio < 1.0 &&
+      cache_rng_.next_double() >= config_.upstream.cache_hit_ratio) {
+    ++stats_.cache_misses;
+    t += simnet::from_sec(upstream_latency_.sample() / 1e3);
+  }
+  return t;
+}
+
+void Engine::handle(const dns::Message& query, Continuation done) {
+  ++stats_.queries;
+  simnet::TimeUs service = next_service_time();
+  const auto& dp = config_.delay_policy;
+  if (dp.every_n > 0 && stats_.queries % dp.every_n == 0) {
+    ++stats_.delayed;
+    service += dp.delay;
+  }
+  dns::Message response = answer(query);
+  loop_.schedule_in(service, [done = std::move(done),
+                              response = std::move(response)]() mutable {
+    done(std::move(response));
+  });
+}
+
+}  // namespace dohperf::resolver

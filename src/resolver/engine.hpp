@@ -1,0 +1,87 @@
+// The resolver engine: answer policy shared by all server front-ends
+// (UDP, DoT, DoH), mirroring the paper's CoreDNS configuration — a fixed
+// answer for every name — plus injectable delays (the §3 experiment delays
+// 1 in 25 queries by 1000 ms) and a cache/upstream model for §5.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dns/message.hpp"
+#include "simnet/event_loop.hpp"
+#include "stats/rng.hpp"
+
+namespace dohperf::resolver {
+
+/// Delay every `every_n`-th query by `delay` (0 disables).
+struct DelayPolicy {
+  std::uint64_t every_n = 0;
+  simnet::TimeUs delay = simnet::ms(1000);
+};
+
+/// Recursive-resolution model: each query hits the cache with probability
+/// `cache_hit_ratio`; misses pay an upstream round trip sampled from a
+/// log-normal distribution (heavy tail, like real recursive latency).
+struct UpstreamModel {
+  double cache_hit_ratio = 1.0;        ///< 1.0 = authoritative/fixed answer
+  double upstream_mu_ms = 3.0;         ///< log-normal location (log of ms)
+  double upstream_sigma = 0.8;
+  simnet::TimeUs processing = simnet::us(100);  ///< per-query server work
+};
+
+struct EngineConfig {
+  std::string fixed_address = "192.0.2.1";  ///< answer for every A query
+  std::uint32_t ttl = 300;
+  /// Number of A records per answer. Google's resolver typically returns
+  /// several addresses where Cloudflare returns fewer, which is part of
+  /// why Google's DoH bodies run larger (§4).
+  int answer_count = 1;
+  /// Attach an EDNS Client Subnet option to responses (RFC 7871). Google
+  /// supports ECS; Cloudflare deliberately does not.
+  bool ecs_option = false;
+  DelayPolicy delay_policy;
+  UpstreamModel upstream;
+  std::uint64_t seed = 42;
+};
+
+struct EngineStats {
+  std::uint64_t queries = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Asynchronous query handler; the continuation runs on the event loop
+/// after the configured processing/delay time.
+class Engine {
+ public:
+  using Continuation = std::function<void(dns::Message response)>;
+
+  Engine(simnet::EventLoop& loop, EngineConfig config);
+
+  /// Handle a query; `done` fires with the response after the simulated
+  /// processing time (plus injected delay when the policy strikes).
+  void handle(const dns::Message& query, Continuation done);
+
+  /// Zone override: answer `name` with a specific address instead of the
+  /// fixed one (used by the browser experiments where each origin has a
+  /// distinct server node).
+  void add_record(const dns::Name& name, const std::string& address);
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  dns::Message answer(const dns::Message& query) const;
+  simnet::TimeUs next_service_time();
+
+  simnet::EventLoop& loop_;
+  EngineConfig config_;
+  EngineStats stats_;
+  stats::LogNormalSampler upstream_latency_;
+  stats::SplitMix64 cache_rng_;
+  std::map<dns::Name, std::string> zone_;
+};
+
+}  // namespace dohperf::resolver

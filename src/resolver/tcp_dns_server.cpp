@@ -1,0 +1,97 @@
+#include "resolver/tcp_dns_server.hpp"
+
+namespace dohperf::resolver {
+
+namespace {
+
+dns::Bytes frame(const dns::Bytes& message) {
+  dns::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(message.size()));
+  w.bytes(message);
+  return w.take();
+}
+
+}  // namespace
+
+TcpDnsServer::TcpDnsServer(simnet::Host& host, Engine& engine,
+                           TcpDnsServerConfig config, std::uint16_t port)
+    : host_(host), engine_(engine), config_(config), port_(port) {
+  host_.tcp_listen(port_, [this](std::shared_ptr<simnet::TcpConnection> c) {
+    on_accept(std::move(c));
+  });
+}
+
+TcpDnsServer::~TcpDnsServer() { host_.tcp_stop_listening(port_); }
+
+void TcpDnsServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
+  prune();
+  auto session = std::make_shared<Session>();
+  session->self = session;
+  session->stream = std::make_unique<simnet::TcpByteStream>(std::move(conn));
+  Session* raw = session.get();
+  simnet::ByteStream::Handlers h;
+  h.on_data = [this, raw](std::span<const std::uint8_t> d) {
+    on_data(*raw, d);
+  };
+  h.on_close = [raw]() {
+    raw->dead = true;
+    // The peer closed (or half-closed): close our side so both TCP state
+    // machines can finish.
+    raw->stream->close();
+  };
+  session->stream->set_handlers(std::move(h));
+  sessions_.push_back(std::move(session));
+}
+
+void TcpDnsServer::on_data(Session& session,
+                           std::span<const std::uint8_t> data) {
+  session.rx.insert(session.rx.end(), data.begin(), data.end());
+  while (session.rx.size() >= 2) {
+    const std::size_t len =
+        (static_cast<std::size_t>(session.rx[0]) << 8) | session.rx[1];
+    if (session.rx.size() < 2 + len) break;
+    dns::Bytes wire(session.rx.begin() + 2,
+                    session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
+    session.rx.erase(session.rx.begin(),
+                     session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
+
+    dns::Message query;
+    try {
+      query = dns::Message::decode(wire);
+    } catch (const dns::WireError&) {
+      session.stream->close();
+      session.dead = true;
+      return;
+    }
+    const std::uint64_t sequence = session.next_assigned++;
+    std::weak_ptr<Session> weak = session.self;
+    engine_.handle(query, [this, weak, sequence](dns::Message response) {
+      if (const auto s = weak.lock()) answer(*s, sequence, response.encode());
+    });
+  }
+}
+
+void TcpDnsServer::answer(Session& session, std::uint64_t sequence,
+                          dns::Bytes wire) {
+  if (session.dead || !session.stream->is_open()) return;
+  if (config_.out_of_order) {
+    session.stream->send(frame(wire));
+    return;
+  }
+  session.ready.emplace(sequence, std::move(wire));
+  while (true) {
+    const auto it = session.ready.find(session.next_to_send);
+    if (it == session.ready.end()) break;
+    session.stream->send(frame(it->second));
+    session.ready.erase(it);
+    ++session.next_to_send;
+  }
+}
+
+void TcpDnsServer::prune() {
+  std::erase_if(sessions_, [](const std::shared_ptr<Session>& s) {
+    return s->dead || !s->stream->is_open();
+  });
+}
+
+}  // namespace dohperf::resolver

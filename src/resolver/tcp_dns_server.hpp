@@ -1,0 +1,59 @@
+// Plain DNS-over-TCP front-end (RFC 7766): two-byte length framing over
+// TCP port 53, no TLS. This is the classic truncation-fallback transport
+// and the substrate of "connection-oriented DNS" (Zhu et al., the paper's
+// reference [26]); the library implements it both for completeness and as
+// an extra comparison point between UDP and the encrypted transports.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "resolver/engine.hpp"
+#include "simnet/host.hpp"
+#include "simnet/stream.hpp"
+
+namespace dohperf::resolver {
+
+struct TcpDnsServerConfig {
+  /// Like DoT: most servers answer in order; out-of-order requires
+  /// per-query state.
+  bool out_of_order = false;
+};
+
+class TcpDnsServer {
+ public:
+  TcpDnsServer(simnet::Host& host, Engine& engine,
+               TcpDnsServerConfig config = {}, std::uint16_t port = 53);
+  ~TcpDnsServer();
+
+  TcpDnsServer(const TcpDnsServer&) = delete;
+  TcpDnsServer& operator=(const TcpDnsServer&) = delete;
+
+  simnet::Address address() const { return {host_.id(), port_}; }
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<simnet::TcpByteStream> stream;
+    simnet::Bytes rx;
+    std::uint64_t next_assigned = 0;
+    std::uint64_t next_to_send = 0;
+    std::map<std::uint64_t, dns::Bytes> ready;
+    bool dead = false;
+    std::weak_ptr<Session> self;
+  };
+
+  void on_accept(std::shared_ptr<simnet::TcpConnection> conn);
+  void on_data(Session& session, std::span<const std::uint8_t> data);
+  void answer(Session& session, std::uint64_t sequence, dns::Bytes wire);
+  void prune();
+
+  simnet::Host& host_;
+  Engine& engine_;
+  TcpDnsServerConfig config_;
+  std::uint16_t port_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace dohperf::resolver

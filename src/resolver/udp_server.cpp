@@ -1,0 +1,24 @@
+#include "resolver/udp_server.hpp"
+
+namespace dohperf::resolver {
+
+UdpServer::UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port)
+    : host_(host), engine_(engine), socket_(&host.udp_open(port)) {
+  socket_->set_receiver(
+      [this](const simnet::Bytes& payload, simnet::Address from) {
+        dns::Message query;
+        try {
+          query = dns::Message::decode(payload);
+        } catch (const dns::WireError&) {
+          ++malformed_;
+          return;  // real servers drop unparseable datagrams
+        }
+        engine_.handle(query, [this, from](dns::Message response) {
+          socket_->send_to(from, response.encode());
+        });
+      });
+}
+
+UdpServer::~UdpServer() { host_.udp_close(*socket_); }
+
+}  // namespace dohperf::resolver

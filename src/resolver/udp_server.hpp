@@ -1,0 +1,29 @@
+// Classic UDP DNS front-end (port 53).
+#pragma once
+
+#include "resolver/engine.hpp"
+#include "simnet/host.hpp"
+
+namespace dohperf::resolver {
+
+class UdpServer {
+ public:
+  /// Binds `port` on `host` and answers via `engine` (not owned; must
+  /// outlive the server).
+  UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port = 53);
+  ~UdpServer();
+
+  UdpServer(const UdpServer&) = delete;
+  UdpServer& operator=(const UdpServer&) = delete;
+
+  simnet::Address address() const { return socket_->local(); }
+  std::uint64_t malformed_queries() const noexcept { return malformed_; }
+
+ private:
+  simnet::Host& host_;
+  Engine& engine_;
+  simnet::UdpSocket* socket_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace dohperf::resolver

@@ -1,0 +1,47 @@
+#include "simnet/event_loop.hpp"
+
+#include <algorithm>
+
+namespace dohperf::simnet {
+
+EventId EventLoop::schedule_at(TimeUs when, std::function<void()> fn) {
+  when = std::max(when, now_);
+  const Key key{when, next_seq_++};
+  queue_.emplace(key, std::move(fn));
+  return EventId{key.first, key.second, true};
+}
+
+EventId EventLoop::schedule_in(TimeUs delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<TimeUs>(delay, 0), std::move(fn));
+}
+
+void EventLoop::cancel(const EventId& id) {
+  if (!id.valid) return;
+  queue_.erase(Key{id.when, id.seq});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.first;
+  auto fn = std::move(it->second);
+  queue_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+TimeUs EventLoop::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void EventLoop::run_until(TimeUs deadline) {
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,65 @@
+// Discrete-event scheduler over virtual time.
+//
+// Events scheduled for the same instant fire in schedule order (a strictly
+// increasing sequence number breaks ties), which keeps multi-party protocol
+// exchanges deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "simnet/time.hpp"
+
+namespace dohperf::simnet {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  TimeUs when = 0;
+  std::uint64_t seq = 0;
+  bool valid = false;
+
+  explicit operator bool() const noexcept { return valid; }
+};
+
+class EventLoop {
+ public:
+  TimeUs now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `when` (clamped to now()).
+  EventId schedule_at(TimeUs when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  EventId schedule_in(TimeUs delay, std::function<void()> fn);
+
+  /// Cancel a pending event; cancelling an already-fired or invalid id is a
+  /// harmless no-op.
+  void cancel(const EventId& id);
+
+  /// Run until no events remain. Returns the final virtual time.
+  TimeUs run();
+
+  /// Run events with time <= deadline; leaves later events pending.
+  /// Virtual time advances to `deadline` even if the queue drains early.
+  void run_until(TimeUs deadline);
+
+  /// Execute exactly one event if any is pending; returns false when idle.
+  bool step();
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total number of events executed (useful for test assertions and for
+  /// detecting runaway protocol loops).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  using Key = std::pair<TimeUs, std::uint64_t>;
+
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace dohperf::simnet

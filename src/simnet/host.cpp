@@ -1,0 +1,139 @@
+#include "simnet/host.hpp"
+
+#include <stdexcept>
+
+namespace dohperf::simnet {
+
+Host::Host(Network& net, std::string name) : net_(net) {
+  id_ = net_.add_node(std::move(name));
+  net_.set_handler(id_, [this](const Packet& p) { dispatch(p); });
+}
+
+Host::~Host() {
+  net_.set_handler(id_, nullptr);
+}
+
+const std::string& Host::name() const { return net_.node_name(id_); }
+
+UdpSocket& Host::udp_open(std::uint16_t port) {
+  if (port == 0) port = allocate_ephemeral();
+  if (udp_ports_.count(port) != 0) {
+    throw std::logic_error("UDP port already bound: " + std::to_string(port));
+  }
+  auto socket = std::make_unique<UdpSocket>(*this, port);
+  auto& ref = *socket;
+  udp_ports_.emplace(port, std::move(socket));
+  return ref;
+}
+
+void Host::udp_close(UdpSocket& socket) {
+  udp_ports_.erase(socket.local().port);
+}
+
+TcpListener& Host::tcp_listen(std::uint16_t port,
+                              TcpListener::AcceptHandler on_accept,
+                              TcpConfig config) {
+  if (tcp_listeners_.count(port) != 0) {
+    throw std::logic_error("TCP port already listening: " +
+                           std::to_string(port));
+  }
+  auto listener =
+      std::make_unique<TcpListener>(*this, port, config, std::move(on_accept));
+  auto& ref = *listener;
+  tcp_listeners_.emplace(port, std::move(listener));
+  return ref;
+}
+
+void Host::tcp_stop_listening(std::uint16_t port) {
+  tcp_listeners_.erase(port);
+}
+
+std::shared_ptr<TcpConnection> Host::tcp_connect(const Address& remote,
+                                                 TcpConfig config) {
+  const std::uint16_t local_port = allocate_ephemeral();
+  auto conn = std::make_shared<TcpConnection>(*this, local_port, remote,
+                                              config, /*is_server=*/false);
+  const TcpKey key{local_port, remote.node, remote.port};
+  tcp_conns_.emplace(key, conn);
+  conn->start_connect();
+  return conn;
+}
+
+std::uint16_t Host::allocate_ephemeral() {
+  // One shared counter for both port spaces; wraps within the dynamic range.
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
+    if (udp_ports_.count(candidate) != 0) continue;
+    if (tcp_listeners_.count(candidate) != 0) continue;
+    bool used_by_tcp = false;
+    for (const auto& [key, conn] : tcp_conns_) {
+      if (std::get<0>(key) == candidate) {
+        used_by_tcp = true;
+        break;
+      }
+    }
+    if (!used_by_tcp) return candidate;
+  }
+  throw std::runtime_error("ephemeral port space exhausted");
+}
+
+void Host::dispatch(const Packet& packet) {
+  if (const auto* dgram = std::get_if<UdpDatagram>(&packet.body)) {
+    const auto it = udp_ports_.find(dgram->dst_port);
+    if (it != udp_ports_.end()) {
+      it->second->deliver(*dgram, packet.src_node);
+    }
+    return;
+  }
+  dispatch_tcp(std::get<TcpSegment>(packet.body), packet.src_node);
+}
+
+void Host::dispatch_tcp(const TcpSegment& seg, NodeId from) {
+  const TcpKey key{seg.dst_port, from, seg.src_port};
+  const auto it = tcp_conns_.find(key);
+  if (it != tcp_conns_.end()) {
+    // Hold a reference so the connection can unregister itself mid-call.
+    const auto conn = it->second;
+    conn->on_segment(seg);
+    return;
+  }
+  // New connection: a SYN to a listening port.
+  if (seg.syn && !seg.ack_flag) {
+    const auto lit = tcp_listeners_.find(seg.dst_port);
+    if (lit != tcp_listeners_.end()) {
+      auto conn = std::make_shared<TcpConnection>(
+          *this, seg.dst_port, Address{from, seg.src_port},
+          lit->second->config(), /*is_server=*/true);
+      // Deliver the connection to the application once established.
+      auto& listener = *lit->second;
+      conn->set_callbacks({});  // application sets real callbacks on accept
+      tcp_conns_.emplace(key, conn);
+      conn->accept_handler_ = listener.on_accept_;
+      conn->handle_syn(seg);
+      return;
+    }
+  }
+  if (!seg.rst) send_rst(seg, from);
+}
+
+void Host::send_rst(const TcpSegment& offending, NodeId to) {
+  TcpSegment rst;
+  rst.src_port = offending.dst_port;
+  rst.dst_port = offending.src_port;
+  rst.rst = true;
+  rst.ack_flag = true;
+  rst.seq = offending.ack;
+  rst.ack = offending.seq + static_cast<std::uint32_t>(offending.payload.size()) +
+            (offending.syn ? 1 : 0) + (offending.fin ? 1 : 0);
+  Packet packet;
+  packet.src_node = id_;
+  packet.dst_node = to;
+  packet.body = std::move(rst);
+  net_.send(std::move(packet));
+}
+
+void Host::tcp_unregister(const TcpKey& key) { tcp_conns_.erase(key); }
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,70 @@
+// A host: one node of the network with a port space for UDP sockets and
+// TCP connections/listeners, plus the demultiplexing glue between them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "simnet/network.hpp"
+#include "simnet/tcp.hpp"
+#include "simnet/udp.hpp"
+
+namespace dohperf::simnet {
+
+class Host {
+ public:
+  Host(Network& net, std::string name);
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  Network& network() noexcept { return net_; }
+  EventLoop& loop() noexcept { return net_.loop(); }
+  const std::string& name() const;
+
+  // --- UDP -------------------------------------------------------------------
+  /// Open a UDP socket; port 0 picks an ephemeral port. Throws if the port
+  /// is already bound.
+  UdpSocket& udp_open(std::uint16_t port = 0);
+  void udp_close(UdpSocket& socket);
+
+  // --- TCP -------------------------------------------------------------------
+  /// Start listening; incoming connections are delivered via `on_accept`
+  /// once their handshake completes.
+  TcpListener& tcp_listen(std::uint16_t port, TcpListener::AcceptHandler on_accept,
+                          TcpConfig config = {});
+  void tcp_stop_listening(std::uint16_t port);
+
+  /// Open an active connection; callbacks may be set on the returned
+  /// connection before any event fires (the SYN leaves on the next loop
+  /// event).
+  std::shared_ptr<TcpConnection> tcp_connect(const Address& remote,
+                                             TcpConfig config = {});
+
+  /// Number of live TCP connections (for leak-checking in tests).
+  std::size_t tcp_connection_count() const noexcept { return tcp_conns_.size(); }
+
+ private:
+  friend class TcpConnection;
+  friend class UdpSocket;
+
+  using TcpKey = std::tuple<std::uint16_t, NodeId, std::uint16_t>;
+
+  void dispatch(const Packet& packet);
+  void dispatch_tcp(const TcpSegment& seg, NodeId from);
+  void send_rst(const TcpSegment& offending, NodeId to);
+  std::uint16_t allocate_ephemeral();
+  void tcp_unregister(const TcpKey& key);
+
+  Network& net_;
+  NodeId id_;
+  std::map<std::uint16_t, std::unique_ptr<UdpSocket>> udp_ports_;
+  std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
+  std::map<TcpKey, std::shared_ptr<TcpConnection>> tcp_conns_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace dohperf::simnet

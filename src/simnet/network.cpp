@@ -1,0 +1,91 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dohperf::simnet {
+
+Network::Network(EventLoop& loop, std::uint64_t seed)
+    : loop_(loop), rng_(seed) {}
+
+NodeId Network::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  handlers_.emplace_back();
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return node_names_.at(id);
+}
+
+void Network::connect(NodeId a, NodeId b, const LinkConfig& config) {
+  if (a >= node_names_.size() || b >= node_names_.size()) {
+    throw std::logic_error("connect: unknown node");
+  }
+  if (a == b) throw std::logic_error("connect: self link");
+  channels_[{a, b}] = Channel{config, 0};
+  channels_[{b, a}] = Channel{config, 0};
+}
+
+void Network::reconfigure(NodeId a, NodeId b, const LinkConfig& config) {
+  auto* ab = find_channel(a, b);
+  auto* ba = find_channel(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::logic_error("reconfigure: no such link");
+  }
+  ab->config = config;
+  ba->config = config;
+}
+
+void Network::set_handler(NodeId node, PacketHandler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+Network::Channel* Network::find_channel(NodeId from, NodeId to) {
+  const auto it = channels_.find({from, to});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void Network::send(Packet packet) {
+  Channel* ch = find_channel(packet.src_node, packet.dst_node);
+  if (ch == nullptr) {
+    throw std::logic_error("send: no link " +
+                           node_name(packet.src_node) + " -> " +
+                           node_name(packet.dst_node));
+  }
+  ++packets_sent_;
+
+  const bool dropped = ch->config.loss_rate > 0.0 &&
+                       rng_.next_double() < ch->config.loss_rate;
+  for (auto* tap : taps_) tap->on_packet(loop_.now(), packet, dropped);
+  if (dropped) {
+    ++packets_dropped_;
+    return;
+  }
+
+  // FIFO serialization at the sender, then propagation.
+  TimeUs tx_time = 0;
+  if (ch->config.bandwidth_bps > 0.0) {
+    const double bits = static_cast<double>(packet.wire_size()) * 8.0;
+    tx_time = from_sec(bits / ch->config.bandwidth_bps);
+  }
+  const TimeUs departure = std::max(loop_.now(), ch->busy_until) + tx_time;
+  ch->busy_until = departure;
+  const TimeUs arrival = departure + ch->config.latency;
+
+  const NodeId dst = packet.dst_node;
+  loop_.schedule_at(arrival, [this, dst, p = std::move(packet)]() {
+    auto& handler = handlers_.at(dst);
+    if (handler) handler(p);
+    // Packets to nodes without a handler are silently discarded, like a
+    // host with no listener (no ICMP in this simulator).
+  });
+}
+
+void Network::add_tap(PacketTap* tap) { taps_.push_back(tap); }
+
+void Network::remove_tap(PacketTap* tap) {
+  taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+}
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,33 @@
+// Virtual time. All simulation timestamps are integer microseconds so that
+// event ordering is exact and runs are bit-for-bit reproducible (no
+// floating-point accumulation).
+#pragma once
+
+#include <cstdint>
+
+namespace dohperf::simnet {
+
+/// Absolute virtual time in microseconds since simulation start.
+using TimeUs = std::int64_t;
+
+constexpr TimeUs kUsPerMs = 1000;
+constexpr TimeUs kUsPerSec = 1000 * 1000;
+
+constexpr TimeUs us(std::int64_t v) noexcept { return v; }
+constexpr TimeUs ms(std::int64_t v) noexcept { return v * kUsPerMs; }
+constexpr TimeUs seconds(std::int64_t v) noexcept { return v * kUsPerSec; }
+
+/// Convert a double duration in seconds to virtual microseconds (rounded).
+constexpr TimeUs from_sec(double s) noexcept {
+  return static_cast<TimeUs>(s * 1e6 + 0.5);
+}
+
+constexpr double to_sec(TimeUs t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+constexpr double to_ms(TimeUs t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+}  // namespace dohperf::simnet

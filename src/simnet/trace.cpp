@@ -1,0 +1,47 @@
+#include "simnet/trace.hpp"
+
+#include <sstream>
+
+namespace dohperf::simnet {
+
+void RecordingTap::on_packet(TimeUs when, const Packet& packet,
+                             bool dropped) {
+  if (filtered_ && packet.src_node != node_ && packet.dst_node != node_) {
+    return;
+  }
+  entries_.push_back(TraceEntry{when, packet, dropped});
+}
+
+std::uint64_t RecordingTap::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (!e.dropped) total += e.packet.wire_size();
+  }
+  return total;
+}
+
+std::string RecordingTap::render(const Network& net) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const auto& e : entries_) {
+    os << to_ms(e.when) << "ms ";
+    if (const auto* seg = std::get_if<TcpSegment>(&e.packet.body)) {
+      os << net.node_name(e.packet.src_node) << ':' << seg->src_port << " > "
+         << net.node_name(e.packet.dst_node) << ':' << seg->dst_port
+         << " TCP " << seg->flags_string() << " seq=" << seg->seq
+         << " ack=" << seg->ack << " len=" << seg->payload.size();
+    } else {
+      const auto& dgram = std::get<UdpDatagram>(e.packet.body);
+      os << net.node_name(e.packet.src_node) << ':' << dgram.src_port
+         << " > " << net.node_name(e.packet.dst_node) << ':'
+         << dgram.dst_port << " UDP len=" << dgram.payload.size();
+    }
+    os << " (" << e.packet.wire_size() << "B)";
+    if (e.dropped) os << " [DROPPED]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dohperf::simnet

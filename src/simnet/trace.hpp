@@ -1,0 +1,46 @@
+// Packet tracing: a tap that records every packet with timestamps and can
+// render a tcpdump-style text trace — the simulator's answer to the
+// capture-based methodology the paper used for its byte accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/packet.hpp"
+
+namespace dohperf::simnet {
+
+struct TraceEntry {
+  TimeUs when = 0;
+  Packet packet;
+  bool dropped = false;
+};
+
+class RecordingTap final : public PacketTap {
+ public:
+  /// Record everything, or only traffic touching `filter_node`.
+  RecordingTap() = default;
+  explicit RecordingTap(NodeId filter_node)
+      : filtered_(true), node_(filter_node) {}
+
+  void on_packet(TimeUs when, const Packet& packet, bool dropped) override;
+
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Render as a tcpdump-like text listing, resolving node names via `net`:
+  ///   12.345ms client:49152 > resolver:853 TCP SA seq=1 ack=2 len=0 (60B)
+  std::string render(const Network& net) const;
+
+  /// Total wire bytes recorded (excluding dropped packets).
+  std::uint64_t total_bytes() const noexcept;
+
+ private:
+  bool filtered_ = false;
+  NodeId node_ = 0;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,49 @@
+#include "simnet/udp.hpp"
+
+#include <stdexcept>
+
+#include "simnet/host.hpp"
+
+namespace dohperf::simnet {
+
+namespace {
+constexpr std::size_t kMaxUdpPayload = 65507;
+}
+
+UdpSocket::UdpSocket(Host& host, std::uint16_t port)
+    : host_(host), port_(port) {}
+
+Address UdpSocket::local() const noexcept {
+  return Address{host_.id(), port_};
+}
+
+void UdpSocket::send_to(const Address& dst, Bytes payload) {
+  if (payload.size() > kMaxUdpPayload) {
+    throw std::length_error("UDP payload exceeds 65507 bytes");
+  }
+  UdpDatagram dgram;
+  dgram.src_port = port_;
+  dgram.dst_port = dst.port;
+  dgram.payload = std::move(payload);
+
+  ++counters_.datagrams_sent;
+  counters_.wire_bytes_sent += dgram.wire_size();
+  counters_.payload_bytes_sent += dgram.payload.size();
+
+  Packet packet;
+  packet.src_node = host_.id();
+  packet.dst_node = dst.node;
+  packet.body = std::move(dgram);
+  host_.network().send(std::move(packet));
+}
+
+void UdpSocket::deliver(const UdpDatagram& dgram, NodeId from_node) {
+  ++counters_.datagrams_received;
+  counters_.wire_bytes_received += dgram.wire_size();
+  counters_.payload_bytes_received += dgram.payload.size();
+  if (receiver_) {
+    receiver_(dgram.payload, Address{from_node, dgram.src_port});
+  }
+}
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,97 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dohperf::stats {
+
+Cdf::Cdf(std::span<const double> xs) { add_all(xs); }
+
+void Cdf::add(double x) {
+  values_.push_back(x);
+  sorted_ = values_.size() <= 1;
+}
+
+void Cdf::add_all(std::span<const double> xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_ = values_.size() <= 1;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (values_.empty()) throw std::domain_error("quantile of empty CDF");
+  if (q <= 0.0 || q > 1.0) throw std::domain_error("quantile q out of (0,1]");
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size()))) - 1;
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(double lo, double hi,
+                                                  std::size_t points) const {
+  assert(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+const std::vector<double>& Cdf::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  return counts_.at(bin);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace dohperf::stats

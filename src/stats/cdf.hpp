@@ -1,0 +1,69 @@
+// Empirical CDFs and histograms — the primary presentation form of the
+// paper's figures (Figures 1 and 6 are CDFs; Figures 3-5 are distributions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dohperf::stats {
+
+/// An empirical cumulative distribution function over a scalar sample.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::span<const double> xs);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Fraction of samples <= x, in [0, 1].
+  double at(double x) const;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, q in (0, 1].
+  double quantile(double q) const;
+
+  /// Evaluate the CDF at `points` evenly spaced x positions between lo and
+  /// hi inclusive; returns (x, F(x)) pairs ready for plotting.
+  std::vector<std::pair<double, double>> curve(double lo, double hi,
+                                               std::size_t points) const;
+
+  /// The sorted underlying sample.
+  const std::vector<double>& sorted_values() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin histogram (used for sanity checks on generated workloads).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace dohperf::stats

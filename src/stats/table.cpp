@@ -1,0 +1,89 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dohperf::stats {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return {};
+  // Column widths fit the widest cell.
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < cols) os << "  ";
+    }
+    os << '\n';
+    if (i == 0) {
+      // Header separator.
+      for (std::size_t c = 0; c < cols; ++c) {
+        os << std::string(widths[c], '-');
+        if (c + 1 < cols) os << "  ";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_series(
+    const std::string& title,
+    std::span<const std::pair<double, double>> points) {
+  std::ostringstream os;
+  os << "# " << title << '\n';
+  for (const auto& [x, y] : points) {
+    os << format_double(x, 4) << ' ' << format_double(y, 6) << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii_sparkline(std::span<const double> ys) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  std::string out;
+  for (double y : ys) {
+    const double clamped = std::clamp(y, 0.0, 1.0);
+    const auto idx =
+        std::min<std::size_t>(7, static_cast<std::size_t>(clamped * 8.0));
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string format_bytes(double bytes) {
+  std::ostringstream os;
+  if (bytes < 1024.0) {
+    os << format_double(bytes, 0) << " B";
+  } else if (bytes < 1024.0 * 1024.0) {
+    os << format_double(bytes / 1024.0, 2) << " KB";
+  } else {
+    os << format_double(bytes / (1024.0 * 1024.0), 2) << " MB";
+  }
+  return os.str();
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,37 @@
+// Plain-text table and series rendering used by the benchmark harnesses to
+// print the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dohperf::stats {
+
+/// A simple fixed-width text table.  Columns are sized to fit the widest
+/// cell; the first row added is treated as the header.
+class TextTable {
+ public:
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a (x, y) series as two-column text, gnuplot-style, with an
+/// optional title comment line. Used to dump CDF curves for the figures.
+std::string render_series(const std::string& title,
+                          std::span<const std::pair<double, double>> points);
+
+/// An ASCII sparkline of a CDF or series for terminal-friendly output —
+/// renders y in [0,1] using eight vertical bar glyph levels.
+std::string ascii_sparkline(std::span<const double> ys);
+
+/// Format helpers (locale-independent).
+std::string format_double(double v, int precision = 2);
+std::string format_bytes(double bytes);
+
+}  // namespace dohperf::stats

@@ -1,0 +1,126 @@
+#include "survey/deployment.hpp"
+
+namespace dohperf::survey {
+
+ProviderDeployment::ProviderDeployment(
+    simnet::Network& net, simnet::Host& prober_host,
+    const std::vector<ProviderSpec>& providers, simnet::TimeUs latency)
+    : net_(net) {
+  simnet::LinkConfig link;
+  link.latency = latency;
+
+  for (const auto& spec : providers) {
+    auto deployed = std::make_unique<Deployed>();
+    deployed->spec = spec;
+    deployed->host = std::make_unique<simnet::Host>(net_, spec.marker);
+    net_.connect(prober_host.id(), deployed->host->id(), link);
+
+    resolver::EngineConfig engine_config;
+    deployed->engine = std::make_unique<resolver::Engine>(
+        net_.loop(), engine_config);
+
+    // --- DoH service(s). A provider's endpoints share one server: paths
+    // and content types merge (Google's two services are two *markers*).
+    resolver::DohServerConfig doh_config;
+    doh_config.paths.clear();
+    doh_config.support_dns_message = false;
+    doh_config.support_dns_json = false;
+    for (const auto& endpoint : spec.endpoints) {
+      doh_config.paths.insert(endpoint.url_path);
+      doh_config.support_dns_message |= endpoint.dns_message;
+      doh_config.support_dns_json |= endpoint.dns_json;
+    }
+    doh_config.server_header = spec.name;
+    doh_config.tls.versions = spec.tls_versions;
+    doh_config.tls.chain = tlssim::CertificateChain::generic(
+        spec.hostname, spec.certificate_bytes);
+    doh_config.tls.chain.ct_logged = spec.certificate_transparency;
+    doh_config.tls.chain.ocsp_must_staple = spec.ocsp_must_staple;
+    deployed->doh = std::make_unique<resolver::DohServer>(
+        *deployed->host, *deployed->engine, doh_config, 443);
+
+    // --- DoT where offered.
+    if (spec.dns_over_tls) {
+      resolver::DotServerConfig dot_config;
+      dot_config.tls.versions = spec.tls_versions;
+      dot_config.tls.chain = doh_config.tls.chain;
+      // Of the three public DoT deployments, only Cloudflare answers
+      // out of order (§3).
+      dot_config.out_of_order = spec.marker == "CF";
+      deployed->dot = std::make_unique<resolver::DotServer>(
+          *deployed->host, *deployed->engine, dot_config, 853);
+    }
+
+    // --- QUIC probe responder: a UDP listener on 443 that answers any
+    // datagram (standing in for a QUIC Initial/Version-Negotiation
+    // exchange, which is all the probe needs to detect support).
+    if (spec.quic) {
+      auto& socket = deployed->host->udp_open(443);
+      deployed->quic_socket = &socket;
+      socket.set_receiver(
+          [&socket](const dns::Bytes&, simnet::Address from) {
+            socket.send_to(from, dns::to_bytes("quic-version-negotiation"));
+          });
+    }
+
+    // --- CAA records in the shared public zone.
+    const dns::Name provider_name = dns::Name::parse(spec.hostname);
+    if (spec.dns_caa) {
+      zone_[provider_name] = {dns::ResourceRecord::caa(
+          provider_name, 0, "issue", "pki.goog")};
+    }
+
+    providers_.emplace(spec.marker, std::move(deployed));
+  }
+
+  // --- The public authoritative zone server for CAA lookups.
+  zone_host_ = std::make_unique<simnet::Host>(net_, "public-dns");
+  net_.connect(prober_host.id(), zone_host_->id(), link);
+  zone_socket_ = &zone_host_->udp_open(53);
+  zone_socket_->set_receiver([this](const dns::Bytes& payload,
+                                    simnet::Address from) {
+    dns::Message query;
+    try {
+      query = dns::Message::decode(payload);
+    } catch (const dns::WireError&) {
+      return;
+    }
+    if (query.questions.empty()) return;
+    const auto& q = query.questions.front();
+    dns::Message response;
+    const auto it = zone_.find(q.qname);
+    if (it != zone_.end() && q.qtype == dns::RType::kCAA) {
+      response = dns::Message::make_response(query, it->second);
+    } else {
+      // NOERROR with empty answer — the name exists, the record does not.
+      response = dns::Message::make_response(query, {});
+    }
+    zone_socket_->send_to(from, response.encode());
+  });
+}
+
+simnet::Address ProviderDeployment::doh_address(
+    const std::string& marker) const {
+  return {providers_.at(marker)->host->id(), 443};
+}
+
+simnet::Address ProviderDeployment::dot_address(
+    const std::string& marker) const {
+  return {providers_.at(marker)->host->id(), 853};
+}
+
+simnet::Address ProviderDeployment::quic_address(
+    const std::string& marker) const {
+  return {providers_.at(marker)->host->id(), 443};
+}
+
+simnet::Address ProviderDeployment::zone_server_address() const {
+  return {zone_host_->id(), 53};
+}
+
+const ProviderSpec& ProviderDeployment::spec(
+    const std::string& marker) const {
+  return providers_.at(marker)->spec;
+}
+
+}  // namespace dohperf::survey

@@ -1,0 +1,62 @@
+// Deploys a simulated instance of each surveyed provider: its DoH server(s)
+// with the configured paths/content types/TLS versions/certificate, its DoT
+// server when it runs one, a QUIC responder when it supports QUIC, and an
+// authoritative zone (with or without CAA records) served over UDP so the
+// prober can look up CAA the way the paper did.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "resolver/doh_server.hpp"
+#include "resolver/dot_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "simnet/host.hpp"
+#include "survey/providers.hpp"
+
+namespace dohperf::survey {
+
+class ProviderDeployment {
+ public:
+  /// Builds hosts for every provider and links them to `prober_host`.
+  ProviderDeployment(simnet::Network& net, simnet::Host& prober_host,
+                     const std::vector<ProviderSpec>& providers,
+                     simnet::TimeUs latency = simnet::ms(10));
+
+  ProviderDeployment(const ProviderDeployment&) = delete;
+  ProviderDeployment& operator=(const ProviderDeployment&) = delete;
+
+  /// Transport address of a provider's DoH service (port 443).
+  simnet::Address doh_address(const std::string& marker) const;
+  /// DoT address (port 853); valid even if unsupported (probe will fail).
+  simnet::Address dot_address(const std::string& marker) const;
+  /// UDP port 443 for the QUIC probe.
+  simnet::Address quic_address(const std::string& marker) const;
+
+  /// Address of the public authoritative DNS (UDP 53) hosting every
+  /// provider's zone, for CAA lookups.
+  simnet::Address zone_server_address() const;
+
+  const ProviderSpec& spec(const std::string& marker) const;
+
+ private:
+  struct Deployed {
+    ProviderSpec spec;
+    std::unique_ptr<simnet::Host> host;
+    std::unique_ptr<resolver::Engine> engine;
+    std::unique_ptr<resolver::DohServer> doh;
+    std::unique_ptr<resolver::DotServer> dot;
+    simnet::UdpSocket* quic_socket = nullptr;  // owned by host
+  };
+
+  simnet::Network& net_;
+  std::map<std::string, std::unique_ptr<Deployed>> providers_;
+
+  // The "public DNS" used for CAA lookups: hosts CAA records of every
+  // provider that publishes them.
+  std::unique_ptr<simnet::Host> zone_host_;
+  simnet::UdpSocket* zone_socket_ = nullptr;
+  std::map<dns::Name, std::vector<dns::ResourceRecord>> zone_;
+};
+
+}  // namespace dohperf::survey

@@ -1,0 +1,163 @@
+#include "survey/prober.hpp"
+
+#include "simnet/stream.hpp"
+
+namespace dohperf::survey {
+
+namespace {
+const dns::Name kProbeName = dns::Name::parse("probe.example.com");
+}
+
+Prober::Prober(simnet::Host& host, const ProviderDeployment& deployment)
+    : host_(host), deployment_(deployment) {}
+
+void Prober::probe(const ProviderSpec& spec) {
+  ProbeResult& result = results_[spec.marker];
+  result.marker = spec.marker;
+  result.hostname = spec.hostname;
+  probe_content_types(spec, result);
+  probe_tls_versions(spec, result);
+  probe_certificate(spec, result);
+  probe_caa(spec, result);
+  probe_quic(spec, result);
+  probe_dot(spec, result);
+}
+
+void Prober::probe_content_types(const ProviderSpec& spec,
+                                 ProbeResult& result) {
+  for (const auto& endpoint : spec.endpoints) {
+    // Wire-format probe: RFC 8484 POST.
+    {
+      core::DohClientConfig config;
+      config.server_name = spec.hostname;
+      config.path = endpoint.url_path;
+      config.method = core::DohMethod::kPost;
+      config.persistent = false;
+      auto client = std::make_unique<core::DohClient>(
+          host_, deployment_.doh_address(spec.marker), config);
+      ProbeResult* r = &result;
+      const std::string path = endpoint.url_path;
+      client->resolve(kProbeName, dns::RType::kA,
+                      [r, path](const core::ResolutionResult& rr) {
+                        if (rr.success) {
+                          r->dns_message = true;
+                          r->working_paths.insert(path);
+                        }
+                      });
+      doh_clients_.push_back(std::move(client));
+    }
+    // JSON probe: GET ?name=&type= with Accept: application/dns-json.
+    {
+      core::DohClientConfig config;
+      config.server_name = spec.hostname;
+      config.path = endpoint.url_path;
+      config.method = core::DohMethod::kJsonGet;
+      config.persistent = false;
+      auto client = std::make_unique<core::DohClient>(
+          host_, deployment_.doh_address(spec.marker), config);
+      ProbeResult* r = &result;
+      const std::string path = endpoint.url_path;
+      client->resolve(kProbeName, dns::RType::kA,
+                      [r, path](const core::ResolutionResult& rr) {
+                        if (rr.success) {
+                          r->dns_json = true;
+                          r->working_paths.insert(path);
+                        }
+                      });
+      doh_clients_.push_back(std::move(client));
+    }
+  }
+}
+
+void Prober::probe_tls_versions(const ProviderSpec& spec,
+                                ProbeResult& result) {
+  using tlssim::TlsVersion;
+  for (const TlsVersion version :
+       {TlsVersion::kTls10, TlsVersion::kTls11, TlsVersion::kTls12,
+        TlsVersion::kTls13}) {
+    // Offer exactly one version: success <=> the server accepts it.
+    tlssim::ClientConfig config;
+    config.sni = spec.hostname;
+    config.min_version = version;
+    config.max_version = version;
+    config.alpn = {"h2", "http/1.1"};
+    auto probe = std::make_unique<tlssim::TlsConnection>(
+        std::make_unique<simnet::TcpByteStream>(
+            host_.tcp_connect(deployment_.doh_address(spec.marker))),
+        std::move(config));
+    tlssim::TlsConnection* raw = probe.get();
+    ProbeResult* r = &result;
+    tlssim::TlsConnection::Handlers handlers;
+    handlers.on_open = [r, raw, version]() {
+      r->tls[version] = true;
+      raw->close();
+    };
+    handlers.on_close = [r, version]() {
+      // Only record failure if success never fired.
+      if (r->tls.find(version) == r->tls.end()) r->tls[version] = false;
+    };
+    probe->set_handlers(std::move(handlers));
+    tls_probes_.push_back(std::move(probe));
+  }
+}
+
+void Prober::probe_certificate(const ProviderSpec& spec,
+                               ProbeResult& result) {
+  // Full TLS 1.2+ handshake; inspect the certificate message.
+  tlssim::ClientConfig config;
+  config.sni = spec.hostname;
+  config.alpn = {"h2", "http/1.1"};
+  auto probe = std::make_unique<tlssim::TlsConnection>(
+      std::make_unique<simnet::TcpByteStream>(
+          host_.tcp_connect(deployment_.doh_address(spec.marker))),
+      std::move(config));
+  tlssim::TlsConnection* raw = probe.get();
+  ProbeResult* r = &result;
+  tlssim::TlsConnection::Handlers handlers;
+  handlers.on_open = [r, raw]() {
+    if (const auto& cert = raw->peer_certificate()) {
+      r->certificate_transparency = cert->ct_logged;
+      r->ocsp_must_staple = cert->ocsp_must_staple;
+    }
+    raw->close();
+  };
+  probe->set_handlers(std::move(handlers));
+  tls_probes_.push_back(std::move(probe));
+}
+
+void Prober::probe_caa(const ProviderSpec& spec, ProbeResult& result) {
+  auto client = std::make_unique<core::UdpResolverClient>(
+      host_, deployment_.zone_server_address());
+  ProbeResult* r = &result;
+  client->resolve(dns::Name::parse(spec.hostname), dns::RType::kCAA,
+                  [r](const core::ResolutionResult& rr) {
+                    r->dns_caa = rr.success && !rr.response.answers.empty();
+                  });
+  udp_clients_.push_back(std::move(client));
+}
+
+void Prober::probe_quic(const ProviderSpec& spec, ProbeResult& result) {
+  // A bare datagram to UDP 443: a QUIC-capable stack answers (with version
+  // negotiation); everything else stays silent.
+  auto& socket = host_.udp_open();
+  ProbeResult* r = &result;
+  socket.set_receiver(
+      [r](const dns::Bytes&, simnet::Address) { r->quic = true; });
+  socket.send_to(deployment_.quic_address(spec.marker),
+                 dns::to_bytes("quic-initial-probe"));
+}
+
+void Prober::probe_dot(const ProviderSpec& spec, ProbeResult& result) {
+  core::DotClientConfig config;
+  config.server_name = spec.hostname;
+  auto client = std::make_unique<core::DotClient>(
+      host_, deployment_.dot_address(spec.marker), config);
+  ProbeResult* r = &result;
+  client->resolve(kProbeName, dns::RType::kA,
+                  [r](const core::ResolutionResult& rr) {
+                    r->dns_over_tls = rr.success;
+                  });
+  dot_clients_.push_back(std::move(client));
+}
+
+}  // namespace dohperf::survey

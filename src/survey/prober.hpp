@@ -1,0 +1,69 @@
+// The survey prober: assesses a DoH service's feature set by exercising it
+// — the §2 methodology. For each provider it
+//   * POSTs an application/dns-message query to each path (wire format?)
+//   * GETs ?name=&type= asking for application/dns-json (JSON support?)
+//   * walks TLS 1.0-1.3, offering exactly one version per handshake
+//   * inspects the served certificate (CT logging, OCSP must-staple)
+//   * queries the public DNS for CAA records on the provider's name
+//   * sends a QUIC initial to UDP 443 (does anything answer?)
+//   * attempts a DNS-over-TLS query on 853
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/doh_client.hpp"
+#include "core/dot_client.hpp"
+#include "core/udp_client.hpp"
+#include "survey/deployment.hpp"
+
+namespace dohperf::survey {
+
+struct ProbeResult {
+  std::string marker;
+  std::string hostname;
+  std::set<std::string> working_paths;
+  bool dns_message = false;
+  bool dns_json = false;
+  std::map<tlssim::TlsVersion, bool> tls;
+  bool certificate_transparency = false;
+  bool ocsp_must_staple = false;
+  bool dns_caa = false;
+  bool quic = false;
+  bool dns_over_tls = false;
+};
+
+class Prober {
+ public:
+  Prober(simnet::Host& host, const ProviderDeployment& deployment);
+
+  /// Run every probe against one provider; the event loop must then be run
+  /// to completion, after which result() is valid.
+  void probe(const ProviderSpec& spec);
+
+  const ProbeResult& result(const std::string& marker) const {
+    return results_.at(marker);
+  }
+  std::map<std::string, ProbeResult>& results() { return results_; }
+
+ private:
+  void probe_content_types(const ProviderSpec& spec, ProbeResult& result);
+  void probe_tls_versions(const ProviderSpec& spec, ProbeResult& result);
+  void probe_certificate(const ProviderSpec& spec, ProbeResult& result);
+  void probe_caa(const ProviderSpec& spec, ProbeResult& result);
+  void probe_quic(const ProviderSpec& spec, ProbeResult& result);
+  void probe_dot(const ProviderSpec& spec, ProbeResult& result);
+
+  simnet::Host& host_;
+  const ProviderDeployment& deployment_;
+  std::map<std::string, ProbeResult> results_;
+
+  // Keep probe clients alive until the loop drains.
+  std::vector<std::unique_ptr<core::DohClient>> doh_clients_;
+  std::vector<std::unique_ptr<core::DotClient>> dot_clients_;
+  std::vector<std::unique_ptr<core::UdpResolverClient>> udp_clients_;
+  std::vector<std::unique_ptr<tlssim::TlsConnection>> tls_probes_;
+};
+
+}  // namespace dohperf::survey

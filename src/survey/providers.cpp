@@ -1,0 +1,166 @@
+#include "survey/providers.hpp"
+
+namespace dohperf::survey {
+
+using tlssim::TlsVersion;
+
+std::string to_string(TrafficSteering s) {
+  switch (s) {
+    case TrafficSteering::kDnsLoadBalancing: return "DNS Load Balancing";
+    case TrafficSteering::kAnycast: return "Anycast";
+    case TrafficSteering::kUnicast: return "Unicast";
+  }
+  return "?";
+}
+
+const std::vector<ProviderSpec>& paper_providers() {
+  static const std::vector<ProviderSpec> kProviders = [] {
+    std::vector<ProviderSpec> providers;
+
+    {
+      // Google runs two services on one domain: /resolve (JSON only, G1)
+      // and /dns-query (wire format only, G2, formerly /experimental).
+      ProviderSpec p;
+      p.name = "Google (i)";
+      p.marker = "G1";
+      p.hostname = "dns.google.com";
+      p.endpoints = {{"/resolve", /*dns_message=*/false, /*dns_json=*/true}};
+      p.tls_versions = {TlsVersion::kTls12, TlsVersion::kTls13};
+      p.certificate_bytes = 3101;  // measured in §4
+      p.dns_caa = true;            // only Google publishes CAA (Table 2)
+      p.quic = true;
+      p.dns_over_tls = true;
+      p.steering = TrafficSteering::kDnsLoadBalancing;
+      providers.push_back(p);
+
+      p.name = "Google (ii)";
+      p.marker = "G2";
+      p.endpoints = {{"/dns-query", /*dns_message=*/true, /*dns_json=*/false}};
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "Cloudflare";
+      p.marker = "CF";
+      p.hostname = "cloudflare-dns.com";
+      p.endpoints = {{"/dns-query", true, true}};
+      p.tls_versions = {TlsVersion::kTls10, TlsVersion::kTls11,
+                        TlsVersion::kTls12, TlsVersion::kTls13};
+      p.certificate_bytes = 1960;  // measured in §4
+      p.quic = false;
+      p.dns_over_tls = true;
+      p.steering = TrafficSteering::kAnycast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "Quad9";
+      p.marker = "Q9";
+      p.hostname = "dns.quad9.net";
+      p.endpoints = {{"/dns-query", true, true}};
+      p.tls_versions = {TlsVersion::kTls12, TlsVersion::kTls13};
+      p.dns_over_tls = true;
+      p.steering = TrafficSteering::kAnycast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "CleanBrowsing";
+      p.marker = "CB";
+      p.hostname = "doh.cleanbrowsing.org";
+      p.endpoints = {{"/doh/family-filter", true, false}};
+      p.tls_versions = {TlsVersion::kTls12};
+      p.dns_over_tls = true;
+      p.steering = TrafficSteering::kAnycast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "PowerDNS";
+      p.marker = "PD";
+      p.hostname = "doh.powerdns.org";
+      p.endpoints = {{"/", true, false}};
+      p.tls_versions = {TlsVersion::kTls10, TlsVersion::kTls11,
+                        TlsVersion::kTls12, TlsVersion::kTls13};
+      p.steering = TrafficSteering::kUnicast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "Blahdns";
+      p.marker = "BD";
+      p.hostname = "doh-ch.blahdns.com";
+      p.endpoints = {{"/dns-query", true, true}};
+      p.tls_versions = {TlsVersion::kTls12, TlsVersion::kTls13};
+      p.steering = TrafficSteering::kUnicast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "SecureDNS";
+      p.marker = "SD";
+      p.hostname = "doh.securedns.eu";
+      p.endpoints = {{"/dns-query", true, false}};
+      p.tls_versions = {TlsVersion::kTls10, TlsVersion::kTls11,
+                        TlsVersion::kTls12, TlsVersion::kTls13};
+      p.steering = TrafficSteering::kUnicast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "Rubyfish";
+      p.marker = "RF";
+      p.hostname = "dns.rubyfish.cn";
+      p.endpoints = {{"/dns-query", true, true}};
+      p.tls_versions = {TlsVersion::kTls10, TlsVersion::kTls11,
+                        TlsVersion::kTls12};
+      p.steering = TrafficSteering::kUnicast;
+      providers.push_back(p);
+    }
+    {
+      ProviderSpec p;
+      p.name = "Commons Host";
+      p.marker = "CH";
+      p.hostname = "commons.host";
+      p.endpoints = {{"/", true, false}};
+      p.tls_versions = {TlsVersion::kTls12, TlsVersion::kTls13};
+      p.steering = TrafficSteering::kAnycast;
+      providers.push_back(p);
+    }
+    return providers;
+  }();
+  return kProviders;
+}
+
+const std::vector<ProviderSpec>& paper_providers_2018() {
+  static const std::vector<ProviderSpec> kProviders = [] {
+    // Start from the 2019 snapshot and roll back the changes §2 reports.
+    std::vector<ProviderSpec> providers = paper_providers();
+    for (auto& p : providers) {
+      // October 2018: only Cloudflare and SecureDNS offered TLS 1.3.
+      if (p.marker != "CF" && p.marker != "SD") {
+        p.tls_versions.erase(TlsVersion::kTls13);
+      }
+      // Google's RFC-format service was still called /experimental.
+      if (p.marker == "G2") {
+        p.endpoints = {{"/experimental", true, false}};
+      }
+      // Further path differences that made six distinct paths in 2018.
+      // The paper reports the count but (beyond /experimental) not the
+      // exact 2018 paths; this reconstruction is approximate.
+      if (p.marker == "CB") {
+        p.endpoints = {{"/doh/family-filter/", true, false}};
+      }
+      if (p.marker == "CH") {
+        p.endpoints = {{"/dns-query", true, false}};
+      }
+      if (p.marker == "RF") {
+        p.endpoints = {{"/dns-query/", true, true}};
+      }
+    }
+    return providers;
+  }();
+  return kProviders;
+}
+
+}  // namespace dohperf::survey

@@ -1,0 +1,59 @@
+// Ground truth for the DoH landscape survey (Tables 1 and 2 of the paper,
+// as verified by the authors on 10 September 2019).
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper probes live services; we
+// deploy simulated services configured from this table and then probe them
+// with the same message flows, so the *methodology* — not the Internet —
+// is what the survey module reproduces.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tlssim/types.hpp"
+
+namespace dohperf::survey {
+
+enum class TrafficSteering {
+  kDnsLoadBalancing,  ///< DL — Google
+  kAnycast,           ///< AC — Cloudflare, Quad9, CleanBrowsing, Commons Host
+  kUnicast,           ///< UC — PowerDNS, Blahdns, SecureDNS, Rubyfish
+};
+
+std::string to_string(TrafficSteering s);
+
+/// One DoH service endpoint (a provider may run several URLs).
+struct EndpointSpec {
+  std::string url_path;       ///< e.g. "/dns-query"
+  bool dns_message = true;    ///< application/dns-message support
+  bool dns_json = false;      ///< application/dns-json support
+};
+
+struct ProviderSpec {
+  std::string name;            ///< e.g. "Cloudflare"
+  std::string marker;          ///< Table 2 column id, e.g. "CF"
+  std::string hostname;        ///< e.g. "cloudflare-dns.com"
+  std::vector<EndpointSpec> endpoints;
+  std::set<tlssim::TlsVersion> tls_versions;
+  std::size_t certificate_bytes = 2500;
+  bool certificate_transparency = true;
+  bool dns_caa = false;
+  bool ocsp_must_staple = false;
+  bool quic = false;
+  bool dns_over_tls = false;
+  TrafficSteering steering = TrafficSteering::kUnicast;
+};
+
+/// The nine providers of Table 1 (Google appears as two service markers,
+/// G1 and G2, because its two URLs behave differently), as verified on
+/// 10 September 2019.
+const std::vector<ProviderSpec>& paper_providers();
+
+/// The same providers as first collected on 10 October 2018 (§2): six
+/// distinct URL paths instead of four (Google's wire-format service still
+/// lived at /experimental, CleanBrowsing used /doh/family-filter/, Commons
+/// Host used /dns-query), and only Cloudflare and SecureDNS spoke TLS 1.3.
+const std::vector<ProviderSpec>& paper_providers_2018();
+
+}  // namespace dohperf::survey

@@ -1,0 +1,94 @@
+#include "survey/report.hpp"
+
+#include "stats/table.hpp"
+
+namespace dohperf::survey {
+
+namespace {
+
+std::string yes_no(bool b) { return b ? "Y" : "-"; }
+
+std::string steering_code(TrafficSteering s) {
+  switch (s) {
+    case TrafficSteering::kDnsLoadBalancing: return "DL";
+    case TrafficSteering::kAnycast: return "AC";
+    case TrafficSteering::kUnicast: return "UC";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_table1(const std::vector<ProviderSpec>& providers) {
+  stats::TextTable table;
+  table.add_row({"Provider", "DoH URL", "MK"});
+  for (const auto& p : providers) {
+    bool first = true;
+    for (const auto& endpoint : p.endpoints) {
+      table.add_row({first ? p.name : "",
+                     "https://" + p.hostname + endpoint.url_path,
+                     first ? p.marker : ""});
+      first = false;
+    }
+  }
+  return table.render();
+}
+
+std::string render_table2(
+    const std::vector<ProviderSpec>& providers,
+    const std::map<std::string, ProbeResult>& results) {
+  using tlssim::TlsVersion;
+  stats::TextTable table;
+
+  std::vector<std::string> header{"Feature"};
+  for (const auto& p : providers) header.push_back(p.marker);
+  table.add_row(header);
+
+  const auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const auto& p : providers) {
+      cells.push_back(getter(results.at(p.marker), p));
+    }
+    table.add_row(cells);
+  };
+
+  row("dns-message", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.dns_message);
+  });
+  row("dns-json", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.dns_json);
+  });
+  for (const auto& [version, label] :
+       {std::pair{TlsVersion::kTls10, "TLS 1.0"},
+        std::pair{TlsVersion::kTls11, "TLS 1.1"},
+        std::pair{TlsVersion::kTls12, "TLS 1.2"},
+        std::pair{TlsVersion::kTls13, "TLS 1.3"}}) {
+    row(label, [version](const ProbeResult& r, const ProviderSpec&) {
+      const auto it = r.tls.find(version);
+      return yes_no(it != r.tls.end() && it->second);
+    });
+  }
+  row("CT", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.certificate_transparency);
+  });
+  row("DNS CAA", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.dns_caa);
+  });
+  row("OCSP MS", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.ocsp_must_staple);
+  });
+  row("QUIC", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.quic);
+  });
+  row("DNS-over-TLS", [](const ProbeResult& r, const ProviderSpec&) {
+    return yes_no(r.dns_over_tls);
+  });
+  // Steering is not actively probed (the paper derived it from routing
+  // data); reproduced from the provider configuration.
+  row("Traf. Steering", [](const ProbeResult&, const ProviderSpec& p) {
+    return steering_code(p.steering);
+  });
+  return table.render();
+}
+
+}  // namespace dohperf::survey

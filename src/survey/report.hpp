@@ -1,0 +1,21 @@
+// Renders the probe results as the paper's Table 1 (services and URLs) and
+// Table 2 (feature matrix).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "survey/prober.hpp"
+
+namespace dohperf::survey {
+
+/// Table 1: provider, DoH URL(s), marker.
+std::string render_table1(const std::vector<ProviderSpec>& providers);
+
+/// Table 2: feature rows x provider columns, from *probed* results.
+/// `steering_from_spec` reproduces the traffic-steering row, which the
+/// paper derived from routing data rather than active probing.
+std::string render_table2(const std::vector<ProviderSpec>& providers,
+                          const std::map<std::string, ProbeResult>& results);
+
+}  // namespace dohperf::survey

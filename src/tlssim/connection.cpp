@@ -1,0 +1,481 @@
+#include "tlssim/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dohperf::tlssim {
+
+namespace {
+
+bool version_le(TlsVersion a, TlsVersion b) noexcept {
+  return static_cast<std::uint16_t>(a) <= static_cast<std::uint16_t>(b);
+}
+
+}  // namespace
+
+TlsConnection::TlsConnection(std::unique_ptr<ByteStream> transport,
+                             ClientConfig config)
+    : transport_(std::move(transport)), role_(TlsRole::kClient),
+      client_config_(std::move(config)) {
+  Handlers h;
+  h.on_open = [this]() { on_transport_open(); };
+  h.on_data = [this](std::span<const std::uint8_t> d) { on_transport_data(d); };
+  h.on_close = [this]() { on_transport_close(); };
+  transport_->set_handlers(std::move(h));
+}
+
+TlsConnection::TlsConnection(std::unique_ptr<ByteStream> transport,
+                             const ServerConfig* config)
+    : transport_(std::move(transport)), role_(TlsRole::kServer),
+      server_config_(config) {
+  assert(config != nullptr);
+  Handlers h;
+  h.on_open = []() {};  // server waits for the ClientHello
+  h.on_data = [this](std::span<const std::uint8_t> d) { on_transport_data(d); };
+  h.on_close = [this]() { on_transport_close(); };
+  transport_->set_handlers(std::move(h));
+}
+
+void TlsConnection::set_handlers(Handlers handlers) {
+  handlers_ = std::move(handlers);
+  if (established_) {
+    if (const auto on_open = handlers_.on_open) on_open();
+  }
+}
+
+std::size_t TlsConnection::send_tag_bytes() const noexcept {
+  if (!send_encrypted_) return 0;
+  return version_ == TlsVersion::kTls13 ? kAeadTagBytes + 1
+                                        : kTls12RecordOverhead;
+}
+
+std::size_t TlsConnection::recv_tag_bytes() const noexcept {
+  if (!recv_encrypted_) return 0;
+  return version_ == TlsVersion::kTls13 ? kAeadTagBytes + 1
+                                        : kTls12RecordOverhead;
+}
+
+Bytes TlsConnection::expected_ticket() const {
+  assert(role_ == TlsRole::kServer);
+  return dns::to_bytes("TKT|" + server_config_->chain.subject);
+}
+
+void TlsConnection::send_record(ContentType type, Bytes body) {
+  // CCS records are never encrypted (middlebox-compatibility framing).
+  const std::size_t tag =
+      type == ContentType::kChangeCipherSpec ? 0 : send_tag_bytes();
+  const std::size_t record_len = body.size() + tag;
+  if (record_len > kMaxFragment + 256) throw WireError("record too large");
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0x0303);  // legacy record version
+  w.u16(static_cast<std::uint16_t>(record_len));
+  w.bytes(body);
+  for (std::size_t i = 0; i < tag; ++i) w.u8(0);  // synthetic AEAD expansion
+
+  ++counters_.records_sent;
+  const std::size_t wire = kRecordHeaderBytes + record_len;
+  if (type == ContentType::kApplicationData) {
+    counters_.app_bytes_sent += body.size();
+    counters_.record_overhead_sent += kRecordHeaderBytes + tag;
+  } else {
+    counters_.handshake_bytes_sent += wire;
+  }
+  transport_->send(w.take());
+}
+
+void TlsConnection::send_alert(AlertDescription desc, bool fatal) {
+  ByteWriter body;
+  body.u8(fatal ? 2 : 1);
+  body.u8(static_cast<std::uint8_t>(desc));
+  send_record(ContentType::kAlert, body.take());
+}
+
+void TlsConnection::send_change_cipher_spec() {
+  send_record(ContentType::kChangeCipherSpec, Bytes{1});
+}
+
+void TlsConnection::on_transport_open() {
+  if (role_ == TlsRole::kClient) send_client_hello();
+}
+
+void TlsConnection::send_client_hello() {
+  ClientHello ch;
+  ch.min_version = client_config_.min_version;
+  ch.max_version = client_config_.max_version;
+  ch.sni = client_config_.sni;
+  ch.alpn = client_config_.alpn;
+  if (client_config_.session_cache != nullptr) {
+    if (const auto session =
+            client_config_.session_cache->lookup(client_config_.sni)) {
+      ch.session_ticket = session->ticket;
+    }
+  }
+  ByteWriter w;
+  encode_client_hello(w, ch);
+  send_record(ContentType::kHandshake, w.take());
+}
+
+void TlsConnection::on_transport_data(std::span<const std::uint8_t> data) {
+  rx_buffer_.insert(rx_buffer_.end(), data.begin(), data.end());
+  process_rx_buffer();
+}
+
+void TlsConnection::process_rx_buffer() {
+  for (;;) {
+    if (closed_ || failed_) return;
+    if (rx_buffer_.size() < kRecordHeaderBytes) return;
+    const std::size_t record_len =
+        (static_cast<std::size_t>(rx_buffer_[3]) << 8) | rx_buffer_[4];
+    if (rx_buffer_.size() < kRecordHeaderBytes + record_len) return;
+
+    const auto type = static_cast<ContentType>(rx_buffer_[0]);
+    ++counters_.records_received;
+
+    // Strip the synthetic AEAD expansion for encrypted record types.
+    const std::size_t tag = type == ContentType::kChangeCipherSpec
+                                ? 0
+                                : recv_tag_bytes();
+    if (record_len < tag) throw WireError("record shorter than AEAD tag");
+    const std::size_t body_len = record_len - tag;
+
+    const std::size_t wire = kRecordHeaderBytes + record_len;
+    if (type == ContentType::kApplicationData) {
+      counters_.app_bytes_received += body_len;
+      counters_.record_overhead_received += kRecordHeaderBytes + tag;
+    } else {
+      counters_.handshake_bytes_received += wire;
+    }
+
+    // Copy out the body, then drop the record from the buffer before
+    // dispatching (handlers may re-enter by sending data).
+    Bytes body(rx_buffer_.begin() + kRecordHeaderBytes,
+               rx_buffer_.begin() +
+                   static_cast<std::ptrdiff_t>(kRecordHeaderBytes + body_len));
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() +
+                         static_cast<std::ptrdiff_t>(kRecordHeaderBytes +
+                                                     record_len));
+    handle_record(type, body);
+  }
+}
+
+void TlsConnection::handle_record(ContentType type,
+                                  std::span<const std::uint8_t> body) {
+  switch (type) {
+    case ContentType::kChangeCipherSpec:
+      // In TLS 1.2 the peer's CCS switches its direction to encrypted.
+      if (version_ != TlsVersion::kTls13) recv_encrypted_ = true;
+      return;
+    case ContentType::kAlert: {
+      if (body.size() < 2) throw WireError("short alert");
+      const auto desc = static_cast<AlertDescription>(body[1]);
+      if (desc == AlertDescription::kCloseNotify) {
+        closed_ = true;
+        // Complete the TCP teardown from our side too, as real TLS stacks
+        // do on close_notify — otherwise the peer lingers in FIN_WAIT_2.
+        transport_->close();
+        if (const auto on_close = handlers_.on_close) on_close();
+      } else {
+        failed_ = true;
+        failure_alert_ = desc;
+        if (handlers_.on_close) handlers_.on_close();
+      }
+      return;
+    }
+    case ContentType::kApplicationData: {
+      if (handlers_.on_data) handlers_.on_data(body);
+      return;
+    }
+    case ContentType::kHandshake: {
+      ByteReader r(body);
+      while (!r.exhausted()) {
+        handle_handshake_message(decode_handshake(r));
+        if (failed_ || closed_) return;
+      }
+      return;
+    }
+  }
+  throw WireError("unknown record type");
+}
+
+void TlsConnection::handle_client_hello(const ClientHello& ch) {
+  assert(role_ == TlsRole::kServer);
+  // --- version negotiation --------------------------------------------------
+  std::optional<TlsVersion> chosen;
+  for (const TlsVersion v : server_config_->versions) {
+    if (version_le(ch.min_version, v) && version_le(v, ch.max_version)) {
+      if (!chosen || version_le(*chosen, v)) chosen = v;
+    }
+  }
+  if (!chosen) {
+    fail(AlertDescription::kHandshakeFailure);
+    return;
+  }
+  version_ = *chosen;
+
+  // --- ALPN -------------------------------------------------------------------
+  alpn_.clear();
+  if (!ch.alpn.empty()) {
+    for (const auto& preferred : server_config_->alpn_preference) {
+      if (std::find(ch.alpn.begin(), ch.alpn.end(), preferred) !=
+          ch.alpn.end()) {
+        alpn_ = preferred;
+        break;
+      }
+    }
+    if (alpn_.empty()) {
+      fail(AlertDescription::kNoApplicationProtocol);
+      return;
+    }
+  }
+
+  // --- resumption --------------------------------------------------------------
+  resumed_ = server_config_->issue_session_tickets &&
+             !ch.session_ticket.empty() &&
+             ch.session_ticket == expected_ticket();
+
+  // --- server flight -------------------------------------------------------------
+  ServerHello sh;
+  sh.version = version_;
+  sh.alpn = alpn_;
+  sh.resumed = resumed_;
+  {
+    ByteWriter w;
+    encode_server_hello(w, sh);
+    send_record(ContentType::kHandshake, w.take());
+  }
+
+  if (version_ == TlsVersion::kTls13) {
+    send_change_cipher_spec();
+    send_encrypted_ = true;
+    ByteWriter flight;
+    encode_plain(flight, HsType::kEncryptedExtensions,
+                 kEncryptedExtensionsBody);
+    if (!resumed_) {
+      CertificateMsg cert;
+      cert.subject = server_config_->chain.subject;
+      cert.certificate_count =
+          static_cast<std::uint8_t>(server_config_->chain.certificate_count);
+      cert.ct_logged = server_config_->chain.ct_logged;
+      cert.ocsp_must_staple = server_config_->chain.ocsp_must_staple;
+      cert.chain_bytes =
+          static_cast<std::uint32_t>(server_config_->chain.wire_bytes);
+      encode_certificate(flight, cert);
+      encode_plain(flight, HsType::kCertificateVerify, kCertificateVerifyBody);
+    }
+    encode_plain(flight, HsType::kFinished, kFinishedBody);
+    send_record(ContentType::kHandshake, flight.take());
+    sent_finished_ = true;
+    recv_encrypted_ = true;  // client's Finished arrives encrypted
+  } else {
+    // TLS 1.2 and below.
+    if (resumed_) {
+      send_change_cipher_spec();
+      send_encrypted_ = true;
+      ByteWriter w;
+      encode_plain(w, HsType::kFinished, kFinishedBody);
+      send_record(ContentType::kHandshake, w.take());
+      sent_finished_ = true;
+    } else {
+      ByteWriter flight;
+      CertificateMsg cert;
+      cert.subject = server_config_->chain.subject;
+      cert.certificate_count =
+          static_cast<std::uint8_t>(server_config_->chain.certificate_count);
+      cert.ct_logged = server_config_->chain.ct_logged;
+      cert.ocsp_must_staple = server_config_->chain.ocsp_must_staple;
+      cert.chain_bytes =
+          static_cast<std::uint32_t>(server_config_->chain.wire_bytes);
+      encode_certificate(flight, cert);
+      encode_plain(flight, HsType::kServerKeyExchange, kServerKeyExchangeBody);
+      encode_plain(flight, HsType::kServerHelloDone, kServerHelloDoneBody);
+      send_record(ContentType::kHandshake, flight.take());
+    }
+  }
+}
+
+void TlsConnection::handle_server_hello(const ServerHello& sh) {
+  assert(role_ == TlsRole::kClient);
+  if (!version_le(client_config_.min_version, sh.version) ||
+      !version_le(sh.version, client_config_.max_version)) {
+    fail(AlertDescription::kProtocolVersion);
+    return;
+  }
+  version_ = sh.version;
+  alpn_ = sh.alpn;
+  resumed_ = sh.resumed;
+  if (version_ == TlsVersion::kTls13) {
+    // Everything after the ServerHello arrives encrypted.
+    recv_encrypted_ = true;
+  }
+}
+
+void TlsConnection::handle_handshake_message(const HandshakeMessage& msg) {
+  switch (msg.type) {
+    case HsType::kClientHello:
+      if (role_ != TlsRole::kServer) throw WireError("unexpected ClientHello");
+      handle_client_hello(*msg.client_hello);
+      return;
+
+    case HsType::kServerHello:
+      if (role_ != TlsRole::kClient) throw WireError("unexpected ServerHello");
+      handle_server_hello(*msg.server_hello);
+      return;
+
+    case HsType::kCertificate:
+      peer_certificate_ = msg.certificate;
+      return;
+
+    case HsType::kEncryptedExtensions:
+    case HsType::kCertificateVerify:
+    case HsType::kServerKeyExchange:
+      return;  // nothing to act on in the simulation
+
+    case HsType::kServerHelloDone: {
+      // TLS 1.2 full handshake: client sends its second flight.
+      assert(role_ == TlsRole::kClient);
+      received_server_hello_done_ = true;
+      ByteWriter cke;
+      encode_plain(cke, HsType::kClientKeyExchange, kClientKeyExchangeBody);
+      send_record(ContentType::kHandshake, cke.take());
+      send_change_cipher_spec();
+      send_encrypted_ = true;
+      ByteWriter fin;
+      encode_plain(fin, HsType::kFinished, kFinishedBody);
+      send_record(ContentType::kHandshake, fin.take());
+      sent_finished_ = true;
+      return;
+    }
+
+    case HsType::kClientKeyExchange:
+      return;  // server: wait for CCS + Finished
+
+    case HsType::kFinished: {
+      received_finished_ = true;
+      if (role_ == TlsRole::kClient) {
+        if (version_ == TlsVersion::kTls13) {
+          // Respond with CCS + our Finished, then we are up.
+          send_change_cipher_spec();
+          send_encrypted_ = true;
+          ByteWriter fin;
+          encode_plain(fin, HsType::kFinished, kFinishedBody);
+          send_record(ContentType::kHandshake, fin.take());
+          sent_finished_ = true;
+          finish_handshake();
+        } else if (resumed_ && !sent_finished_) {
+          // TLS 1.2 resumption: server finished first; reply in kind.
+          send_change_cipher_spec();
+          send_encrypted_ = true;
+          ByteWriter fin;
+          encode_plain(fin, HsType::kFinished, kFinishedBody);
+          send_record(ContentType::kHandshake, fin.take());
+          sent_finished_ = true;
+          finish_handshake();
+        } else {
+          // TLS 1.2 full handshake: server's Finished completes it.
+          finish_handshake();
+        }
+      } else {
+        // Server receiving the client's Finished.
+        if (version_ != TlsVersion::kTls13 && !resumed_) {
+          // Full TLS 1.2: reply with our CCS + Finished.
+          send_change_cipher_spec();
+          send_encrypted_ = true;
+          ByteWriter fin;
+          encode_plain(fin, HsType::kFinished, kFinishedBody);
+          send_record(ContentType::kHandshake, fin.take());
+          sent_finished_ = true;
+        }
+        finish_handshake();
+        // Issue a session ticket for future resumption.
+        if (server_config_->issue_session_tickets) {
+          NewSessionTicketMsg t;
+          t.ticket = expected_ticket();
+          ByteWriter w;
+          encode_new_session_ticket(w, t);
+          send_record(ContentType::kHandshake, w.take());
+        }
+      }
+      return;
+    }
+
+    case HsType::kNewSessionTicket: {
+      if (role_ == TlsRole::kClient &&
+          client_config_.session_cache != nullptr) {
+        client_config_.session_cache->store(
+            client_config_.sni, Session{msg.ticket->ticket, version_});
+      }
+      return;
+    }
+  }
+  throw WireError("unknown handshake message");
+}
+
+void TlsConnection::finish_handshake() {
+  if (established_) return;
+  established_ = true;
+  // Copy before invoking: the handler may replace our handlers (e.g. an
+  // HTTP layer attaching itself on open), which would otherwise destroy
+  // the std::function we are executing.
+  if (const auto on_open = handlers_.on_open) on_open();
+  flush_pending_app_data();
+}
+
+void TlsConnection::fail(AlertDescription desc) {
+  failed_ = true;
+  failure_alert_ = desc;
+  send_alert(desc, /*fatal=*/true);
+  transport_->close();
+  if (handlers_.on_close) handlers_.on_close();
+}
+
+void TlsConnection::send(Bytes data) {
+  if (failed_ || closed_) {
+    throw std::logic_error("send on failed/closed TLS connection");
+  }
+  if (!established_) {
+    pending_app_data_.push_back(std::move(data));
+    return;
+  }
+  // Fragment into records.
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min(kMaxFragment, data.size() - offset);
+    Bytes fragment(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                   data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    send_record(ContentType::kApplicationData, std::move(fragment));
+    offset += chunk;
+  }
+}
+
+void TlsConnection::flush_pending_app_data() {
+  while (!pending_app_data_.empty()) {
+    Bytes data = std::move(pending_app_data_.front());
+    pending_app_data_.pop_front();
+    send(std::move(data));
+  }
+}
+
+void TlsConnection::close() {
+  if (closed_ || failed_) return;
+  closed_ = true;
+  if (established_) send_alert(AlertDescription::kCloseNotify, false);
+  transport_->close();
+}
+
+bool TlsConnection::is_open() const {
+  return established_ && !closed_ && !failed_;
+}
+
+void TlsConnection::on_transport_close() {
+  if (closed_) return;
+  closed_ = true;
+  // The peer closed (or half-closed) the transport: close our side so the
+  // TCP state machines on both ends can finish and free their ports.
+  transport_->close();
+  if (const auto on_close = handlers_.on_close) on_close();
+}
+
+}  // namespace dohperf::tlssim

@@ -1,0 +1,132 @@
+// The TLS connection state machine (client and server roles), layered over
+// any ByteStream and exposing a ByteStream itself.
+//
+// Supported flows:
+//   * TLS 1.3 full (1-RTT) and PSK resumption
+//   * TLS 1.2 full (2-RTT) and ticket resumption
+//   * version negotiation with alert on failure (used by the survey's
+//     TLS-version walk, Table 2)
+//   * ALPN selection (h2 vs http/1.1)
+//   * session ticket issuance and client caching
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "simnet/stream.hpp"
+#include "tlssim/context.hpp"
+#include "tlssim/handshake.hpp"
+#include "tlssim/types.hpp"
+
+namespace dohperf::tlssim {
+
+using simnet::ByteStream;
+
+struct ClientConfig {
+  TlsVersion min_version = TlsVersion::kTls12;
+  TlsVersion max_version = TlsVersion::kTls13;
+  std::string sni;
+  std::vector<std::string> alpn;         ///< e.g. {"h2", "http/1.1"}
+  SessionCache* session_cache = nullptr; ///< enables resumption when set
+};
+
+struct ServerConfig {
+  std::set<TlsVersion> versions = {TlsVersion::kTls12, TlsVersion::kTls13};
+  std::vector<std::string> alpn_preference = {"h2", "http/1.1"};
+  CertificateChain chain = CertificateChain::generic("example.net");
+  bool issue_session_tickets = true;
+};
+
+enum class TlsRole { kClient, kServer };
+
+class TlsConnection final : public ByteStream {
+ public:
+  /// Client: starts the handshake as soon as the transport opens.
+  TlsConnection(std::unique_ptr<ByteStream> transport, ClientConfig config);
+
+  /// Server: `config` must outlive the connection (shared across accepts).
+  TlsConnection(std::unique_ptr<ByteStream> transport,
+                const ServerConfig* config);
+
+  // ByteStream interface. on_open fires when the handshake completes;
+  // send() before that queues plaintext.
+  void set_handlers(Handlers handlers) override;
+  void send(Bytes data) override;
+  void close() override;  ///< close_notify then transport close
+  bool is_open() const override;
+
+  // Introspection (valid once established, or after failure).
+  bool established() const noexcept { return established_; }
+  bool failed() const noexcept { return failed_; }
+  bool closed() const noexcept { return closed_; }
+  std::optional<AlertDescription> failure_alert() const noexcept {
+    return failure_alert_;
+  }
+  TlsVersion version() const noexcept { return version_; }
+  const std::string& alpn() const noexcept { return alpn_; }
+  bool resumed() const noexcept { return resumed_; }
+  /// Client side: the certificate the server presented (full handshake only).
+  const std::optional<CertificateMsg>& peer_certificate() const noexcept {
+    return peer_certificate_;
+  }
+
+  const TlsCounters& counters() const noexcept { return counters_; }
+
+  /// The underlying transport (e.g. to reach TCP counters).
+  ByteStream& transport() noexcept { return *transport_; }
+
+ private:
+  void on_transport_open();
+  void on_transport_data(std::span<const std::uint8_t> data);
+  void on_transport_close();
+
+  void send_client_hello();
+  void handle_client_hello(const ClientHello& ch);
+  void handle_server_hello(const ServerHello& sh);
+  void handle_handshake_message(const HandshakeMessage& msg);
+  void handle_record(ContentType type, std::span<const std::uint8_t> body);
+  void process_rx_buffer();
+
+  /// Wrap and transmit one record. `body` is the plaintext; AEAD expansion
+  /// is appended when the connection's send direction is encrypted.
+  void send_record(ContentType type, Bytes body);
+  void send_alert(AlertDescription desc, bool fatal);
+  void send_change_cipher_spec();
+  void finish_handshake();
+  void fail(AlertDescription desc);
+  void flush_pending_app_data();
+  std::size_t send_tag_bytes() const noexcept;
+  std::size_t recv_tag_bytes() const noexcept;
+  Bytes expected_ticket() const;
+
+  std::unique_ptr<ByteStream> transport_;
+  TlsRole role_;
+  ClientConfig client_config_;
+  const ServerConfig* server_config_ = nullptr;
+  Handlers handlers_;
+  TlsCounters counters_;
+
+  Bytes rx_buffer_;
+  std::deque<Bytes> pending_app_data_;
+
+  TlsVersion version_ = TlsVersion::kTls13;
+  std::string alpn_;
+  bool resumed_ = false;
+  bool established_ = false;
+  bool failed_ = false;
+  bool closed_ = false;
+  std::optional<AlertDescription> failure_alert_;
+  std::optional<CertificateMsg> peer_certificate_;
+
+  /// Cipher state per direction: once true, records gain AEAD expansion.
+  bool send_encrypted_ = false;
+  bool recv_encrypted_ = false;
+
+  // Handshake progress flags.
+  bool sent_finished_ = false;
+  bool received_finished_ = false;
+  bool received_server_hello_done_ = false;
+};
+
+}  // namespace dohperf::tlssim

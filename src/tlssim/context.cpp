@@ -1,0 +1,16 @@
+#include "tlssim/context.hpp"
+
+namespace dohperf::tlssim {
+
+void SessionCache::store(const std::string& server_name, Session session) {
+  sessions_[server_name] = std::move(session);
+}
+
+std::optional<Session> SessionCache::lookup(
+    const std::string& server_name) const {
+  const auto it = sessions_.find(server_name);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dohperf::tlssim

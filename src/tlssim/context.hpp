@@ -1,0 +1,31 @@
+// Client-side session cache enabling TLS resumption across connections
+// (one of the amortization mechanisms for persistent-vs-fresh DoH costs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tlssim/types.hpp"
+#include "dns/wire.hpp"
+
+namespace dohperf::tlssim {
+
+struct Session {
+  dns::Bytes ticket;
+  TlsVersion version = TlsVersion::kTls13;
+};
+
+/// Stores one session per server name, like a browser's TLS session cache.
+class SessionCache {
+ public:
+  void store(const std::string& server_name, Session session);
+  std::optional<Session> lookup(const std::string& server_name) const;
+  void clear() { sessions_.clear(); }
+  std::size_t size() const noexcept { return sessions_.size(); }
+
+ private:
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace dohperf::tlssim

@@ -1,0 +1,41 @@
+#include "tlssim/types.hpp"
+
+namespace dohperf::tlssim {
+
+std::string to_string(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10: return "TLS 1.0";
+    case TlsVersion::kTls11: return "TLS 1.1";
+    case TlsVersion::kTls12: return "TLS 1.2";
+    case TlsVersion::kTls13: return "TLS 1.3";
+  }
+  return "TLS ?";
+}
+
+CertificateChain CertificateChain::cloudflare() {
+  CertificateChain c;
+  c.subject = "cloudflare-dns.com";
+  c.wire_bytes = 1960;  // as measured in the paper, §4
+  c.certificate_count = 2;
+  c.ct_logged = true;
+  return c;
+}
+
+CertificateChain CertificateChain::google() {
+  CertificateChain c;
+  c.subject = "dns.google.com";
+  c.wire_bytes = 3101;  // as measured in the paper, §4
+  c.certificate_count = 2;
+  c.ct_logged = true;
+  return c;
+}
+
+CertificateChain CertificateChain::generic(std::string subject,
+                                           std::size_t wire_bytes) {
+  CertificateChain c;
+  c.subject = std::move(subject);
+  c.wire_bytes = wire_bytes;
+  return c;
+}
+
+}  // namespace dohperf::tlssim

@@ -1,0 +1,84 @@
+// TLS simulation: versions, certificate chains and wire-size constants.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): no real cryptography is performed.
+// The simulation reproduces what the paper measures — handshake flights,
+// certificate bytes on the wire, and per-record framing overhead — with
+// realistic sizes. Message *contents* are synthetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dohperf::tlssim {
+
+enum class TlsVersion : std::uint16_t {
+  kTls10 = 0x0301,
+  kTls11 = 0x0302,
+  kTls12 = 0x0303,
+  kTls13 = 0x0304,
+};
+
+std::string to_string(TlsVersion v);
+
+/// Record content types (RFC 8446 §5.1).
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kHandshakeFailure = 40,
+  kProtocolVersion = 70,
+  kNoApplicationProtocol = 120,
+};
+
+/// Every TLS record carries a 5-byte header (type, version, length).
+constexpr std::size_t kRecordHeaderBytes = 5;
+/// AEAD tag appended to every encrypted TLS 1.3 record (AES-128-GCM).
+constexpr std::size_t kAeadTagBytes = 16;
+/// TLS 1.2 AES-GCM: 8-byte explicit nonce + 16-byte tag per record.
+constexpr std::size_t kTls12RecordOverhead = 24;
+/// Maximum plaintext fragment per record (RFC 8446 §5.1).
+constexpr std::size_t kMaxFragment = 16384;
+
+/// A simulated X.509 chain. `wire_bytes` is the total size of the
+/// certificate_list as it appears in the Certificate handshake message.
+/// The paper measured Cloudflare transmitting two certificates worth
+/// 1,960 bytes and Google two certificates worth 3,101 bytes (§4).
+struct CertificateChain {
+  std::string subject;
+  std::size_t wire_bytes = 2500;
+  int certificate_count = 2;
+  bool ct_logged = true;           ///< appears in Certificate Transparency logs
+  bool ocsp_must_staple = false;   ///< certificate demands OCSP stapling
+
+  static CertificateChain cloudflare();
+  static CertificateChain google();
+  static CertificateChain generic(std::string subject,
+                                  std::size_t wire_bytes = 2500);
+};
+
+struct TlsCounters {
+  std::uint64_t handshake_bytes_sent = 0;   ///< records carrying handshake/CCS/alert
+  std::uint64_t handshake_bytes_received = 0;
+  std::uint64_t record_overhead_sent = 0;   ///< headers + AEAD expansion on app data
+  std::uint64_t record_overhead_received = 0;
+  std::uint64_t app_bytes_sent = 0;         ///< application plaintext
+  std::uint64_t app_bytes_received = 0;
+  std::uint64_t records_sent = 0;
+  std::uint64_t records_received = 0;
+
+  /// Bytes attributable to the TLS layer itself (Fig 5 "TLS" bar):
+  /// everything except the application plaintext.
+  std::uint64_t overhead_bytes() const noexcept {
+    return handshake_bytes_sent + handshake_bytes_received +
+           record_overhead_sent + record_overhead_received;
+  }
+};
+
+}  // namespace dohperf::tlssim

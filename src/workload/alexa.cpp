@@ -1,0 +1,140 @@
+#include "workload/alexa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace dohperf::workload {
+
+std::vector<dns::Name> Page::unique_domains() const {
+  std::set<dns::Name> seen;
+  seen.insert(primary);
+  for (const auto& obj : objects) seen.insert(obj.domain);
+  return {seen.begin(), seen.end()};
+}
+
+AlexaPageModel::AlexaPageModel(AlexaModelConfig config)
+    : config_(config),
+      third_party_popularity_(config_.third_party_pool,
+                              config_.zipf_exponent, /*seed=*/0) {}
+
+dns::Name AlexaPageModel::third_party_domain(std::size_t index) const {
+  return dns::Name::parse("tp" + std::to_string(index) +
+                          ".thirdparty.example");
+}
+
+dns::Name AlexaPageModel::primary_domain(std::size_t rank) {
+  return dns::Name::parse("site" + std::to_string(rank) + ".web.example");
+}
+
+Page AlexaPageModel::page(std::size_t rank) {
+  // Per-rank deterministic RNG so pages are stable independent of the
+  // order they are generated in.
+  stats::SplitMix64 rng(config_.seed ^ (rank * 0x9e3779b97f4a7c15ULL));
+  stats::LogNormalSampler query_count(config_.queries_mu,
+                                      config_.queries_sigma,
+                                      rng.next());
+  stats::LogNormalSampler object_size(config_.object_mu, config_.object_sigma,
+                                      rng.next());
+
+  Page page;
+  page.rank = rank;
+  page.primary = primary_domain(rank);
+  page.html_bytes =
+      static_cast<std::size_t>(std::clamp(object_size.sample(), 2e3, 5e5));
+
+  // Number of *distinct resolutions* the page needs (what Figure 1 counts),
+  // including the primary domain itself.
+  const auto resolutions = static_cast<std::size_t>(std::clamp(
+      query_count.sample(), 1.0, static_cast<double>(config_.max_queries)));
+
+  // Pick the set of domains: the primary plus (resolutions - 1) others,
+  // mostly shared third parties (popular by Zipf), the rest being
+  // page-specific subdomains (cdn.siteX, img.siteX, ...).
+  std::vector<dns::Name> domains{page.primary};
+  std::set<dns::Name> seen{page.primary};
+  int subdomain_counter = 0;
+  while (domains.size() < resolutions) {
+    dns::Name candidate =
+        rng.next_double() < config_.third_party_fraction
+            ? third_party_domain(third_party_popularity_.sample(rng) - 1)
+            : page.primary.child("cdn" + std::to_string(subdomain_counter++));
+    if (seen.insert(candidate).second) domains.push_back(candidate);
+  }
+
+  // Objects: at least one per non-primary domain (that is what forced the
+  // resolution), plus extra objects on already-resolved origins.
+  for (std::size_t i = 1; i < domains.size(); ++i) {
+    PageObject obj;
+    obj.domain = domains[i];
+    obj.bytes = static_cast<std::size_t>(
+        std::clamp(object_size.sample(), 200.0, 2e6));
+    // Discovery depth: most objects are in the HTML, some come from
+    // CSS/JS chains (depth 1-2).
+    const double d = rng.next_double();
+    obj.depth = d < 0.70 ? 0 : (d < 0.93 ? 1 : 2);
+    page.objects.push_back(obj);
+  }
+  // Extra objects on existing origins (images, scripts...) — they add
+  // fetch work but no DNS queries.
+  const auto extra = static_cast<std::size_t>(
+      static_cast<double>(domains.size()) * (0.5 + rng.next_double()));
+  for (std::size_t i = 0; i < extra; ++i) {
+    PageObject obj;
+    obj.domain = domains[rng.next_below(domains.size())];
+    obj.bytes = static_cast<std::size_t>(
+        std::clamp(object_size.sample(), 200.0, 2e6));
+    const double d = rng.next_double();
+    obj.depth = d < 0.70 ? 0 : (d < 0.93 ? 1 : 2);
+    page.objects.push_back(obj);
+  }
+
+  // Wire up parents: each depth-d object is discovered by a random
+  // depth-(d-1) object; falls back to the HTML (-1) when none exists.
+  std::vector<int> by_depth[3];
+  for (std::size_t i = 0; i < page.objects.size(); ++i) {
+    const int d = page.objects[i].depth;
+    by_depth[d].push_back(static_cast<int>(i));
+  }
+  for (auto& obj : page.objects) {
+    if (obj.depth == 0) continue;
+    const auto& parents = by_depth[obj.depth - 1];
+    if (parents.empty()) {
+      obj.depth = 0;
+      continue;
+    }
+    obj.parent = parents[rng.next_below(parents.size())];
+  }
+  return page;
+}
+
+AlexaPageModel::CorpusStats AlexaPageModel::corpus_stats(std::size_t n) {
+  CorpusStats stats;
+  std::map<dns::Name, std::uint64_t> query_counts;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    const Page p = page(rank);
+    const auto domains = p.unique_domains();
+    stats.queries_per_page.push_back(domains.size());
+    stats.total_queries += domains.size();
+    for (const auto& d : domains) ++query_counts[d];
+  }
+  stats.unique_domains = query_counts.size();
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(query_counts.size());
+  for (const auto& [name, c] : query_counts) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  std::uint64_t top15 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(15, counts.size()); ++i) {
+    top15 += counts[i];
+  }
+  stats.top15_query_share =
+      stats.total_queries == 0
+          ? 0.0
+          : static_cast<double>(top15) /
+                static_cast<double>(stats.total_queries);
+  return stats;
+}
+
+}  // namespace dohperf::workload

@@ -1,0 +1,38 @@
+#include "workload/names.hpp"
+
+namespace dohperf::workload {
+
+namespace {
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr std::size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+}  // namespace
+
+UniqueNameGenerator::UniqueNameGenerator(std::string base_domain,
+                                         std::uint64_t seed,
+                                         std::size_t prefix_length)
+    : base_domain_(std::move(base_domain)), prefix_length_(prefix_length),
+      rng_(seed) {}
+
+dns::Name UniqueNameGenerator::next() {
+  std::string prefix;
+  prefix.reserve(prefix_length_);
+  for (std::size_t i = 0; i + 1 < prefix_length_; ++i) {
+    prefix += kAlphabet[rng_.next_below(kAlphabetSize)];
+  }
+  // Fold a counter into the last character position to guarantee
+  // uniqueness even on random collisions (the prefix stays fixed-length
+  // by cycling the counter through the alphabet and, if needed, relying
+  // on the random part; collisions across 36^4 * counter positions are
+  // not a practical concern for experiment sizes).
+  prefix += kAlphabet[(counter_++) % kAlphabetSize];
+  return dns::Name::parse(prefix + "." + base_domain_);
+}
+
+std::vector<dns::Name> UniqueNameGenerator::generate(std::size_t n) {
+  std::vector<dns::Name> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace dohperf::workload

@@ -1,0 +1,32 @@
+// Query-name generation for the §3 transport experiment: "a random prefix
+// of constant length five followed by a fixed base domain", so every query
+// is unique (no caching) while name compressibility stays uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "stats/rng.hpp"
+
+namespace dohperf::workload {
+
+class UniqueNameGenerator {
+ public:
+  UniqueNameGenerator(std::string base_domain, std::uint64_t seed,
+                      std::size_t prefix_length = 5);
+
+  /// Next unique name, e.g. "kq3bz.example.com".
+  dns::Name next();
+
+  /// Convenience: `n` names at once.
+  std::vector<dns::Name> generate(std::size_t n);
+
+ private:
+  std::string base_domain_;
+  std::size_t prefix_length_;
+  stats::SplitMix64 rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace dohperf::workload

@@ -1,0 +1,32 @@
+// Shared fixture: a two-host network (client <-> server) with a configurable
+// link, used by transport/protocol/integration tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "simnet/event_loop.hpp"
+#include "simnet/host.hpp"
+#include "simnet/network.hpp"
+
+namespace dohperf::testing {
+
+class TwoHostFixture : public ::testing::Test {
+ protected:
+  TwoHostFixture()
+      : net(loop, /*seed=*/7),
+        client(net, "client"),
+        server(net, "server") {
+    simnet::LinkConfig link;
+    link.latency = simnet::ms(5);
+    net.connect(client.id(), server.id(), link);
+  }
+
+  simnet::EventLoop loop;
+  simnet::Network net;
+  simnet::Host client;
+  simnet::Host server;
+};
+
+}  // namespace dohperf::testing

@@ -1,0 +1,255 @@
+// Client-side resolution policies: the TTL cache and TRR-style fallback.
+#include <gtest/gtest.h>
+
+#include "core/caching_client.hpp"
+#include "core/doh_client.hpp"
+#include "core/fallback_client.hpp"
+#include "core/udp_client.hpp"
+#include "resolver/doh_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "sim_fixture.hpp"
+
+namespace dohperf::core {
+namespace {
+
+using dohperf::testing::TwoHostFixture;
+
+class CacheTest : public TwoHostFixture {
+ protected:
+  resolver::EngineConfig engine_config;
+  std::unique_ptr<resolver::Engine> engine;
+  std::unique_ptr<resolver::UdpServer> udp_server;
+  std::unique_ptr<UdpResolverClient> upstream;
+  std::unique_ptr<CachingResolverClient> cache;
+
+  void start(CacheConfig config = {}) {
+    engine_config.ttl = 300;
+    engine = std::make_unique<resolver::Engine>(loop, engine_config);
+    udp_server = std::make_unique<resolver::UdpServer>(server, *engine, 53);
+    upstream = std::make_unique<UdpResolverClient>(
+        client, simnet::Address{server.id(), 53});
+    cache = std::make_unique<CachingResolverClient>(loop, *upstream, config);
+  }
+
+  static dns::Name name(const std::string& n) { return dns::Name::parse(n); }
+};
+
+TEST_F(CacheTest, SecondLookupIsFreeAndInstant) {
+  start();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 1u);
+
+  ResolutionResult hit;
+  const auto id = cache->resolve(name("a.example.com"), dns::RType::kA,
+                                 [&](const ResolutionResult& r) { hit = r; });
+  // Synchronous: no loop.run() needed.
+  EXPECT_TRUE(hit.success);
+  EXPECT_EQ(hit.resolution_time(), 0);
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->result(id).cost.wire_bytes, 0u);  // nothing on the wire
+  EXPECT_EQ(std::get<dns::ARdata>(hit.response.answers.at(0).rdata)
+                .to_string(),
+            "192.0.2.1");
+}
+
+TEST_F(CacheTest, TtlExpiryForcesRefetch) {
+  start();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  // Advance virtual time past the 300s TTL.
+  loop.schedule_in(simnet::seconds(301), []() {});
+  loop.run();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 2u);
+  EXPECT_EQ(cache->stats().expirations, 1u);
+}
+
+TEST_F(CacheTest, DistinctTypesAreDistinctEntries) {
+  start();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  cache->resolve(name("a.example.com"), dns::RType::kTXT, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 2u);
+  EXPECT_EQ(cache->size(), 2u);
+}
+
+TEST_F(CacheTest, CapacityEvictionIsFifo) {
+  CacheConfig config;
+  config.max_entries = 3;
+  start(config);
+  for (int i = 0; i < 4; ++i) {
+    cache->resolve(name("n" + std::to_string(i) + ".example.com"),
+                   dns::RType::kA, {});
+    loop.run();
+  }
+  EXPECT_EQ(cache->stats().evictions, 1u);
+  EXPECT_EQ(cache->size(), 3u);
+  // n0 was evicted: looking it up again misses.
+  cache->resolve(name("n0.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 5u);
+  // n3 is still cached.
+  cache->resolve(name("n3.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, 1u);
+}
+
+TEST_F(CacheTest, TtlClampObeyed) {
+  CacheConfig config;
+  config.max_ttl = simnet::seconds(10);
+  start(config);
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  loop.schedule_in(simnet::seconds(11), []() {});
+  loop.run();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 2u);  // expired despite 300s record TTL
+}
+
+TEST_F(CacheTest, HitRatioOnZipfWorkload) {
+  start();
+  stats::ZipfSampler zipf(50, 1.2, 99);
+  for (int i = 0; i < 500; ++i) {
+    cache->resolve(name("tp" + std::to_string(zipf.sample()) + ".example"),
+                   dns::RType::kA, {});
+    loop.run();
+  }
+  // A hot-headed workload should mostly hit.
+  EXPECT_GT(cache->stats().hit_ratio(), 0.8);
+}
+
+// --- fallback ---------------------------------------------------------------------
+
+class FallbackTest : public TwoHostFixture {
+ protected:
+  resolver::EngineConfig engine_config;
+  std::unique_ptr<resolver::Engine> engine;
+  std::unique_ptr<resolver::UdpServer> udp_server;
+  std::unique_ptr<resolver::DohServer> doh_server;
+  std::unique_ptr<DohClient> doh;
+  std::unique_ptr<UdpResolverClient> udp;
+  std::unique_ptr<FallbackResolverClient> trr;
+
+  void start(bool doh_server_up, FallbackConfig config = {},
+             simnet::TimeUs doh_frontend_delay = 0) {
+    engine = std::make_unique<resolver::Engine>(loop, engine_config);
+    udp_server = std::make_unique<resolver::UdpServer>(server, *engine, 53);
+    if (doh_server_up) {
+      resolver::DohServerConfig doh_config;
+      doh_config.tls.chain = tlssim::CertificateChain::cloudflare();
+      doh_config.frontend_delay = doh_frontend_delay;
+      doh_server = std::make_unique<resolver::DohServer>(server, *engine,
+                                                         doh_config, 443);
+    }
+    DohClientConfig client_config;
+    client_config.server_name = "cloudflare-dns.com";
+    doh = std::make_unique<DohClient>(
+        client, simnet::Address{server.id(), 443}, client_config);
+    udp = std::make_unique<UdpResolverClient>(
+        client, simnet::Address{server.id(), 53});
+    trr = std::make_unique<FallbackResolverClient>(loop, *doh, *udp, config);
+  }
+
+  static dns::Name name(const std::string& n) { return dns::Name::parse(n); }
+};
+
+TEST_F(FallbackTest, HealthyPrimaryWins) {
+  start(/*doh_server_up=*/true);
+  ResolutionResult observed;
+  trr->resolve(name("a.example.com"), dns::RType::kA,
+               [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(trr->stats().primary_wins, 1u);
+  EXPECT_EQ(trr->stats().fallback_used, 0u);
+  // The UDP client was never touched.
+  EXPECT_EQ(udp->completed(), 0u);
+}
+
+TEST_F(FallbackTest, DeadPrimaryFallsBackImmediately) {
+  start(/*doh_server_up=*/false);  // nothing on 443 -> TCP RST
+  ResolutionResult observed;
+  trr->resolve(name("a.example.com"), dns::RType::kA,
+               [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);  // answered by UDP
+  EXPECT_EQ(trr->stats().fallback_used, 1u);
+  // Far faster than the 1500ms deadline: the RST triggers fallback early.
+  EXPECT_LT(observed.resolution_time(), simnet::ms(200));
+}
+
+TEST_F(FallbackTest, SlowPrimaryFallsBackAtDeadline) {
+  // Only the DoH path is slow (a congested HTTPS front-end); UDP is fine.
+  FallbackConfig config;
+  config.primary_deadline = simnet::ms(500);
+  start(/*doh_server_up=*/true, config,
+        /*doh_frontend_delay=*/simnet::seconds(10));
+  ResolutionResult observed;
+  trr->resolve(name("a.example.com"), dns::RType::kA,
+               [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(trr->stats().fallback_used, 1u);
+  // Deadline (500ms) + one UDP round trip, far less than the DoH delay.
+  EXPECT_GE(observed.resolution_time(), simnet::ms(500));
+  EXPECT_LT(observed.resolution_time(), simnet::ms(700));
+}
+
+TEST_F(FallbackTest, BothDeadFails) {
+  start(/*doh_server_up=*/false);
+  udp_server.reset();  // kill UDP too
+  UdpClientConfig udp_config;
+  udp_config.timeout = simnet::ms(300);
+  udp = std::make_unique<UdpResolverClient>(
+      client, simnet::Address{server.id(), 53}, udp_config);
+  trr = std::make_unique<FallbackResolverClient>(loop, *doh, *udp);
+  ResolutionResult observed;
+  observed.success = true;
+  trr->resolve(name("a.example.com"), dns::RType::kA,
+               [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_FALSE(observed.success);
+  EXPECT_EQ(trr->stats().both_failed, 1u);
+}
+
+TEST_F(FallbackTest, ManyQueriesMixedHealth) {
+  // Every 3rd query delayed past the deadline: those fall back, the rest
+  // resolve via DoH.
+  engine_config.delay_policy.every_n = 3;
+  engine_config.delay_policy.delay = simnet::seconds(5);
+  FallbackConfig config;
+  config.primary_deadline = simnet::ms(400);
+  start(/*doh_server_up=*/true, config);
+  int succeeded = 0;
+  for (int i = 0; i < 12; ++i) {
+    trr->resolve(name("q" + std::to_string(i) + ".example.com"),
+                 dns::RType::kA, [&](const ResolutionResult& r) {
+                   if (r.success) ++succeeded;
+                 });
+    loop.run();
+  }
+  EXPECT_EQ(succeeded, 12);
+  EXPECT_GT(trr->stats().fallback_used, 0u);
+  EXPECT_GT(trr->stats().primary_wins, 0u);
+  EXPECT_EQ(trr->stats().primary_wins + trr->stats().fallback_used, 12u);
+}
+
+TEST_F(FallbackTest, CacheOverFallbackComposes) {
+  // The decorators stack: cache -> fallback -> (DoH | UDP).
+  start(/*doh_server_up=*/true);
+  CachingResolverClient cached(loop, *trr, {});
+  cached.resolve(name("hot.example.com"), dns::RType::kA, {});
+  loop.run();
+  ResolutionResult hit;
+  cached.resolve(name("hot.example.com"), dns::RType::kA,
+                 [&](const ResolutionResult& r) { hit = r; });
+  EXPECT_TRUE(hit.success);
+  EXPECT_EQ(hit.resolution_time(), 0);
+  EXPECT_EQ(cached.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace dohperf::core

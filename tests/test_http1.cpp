@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "http1/client.hpp"
+#include "http1/server.hpp"
+#include "sim_fixture.hpp"
+
+namespace dohperf::http1 {
+namespace {
+
+using dohperf::testing::TwoHostFixture;
+using simnet::Bytes;
+
+// --- message serialization / parsing --------------------------------------------
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap h;
+  h.add("Content-Type", "text/plain");
+  EXPECT_EQ(h.get("content-type"), "text/plain");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/plain");
+  EXPECT_FALSE(h.get("missing").has_value());
+}
+
+TEST(HeaderMap, SetReplacesFirst) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.set("x", "2");
+  EXPECT_EQ(h.get("X"), "2");
+  EXPECT_EQ(h.size(), 1u);
+  h.set("Y", "3");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Message, RequestSerialization) {
+  Request req;
+  req.method = "POST";
+  req.target = "/dns-query";
+  req.headers.add("Host", "doh.example");
+  req.body = dns::to_bytes("payload");
+  WireSizes sizes;
+  const Bytes wire = serialize(req, &sizes);
+  const std::string text = dns::to_string(wire);
+  EXPECT_EQ(text.find("POST /dns-query HTTP/1.1\r\n"), 0u);
+  EXPECT_NE(text.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\npayload"), std::string::npos);
+  EXPECT_EQ(sizes.body_bytes, 7u);
+  EXPECT_EQ(sizes.header_bytes + sizes.body_bytes, wire.size());
+}
+
+TEST(Message, ParserHandlesArbitraryChunking) {
+  Response resp;
+  resp.status = 200;
+  resp.headers.add("Content-Type", "application/dns-message");
+  resp.body = Bytes{1, 2, 3, 4, 5};
+  const Bytes wire = serialize(resp);
+
+  // Feed one byte at a time.
+  Parser parser(Parser::Mode::kResponse);
+  std::optional<Response> out;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    parser.feed(std::span(&wire[i], 1));
+    if (auto r = parser.next_response()) out = std::move(r);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);
+  EXPECT_EQ(out->body, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, ParserHandlesPipelinedMessages) {
+  Request a;
+  a.method = "GET";
+  a.target = "/first";
+  Request b;
+  b.method = "GET";
+  b.target = "/second";
+  Bytes wire = serialize(a);
+  const Bytes wb = serialize(b);
+  wire.insert(wire.end(), wb.begin(), wb.end());
+
+  Parser parser(Parser::Mode::kRequest);
+  parser.feed(wire);
+  auto first = parser.next_request();
+  auto second = parser.next_request();
+  auto third = parser.next_request();
+  ASSERT_TRUE(first);
+  ASSERT_TRUE(second);
+  EXPECT_FALSE(third);
+  EXPECT_EQ(first->target, "/first");
+  EXPECT_EQ(second->target, "/second");
+}
+
+TEST(Message, ParserRejectsGarbage) {
+  Parser parser(Parser::Mode::kResponse);
+  parser.feed(dns::to_bytes("NOT HTTP AT ALL\r\n\r\n"));
+  EXPECT_FALSE(parser.next_response().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Message, ParserRejectsBadContentLength) {
+  Parser parser(Parser::Mode::kResponse);
+  parser.feed(dns::to_bytes("HTTP/1.1 200 OK\r\nContent-Length: abc\r\n\r\n"));
+  EXPECT_FALSE(parser.next_response().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+// --- client/server over simulated TCP ---------------------------------------------
+
+class Http1Test : public TwoHostFixture {
+ protected:
+  std::unique_ptr<Http1ServerConnection> server_conn;
+
+  /// Server answering /slow after `slow_delay`, everything else instantly.
+  void start_server(simnet::TimeUs slow_delay = simnet::ms(500)) {
+    server.tcp_listen(80, [this, slow_delay](
+                              std::shared_ptr<simnet::TcpConnection> c) {
+      server_conn = std::make_unique<Http1ServerConnection>(
+          std::make_unique<simnet::TcpByteStream>(std::move(c)),
+          [this, slow_delay](const Request& req,
+                             Http1ServerConnection::Responder respond) {
+            Response resp;
+            resp.status = 200;
+            resp.headers.add("Content-Type", "text/plain");
+            resp.body = dns::to_bytes("answer:" + req.target);
+            if (req.target == "/slow") {
+              loop.schedule_in(slow_delay,
+                               [respond = std::move(respond),
+                                r = std::move(resp)]() mutable {
+                                 respond(std::move(r));
+                               });
+            } else {
+              respond(std::move(resp));
+            }
+          });
+    });
+  }
+
+  std::unique_ptr<Http1Client> make_client(bool pipelining = true) {
+    return std::make_unique<Http1Client>(
+        std::make_unique<simnet::TcpByteStream>(
+            client.tcp_connect({server.id(), 80})),
+        pipelining);
+  }
+
+  static Request get(const std::string& target) {
+    Request r;
+    r.method = "GET";
+    r.target = target;
+    r.headers.add("Host", "test");
+    return r;
+  }
+};
+
+TEST_F(Http1Test, SimpleRequestResponse) {
+  start_server();
+  auto http = make_client();
+  std::string body;
+  http->request(get("/hello"), [&](const Response& resp) {
+    body = dns::to_string(resp.body);
+  });
+  loop.run();
+  EXPECT_EQ(body, "answer:/hello");
+  EXPECT_EQ(http->counters().requests, 1u);
+  EXPECT_EQ(http->counters().responses, 1u);
+}
+
+TEST_F(Http1Test, PersistentConnectionMultipleRequests) {
+  start_server();
+  auto http = make_client();
+  int responses = 0;
+  for (int i = 0; i < 5; ++i) {
+    http->request(get("/r" + std::to_string(i)),
+                  [&](const Response&) { ++responses; });
+  }
+  loop.run();
+  EXPECT_EQ(responses, 5);
+  EXPECT_EQ(http->counters().responses, 5u);
+}
+
+TEST_F(Http1Test, ResponsesMatchedInOrder) {
+  start_server();
+  auto http = make_client();
+  std::vector<std::string> bodies;
+  for (const char* t : {"/a", "/b", "/c"}) {
+    http->request(get(t), [&bodies](const Response& resp) {
+      bodies.push_back(dns::to_string(resp.body));
+    });
+  }
+  loop.run();
+  EXPECT_EQ(bodies,
+            (std::vector<std::string>{"answer:/a", "answer:/b", "answer:/c"}));
+}
+
+TEST_F(Http1Test, HeadOfLineBlockingWithPipelining) {
+  // A slow first request must delay the (fast) second response: HTTP/1.1
+  // responses are ordered (this is the Fig 2 HTTP/1.1 behaviour).
+  start_server(simnet::ms(500));
+  auto http = make_client(/*pipelining=*/true);
+  simnet::TimeUs slow_done = 0;
+  simnet::TimeUs fast_done = 0;
+  http->request(get("/slow"),
+                [&](const Response&) { slow_done = loop.now(); });
+  http->request(get("/fast"),
+                [&](const Response&) { fast_done = loop.now(); });
+  loop.run();
+  EXPECT_GT(slow_done, simnet::ms(500));
+  EXPECT_GE(fast_done, slow_done);  // blocked behind the slow one
+  EXPECT_EQ(server_conn->counters().responses, 2u);
+}
+
+TEST_F(Http1Test, WithoutPipeliningRequestsSerialize) {
+  start_server(simnet::ms(100));
+  auto http = make_client(/*pipelining=*/false);
+  simnet::TimeUs first_done = 0;
+  simnet::TimeUs second_sent_after = 0;
+  http->request(get("/slow"), [&](const Response&) {
+    first_done = loop.now();
+  });
+  http->request(get("/fast"), [&](const Response&) {
+    second_sent_after = loop.now();
+  });
+  // Once the connection is up, only one request may be in flight.
+  loop.run_until(simnet::ms(50));
+  EXPECT_EQ(http->outstanding(), 1u);
+  loop.run();
+  EXPECT_GT(second_sent_after, first_done);
+}
+
+TEST_F(Http1Test, ServerBuffersOutOfOrderCompletions) {
+  start_server(simnet::ms(300));
+  auto http = make_client();
+  std::vector<std::string> order;
+  http->request(get("/slow"),
+                [&](const Response&) { order.push_back("slow"); });
+  http->request(get("/fast"),
+                [&](const Response&) { order.push_back("fast"); });
+  // Let the fast response become ready at the server but blocked.
+  loop.run_until(simnet::ms(100));
+  EXPECT_EQ(server_conn->blocked_responses(), 1u);
+  loop.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"slow", "fast"}));
+}
+
+TEST_F(Http1Test, CountersSplitHeadersAndBody) {
+  start_server();
+  auto http = make_client();
+  http->request(get("/x"), [](const Response&) {});
+  loop.run();
+  const auto& c = http->counters();
+  EXPECT_GT(c.header_bytes_sent, 0u);
+  EXPECT_EQ(c.body_bytes_sent, 0u);  // GET has no body
+  EXPECT_GT(c.header_bytes_received, 0u);
+  EXPECT_EQ(c.body_bytes_received, std::string("answer:/x").size());
+}
+
+TEST_F(Http1Test, ConnectionCloseWithOutstandingRequestsErrors) {
+  start_server();
+  auto http = make_client();
+  bool error = false;
+  http->set_error_handler([&]() { error = true; });
+  http->request(get("/slow"), [](const Response&) {});
+  loop.run_until(simnet::ms(50));
+  server_conn->close();
+  loop.run();
+  EXPECT_TRUE(error);
+}
+
+}  // namespace
+}  // namespace dohperf::http1

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+#include "simnet/stream.hpp"
+
+namespace dohperf::simnet {
+namespace {
+
+using testing::TwoHostFixture;
+
+// --- event loop ---------------------------------------------------------------
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(ms(30), [&]() { order.push_back(3); });
+  loop.schedule_in(ms(10), [&]() { order.push_back(1); });
+  loop.schedule_in(ms(20), [&]() { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), ms(30));
+}
+
+TEST(EventLoop, SameInstantFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_in(ms(10), [&order, i]() { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.schedule_in(ms(10), [&]() { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+  loop.cancel(id);  // double-cancel is a no-op
+}
+
+TEST(EventLoop, RunUntilLeavesLaterEvents) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_in(ms(10), [&]() { ++count; });
+  loop.schedule_in(ms(50), [&]() { ++count; });
+  loop.run_until(ms(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), ms(20));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, EventsScheduledDuringRun) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) loop.schedule_in(ms(1), recurse);
+  };
+  loop.schedule_in(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.executed(), 5u);
+}
+
+TEST(EventLoop, PastScheduleClampsToNow) {
+  EventLoop loop;
+  loop.schedule_in(ms(10), [&loop]() {
+    bool fired = false;
+    loop.schedule_at(0, [&]() { fired = true; });  // in the past
+    (void)fired;
+  });
+  loop.run();
+  EXPECT_EQ(loop.now(), ms(10));
+}
+
+// --- UDP ------------------------------------------------------------------------
+
+class UdpTest : public TwoHostFixture {};
+
+TEST_F(UdpTest, DatagramDeliveredWithLatency) {
+  auto& server_sock = server.udp_open(53);
+  auto& client_sock = client.udp_open();
+  TimeUs received_at = -1;
+  Bytes received;
+  server_sock.set_receiver([&](const Bytes& payload, Address from) {
+    received = payload;
+    received_at = loop.now();
+    server_sock.send_to(from, Bytes{9, 9});
+  });
+  Bytes reply;
+  client_sock.set_receiver([&](const Bytes& payload, Address) {
+    reply = payload;
+  });
+  client_sock.send_to({server.id(), 53}, Bytes{1, 2, 3});
+  loop.run();
+  EXPECT_EQ(received, (Bytes{1, 2, 3}));
+  EXPECT_EQ(received_at, ms(5));          // one-way latency
+  EXPECT_EQ(reply, (Bytes{9, 9}));
+  EXPECT_EQ(loop.now(), ms(10));          // round trip
+}
+
+TEST_F(UdpTest, CountersTrackWire) {
+  auto& server_sock = server.udp_open(53);
+  auto& client_sock = client.udp_open();
+  server_sock.set_receiver([](const Bytes&, Address) {});
+  client_sock.send_to({server.id(), 53}, Bytes(100, 0));
+  loop.run();
+  EXPECT_EQ(client_sock.counters().datagrams_sent, 1u);
+  EXPECT_EQ(client_sock.counters().payload_bytes_sent, 100u);
+  EXPECT_EQ(client_sock.counters().wire_bytes_sent, 128u);  // +20 IP +8 UDP
+  EXPECT_EQ(server_sock.counters().wire_bytes_received, 128u);
+}
+
+TEST_F(UdpTest, UnboundPortDropsSilently) {
+  auto& client_sock = client.udp_open();
+  client_sock.send_to({server.id(), 9999}, Bytes{1});
+  loop.run();  // must not crash
+  EXPECT_EQ(net.packets_sent(), 1u);
+}
+
+TEST_F(UdpTest, OversizedPayloadRejected) {
+  auto& sock = client.udp_open();
+  EXPECT_THROW(sock.send_to({server.id(), 53}, Bytes(70000, 0)),
+               std::length_error);
+}
+
+TEST_F(UdpTest, PortCollisionThrows) {
+  client.udp_open(5000);
+  EXPECT_THROW(client.udp_open(5000), std::logic_error);
+}
+
+// --- Network fabric ---------------------------------------------------------------
+
+TEST(Network, NoLinkThrows) {
+  EventLoop loop;
+  Network net(loop);
+  Host a(net, "a");
+  Host b(net, "b");  // no link a<->b
+  auto& sock = a.udp_open();
+  EXPECT_THROW(sock.send_to({b.id(), 1}, Bytes{1}), std::logic_error);
+}
+
+TEST(Network, LossDropsPackets) {
+  EventLoop loop;
+  Network net(loop, 123);
+  Host a(net, "a");
+  Host b(net, "b");
+  LinkConfig link;
+  link.latency = ms(1);
+  link.loss_rate = 0.5;
+  net.connect(a.id(), b.id(), link);
+  auto& tx = a.udp_open();
+  auto& rx = b.udp_open(7);
+  int received = 0;
+  rx.set_receiver([&](const Bytes&, Address) { ++received; });
+  for (int i = 0; i < 1000; ++i) tx.send_to({b.id(), 7}, Bytes{1});
+  loop.run();
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+  EXPECT_EQ(net.packets_dropped(), 1000u - static_cast<unsigned>(received));
+}
+
+TEST(Network, BandwidthSerializes) {
+  EventLoop loop;
+  Network net(loop);
+  Host a(net, "a");
+  Host b(net, "b");
+  LinkConfig link;
+  link.latency = 0;
+  link.bandwidth_bps = 8000.0;  // 1000 bytes/sec
+  net.connect(a.id(), b.id(), link);
+  auto& tx = a.udp_open();
+  auto& rx = b.udp_open(7);
+  std::vector<TimeUs> arrivals;
+  rx.set_receiver([&](const Bytes&, Address) { arrivals.push_back(loop.now()); });
+  // Two 972-byte payloads = 1000 wire bytes each = 1 second each.
+  tx.send_to({b.id(), 7}, Bytes(972, 0));
+  tx.send_to({b.id(), 7}, Bytes(972, 0));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], seconds(1));
+  EXPECT_EQ(arrivals[1], seconds(2));  // FIFO queueing behind the first
+}
+
+TEST(Network, TapSeesPackets) {
+  EventLoop loop;
+  Network net(loop);
+  Host a(net, "a");
+  Host b(net, "b");
+  net.connect(a.id(), b.id(), {});
+  CountingTap tap;
+  net.add_tap(&tap);
+  auto& tx = a.udp_open();
+  b.udp_open(7).set_receiver([](const Bytes&, Address) {});
+  tx.send_to({b.id(), 7}, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(tap.packets(), 1u);
+  EXPECT_EQ(tap.bytes(), 38u);
+  net.remove_tap(&tap);
+  tx.send_to({b.id(), 7}, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(tap.packets(), 1u);  // unchanged after removal
+}
+
+// --- TCP ---------------------------------------------------------------------------
+
+class TcpTest : public TwoHostFixture {
+ protected:
+  /// Accepted connection + echo-server wiring.
+  std::shared_ptr<TcpConnection> accepted;
+
+  void listen_echo(std::uint16_t port = 80) {
+    server.tcp_listen(port, [this](std::shared_ptr<TcpConnection> conn) {
+      accepted = conn;
+      TcpCallbacks cbs;
+      cbs.on_data = [conn](std::span<const std::uint8_t> data) {
+        conn->send(Bytes(data.begin(), data.end()));
+      };
+      conn->set_callbacks(std::move(cbs));
+    });
+  }
+};
+
+TEST_F(TcpTest, HandshakeCompletes) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  bool connected = false;
+  TcpCallbacks cbs;
+  cbs.on_connected = [&]() { connected = true; };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(conn->established());
+  ASSERT_TRUE(accepted);
+  EXPECT_TRUE(accepted->established());
+  // 3-way handshake: client sent SYN + ACK, server sent SYN-ACK.
+  EXPECT_EQ(conn->counters().packets_sent, 2u);
+  EXPECT_EQ(conn->counters().packets_received, 1u);
+}
+
+TEST_F(TcpTest, EchoSmallPayload) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  Bytes echoed;
+  TcpCallbacks cbs;
+  cbs.on_connected = [&conn]() { conn->send(Bytes{1, 2, 3, 4}); };
+  cbs.on_data = [&](std::span<const std::uint8_t> d) {
+    echoed.assign(d.begin(), d.end());
+  };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_EQ(echoed, (Bytes{1, 2, 3, 4}));
+}
+
+TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  Bytes sent(100000);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  Bytes echoed;
+  TcpCallbacks cbs;
+  cbs.on_connected = [&]() { conn->send(sent); };
+  cbs.on_data = [&](std::span<const std::uint8_t> d) {
+    echoed.insert(echoed.end(), d.begin(), d.end());
+  };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_EQ(echoed, sent);
+  // Payload must have been split into MSS-sized segments.
+  EXPECT_GT(conn->counters().packets_sent, sent.size() / 1460);
+}
+
+TEST_F(TcpTest, SendBeforeEstablishedIsQueued) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  Bytes echoed;
+  TcpCallbacks cbs;
+  cbs.on_data = [&](std::span<const std::uint8_t> d) {
+    echoed.assign(d.begin(), d.end());
+  };
+  conn->set_callbacks(std::move(cbs));
+  conn->send(Bytes{5, 6});  // before the handshake finished
+  loop.run();
+  EXPECT_EQ(echoed, (Bytes{5, 6}));
+}
+
+TEST_F(TcpTest, OrderlyCloseBothSides) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  bool closed = false;
+  bool remote_closed_on_server = false;
+  TcpCallbacks cbs;
+  cbs.on_connected = [&conn]() { conn->close(); };
+  cbs.on_closed = [&]() { closed = true; };
+  conn->set_callbacks(std::move(cbs));
+
+  server.tcp_stop_listening(80);
+  server.tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    accepted = c;
+    TcpCallbacks scbs;
+    scbs.on_remote_closed = [&remote_closed_on_server, c]() {
+      remote_closed_on_server = true;
+      c->close();  // close our side too
+    };
+    c->set_callbacks(std::move(scbs));
+  });
+
+  loop.run();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(remote_closed_on_server);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+  EXPECT_EQ(client.tcp_connection_count(), 0u);
+  EXPECT_EQ(server.tcp_connection_count(), 0u);
+}
+
+TEST_F(TcpTest, ConnectToClosedPortResets) {
+  auto conn = client.tcp_connect({server.id(), 81});  // nobody listening
+  bool reset = false;
+  TcpCallbacks cbs;
+  cbs.on_reset = [&]() { reset = true; };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_TRUE(reset);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, RetransmissionRecoversFromLoss) {
+  // 20% loss both ways; TCP must still deliver everything.
+  LinkConfig lossy;
+  lossy.latency = ms(5);
+  lossy.loss_rate = 0.2;
+  net.reconfigure(client.id(), server.id(), lossy);
+
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  Bytes sent(20000, 0xab);
+  Bytes echoed;
+  TcpCallbacks cbs;
+  cbs.on_connected = [&]() { conn->send(sent); };
+  cbs.on_data = [&](std::span<const std::uint8_t> d) {
+    echoed.insert(echoed.end(), d.begin(), d.end());
+  };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_EQ(echoed, sent);
+  EXPECT_GT(conn->counters().retransmits + accepted->counters().retransmits,
+            0u);
+}
+
+TEST_F(TcpTest, HeaderAccounting) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  TcpCallbacks cbs;
+  cbs.on_connected = [&conn]() { conn->send(Bytes(100, 1)); };
+  cbs.on_data = [](std::span<const std::uint8_t>) {};
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  const auto& c = conn->counters();
+  // Every sent byte is either header or payload.
+  EXPECT_EQ(c.wire_bytes_sent, c.header_bytes_sent + c.payload_bytes_sent);
+  EXPECT_EQ(c.payload_bytes_sent, 100u);
+  // SYN carries 40+20 header bytes, data segment 40+12 (timestamps).
+  EXPECT_GE(c.header_bytes_sent, 60u + 52u);
+}
+
+TEST_F(TcpTest, CountersSymmetric) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  TcpCallbacks cbs;
+  cbs.on_connected = [&conn]() { conn->send(Bytes(5000, 2)); };
+  cbs.on_data = [](std::span<const std::uint8_t>) {};
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_EQ(conn->counters().wire_bytes_sent,
+            accepted->counters().wire_bytes_received);
+  EXPECT_EQ(conn->counters().packets_sent,
+            accepted->counters().packets_received);
+}
+
+TEST_F(TcpTest, SendOnClosedThrows) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  loop.run();
+  conn->close();
+  EXPECT_THROW(conn->send(Bytes{1}), std::logic_error);
+}
+
+TEST_F(TcpTest, AbortSendsReset) {
+  listen_echo();
+  auto conn = client.tcp_connect({server.id(), 80});
+  bool server_reset = false;
+  server.tcp_stop_listening(80);
+  server.tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    accepted = c;
+    TcpCallbacks scbs;
+    scbs.on_reset = [&]() { server_reset = true; };
+    c->set_callbacks(std::move(scbs));
+  });
+  TcpCallbacks cbs;
+  cbs.on_connected = [&conn]() { conn->abort(); };
+  conn->set_callbacks(std::move(cbs));
+  loop.run();
+  EXPECT_TRUE(server_reset);
+}
+
+// --- TcpByteStream adapter ------------------------------------------------------
+
+TEST_F(TcpTest, ByteStreamAdapterRoundTrip) {
+  listen_echo();
+  auto stream =
+      std::make_unique<TcpByteStream>(client.tcp_connect({server.id(), 80}));
+  Bytes received;
+  bool opened = false;
+  ByteStream::Handlers h;
+  h.on_open = [&]() {
+    opened = true;
+    stream->send(Bytes{42});
+  };
+  h.on_data = [&](std::span<const std::uint8_t> d) {
+    received.assign(d.begin(), d.end());
+  };
+  auto* raw = stream.get();
+  raw->set_handlers(std::move(h));
+  loop.run();
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(received, (Bytes{42}));
+}
+
+}  // namespace
+}  // namespace dohperf::simnet

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace dohperf::stats {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, NextInInclusiveRange) {
+  SplitMix64 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PoissonArrivals, MeanGapMatchesRate) {
+  PoissonArrivals arrivals(10.0, 3);  // the paper's 10 queries/second
+  double total = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += arrivals.next_gap_sec();
+  EXPECT_NEAR(total / n, 0.1, 0.005);
+}
+
+TEST(PoissonArrivals, ArrivalTimesMonotonic) {
+  PoissonArrivals arrivals(10.0, 5);
+  const auto times = arrivals.arrival_times(100);
+  ASSERT_EQ(times.size(), 100u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(ZipfSampler, RanksInRange) {
+  ZipfSampler zipf(100, 1.0, 17);
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = zipf.sample();
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfSampler, HeadIsHot) {
+  // With s=1 over 1000 ranks, the top-15 ranks should capture a large
+  // share — the paper found 25% of queries going to 15 names.
+  ZipfSampler zipf(1000, 1.0, 23);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample() <= 15) ++head;
+  }
+  const double share = static_cast<double>(head) / n;
+  EXPECT_GT(share, 0.3);
+  EXPECT_LT(share, 0.6);
+}
+
+TEST(LogNormalSampler, MedianNearExpMu) {
+  LogNormalSampler ln(std::log(50.0), 0.5, 31);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(ln.sample());
+  EXPECT_NEAR(median(xs), 50.0, 3.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> xs{42};
+  EXPECT_DOUBLE_EQ(percentile(xs, 37.5), 42.0);
+}
+
+TEST(BoxWhisker, FiveNumbers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const auto bw = BoxWhisker::from(xs);
+  EXPECT_DOUBLE_EQ(bw.min, 1);
+  EXPECT_DOUBLE_EQ(bw.q1, 26);
+  EXPECT_DOUBLE_EQ(bw.median, 51);
+  EXPECT_DOUBLE_EQ(bw.q3, 76);
+  EXPECT_DOUBLE_EQ(bw.max, 101);
+}
+
+TEST(Cdf, FractionAtValue) {
+  Cdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(Cdf, Quantile) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_THROW(cdf.quantile(0.0), std::domain_error);
+}
+
+TEST(Cdf, QuantileEmptyThrows) {
+  Cdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::domain_error);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Cdf cdf;
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.next_double() * 100);
+  const auto curve = cdf.curve(0, 100, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0, 10, 10);
+  h.add(-1);
+  h.add(0);
+  h.add(5.5);
+  h.add(10);
+  h.add(100);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("name       value"), std::string::npos);
+  EXPECT_NE(rendered.find("long-name  22"), std::string::npos);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(RenderSeries, GnuplotShape) {
+  std::vector<std::pair<double, double>> pts{{0, 0}, {1, 0.5}};
+  const std::string out = render_series("test", pts);
+  EXPECT_NE(out.find("# test"), std::string::npos);
+  EXPECT_NE(out.find("1.0000 0.500000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dohperf::stats

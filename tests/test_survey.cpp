@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "survey/deployment.hpp"
+#include "survey/prober.hpp"
+#include "survey/report.hpp"
+
+namespace dohperf::survey {
+namespace {
+
+using tlssim::TlsVersion;
+
+class SurveyTest : public ::testing::Test {
+ protected:
+  SurveyTest()
+      : net(loop, 3), prober_host(net, "prober"),
+        deployment(net, prober_host, paper_providers()),
+        prober(prober_host, deployment) {}
+
+  /// Probe every provider and drain the loop.
+  void run_survey() {
+    for (const auto& spec : paper_providers()) prober.probe(spec);
+    loop.run();
+  }
+
+  simnet::EventLoop loop;
+  simnet::Network net;
+  simnet::Host prober_host;
+  ProviderDeployment deployment;
+  Prober prober;
+};
+
+TEST_F(SurveyTest, ProviderListMatchesTable1) {
+  const auto& providers = paper_providers();
+  ASSERT_EQ(providers.size(), 10u);  // 9 providers, Google counted twice
+  EXPECT_EQ(providers[0].marker, "G1");
+  EXPECT_EQ(providers[1].marker, "G2");
+  EXPECT_EQ(providers[2].marker, "CF");
+  EXPECT_EQ(providers.back().marker, "CH");
+}
+
+TEST_F(SurveyTest, ContentTypesMatchTable2) {
+  run_survey();
+  // Row 1-2 of Table 2.
+  const std::map<std::string, std::pair<bool, bool>> expected{
+      // marker -> {dns-message, dns-json}
+      {"G1", {false, true}}, {"G2", {true, false}}, {"CF", {true, true}},
+      {"Q9", {true, true}},  {"CB", {true, false}}, {"PD", {true, false}},
+      {"BD", {true, true}},  {"SD", {true, false}}, {"RF", {true, true}},
+      {"CH", {true, false}},
+  };
+  for (const auto& [marker, flags] : expected) {
+    const auto& r = prober.result(marker);
+    EXPECT_EQ(r.dns_message, flags.first) << marker;
+    EXPECT_EQ(r.dns_json, flags.second) << marker;
+  }
+}
+
+TEST_F(SurveyTest, TlsVersionsMatchTable2) {
+  run_survey();
+  const auto has = [&](const std::string& marker, TlsVersion v) {
+    const auto& tls = prober.result(marker).tls;
+    const auto it = tls.find(v);
+    return it != tls.end() && it->second;
+  };
+  // All providers speak TLS 1.2.
+  for (const auto& p : paper_providers()) {
+    EXPECT_TRUE(has(p.marker, TlsVersion::kTls12)) << p.marker;
+  }
+  // Legacy versions: only CF, PD, SD, RF.
+  for (const auto& marker : {"CF", "PD", "SD", "RF"}) {
+    EXPECT_TRUE(has(marker, TlsVersion::kTls10)) << marker;
+    EXPECT_TRUE(has(marker, TlsVersion::kTls11)) << marker;
+  }
+  for (const auto& marker : {"G1", "G2", "Q9", "CB", "BD", "CH"}) {
+    EXPECT_FALSE(has(marker, TlsVersion::kTls10)) << marker;
+  }
+  // TLS 1.3: everyone except CleanBrowsing and Rubyfish.
+  for (const auto& marker : {"G1", "G2", "CF", "Q9", "PD", "BD", "SD", "CH"}) {
+    EXPECT_TRUE(has(marker, TlsVersion::kTls13)) << marker;
+  }
+  EXPECT_FALSE(has("CB", TlsVersion::kTls13));
+  EXPECT_FALSE(has("RF", TlsVersion::kTls13));
+}
+
+TEST_F(SurveyTest, PkiFeaturesMatchTable2) {
+  run_survey();
+  for (const auto& p : paper_providers()) {
+    const auto& r = prober.result(p.marker);
+    // Every provider's certificate is CT-logged; none demands OCSP MS.
+    EXPECT_TRUE(r.certificate_transparency) << p.marker;
+    EXPECT_FALSE(r.ocsp_must_staple) << p.marker;
+    // Only Google publishes CAA.
+    EXPECT_EQ(r.dns_caa, p.marker == "G1" || p.marker == "G2") << p.marker;
+  }
+}
+
+TEST_F(SurveyTest, QuicAndDotMatchTable2) {
+  run_survey();
+  for (const auto& p : paper_providers()) {
+    const auto& r = prober.result(p.marker);
+    EXPECT_EQ(r.quic, p.marker == "G1" || p.marker == "G2") << p.marker;
+  }
+  for (const auto& marker : {"G1", "G2", "CF", "Q9", "CB"}) {
+    EXPECT_TRUE(prober.result(marker).dns_over_tls) << marker;
+  }
+  for (const auto& marker : {"PD", "BD", "SD", "RF", "CH"}) {
+    EXPECT_FALSE(prober.result(marker).dns_over_tls) << marker;
+  }
+}
+
+TEST_F(SurveyTest, WorkingPathsAreTheConfiguredOnes) {
+  run_survey();
+  EXPECT_TRUE(prober.result("CF").working_paths.count("/dns-query"));
+  EXPECT_TRUE(prober.result("CB").working_paths.count("/doh/family-filter"));
+  EXPECT_TRUE(prober.result("G1").working_paths.count("/resolve"));
+  EXPECT_TRUE(prober.result("PD").working_paths.count("/"));
+}
+
+TEST_F(SurveyTest, Table1RendersEveryProvider) {
+  const std::string table = render_table1(paper_providers());
+  EXPECT_NE(table.find("https://cloudflare-dns.com/dns-query"),
+            std::string::npos);
+  EXPECT_NE(table.find("https://doh.cleanbrowsing.org/doh/family-filter"),
+            std::string::npos);
+  EXPECT_NE(table.find("Commons Host"), std::string::npos);
+}
+
+TEST_F(SurveyTest, Table2RendersFeatureMatrix) {
+  run_survey();
+  const std::string table =
+      render_table2(paper_providers(), prober.results());
+  EXPECT_NE(table.find("dns-message"), std::string::npos);
+  EXPECT_NE(table.find("TLS 1.3"), std::string::npos);
+  EXPECT_NE(table.find("Traf. Steering"), std::string::npos);
+  EXPECT_NE(table.find("DL"), std::string::npos);  // Google's steering
+}
+
+}  // namespace
+}  // namespace dohperf::survey
