@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hpack.dir/ablation_hpack.cpp.o"
+  "CMakeFiles/ablation_hpack.dir/ablation_hpack.cpp.o.d"
+  "ablation_hpack"
+  "ablation_hpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tls.dir/ablation_tls.cpp.o"
+  "CMakeFiles/ablation_tls.dir/ablation_tls.cpp.o.d"
+  "ablation_tls"
+  "ablation_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_doq_comparison.dir/ext_doq_comparison.cpp.o"
+  "CMakeFiles/ext_doq_comparison.dir/ext_doq_comparison.cpp.o.d"
+  "ext_doq_comparison"
+  "ext_doq_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_doq_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

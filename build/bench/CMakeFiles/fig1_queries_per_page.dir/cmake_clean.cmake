@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_queries_per_page.dir/fig1_queries_per_page.cpp.o"
+  "CMakeFiles/fig1_queries_per_page.dir/fig1_queries_per_page.cpp.o.d"
+  "fig1_queries_per_page"
+  "fig1_queries_per_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_queries_per_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hol_blocking.dir/fig2_hol_blocking.cpp.o"
+  "CMakeFiles/fig2_hol_blocking.dir/fig2_hol_blocking.cpp.o.d"
+  "fig2_hol_blocking"
+  "fig2_hol_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hol_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

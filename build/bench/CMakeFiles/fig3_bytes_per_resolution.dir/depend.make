@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_bytes_per_resolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_packets_per_resolution.dir/fig4_packets_per_resolution.cpp.o"
+  "CMakeFiles/fig4_packets_per_resolution.dir/fig4_packets_per_resolution.cpp.o.d"
+  "fig4_packets_per_resolution"
+  "fig4_packets_per_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_packets_per_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_page_load.dir/fig6_page_load.cpp.o"
+  "CMakeFiles/fig6_page_load.dir/fig6_page_load.cpp.o.d"
+  "fig6_page_load"
+  "fig6_page_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_page_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_landscape.dir/table1_landscape.cpp.o"
+  "CMakeFiles/table1_landscape.dir/table1_landscape.cpp.o.d"
+  "table1_landscape"
+  "table1_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

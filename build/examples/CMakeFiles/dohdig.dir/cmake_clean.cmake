@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohdig.dir/dohdig.cpp.o"
+  "CMakeFiles/dohdig.dir/dohdig.cpp.o.d"
+  "dohdig"
+  "dohdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

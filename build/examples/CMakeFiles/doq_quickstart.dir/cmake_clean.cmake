@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doq_quickstart.dir/doq_quickstart.cpp.o"
+  "CMakeFiles/doq_quickstart.dir/doq_quickstart.cpp.o.d"
+  "doq_quickstart"
+  "doq_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doq_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hol_blocking_demo.dir/hol_blocking_demo.cpp.o"
+  "CMakeFiles/hol_blocking_demo.dir/hol_blocking_demo.cpp.o.d"
+  "hol_blocking_demo"
+  "hol_blocking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hol_blocking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

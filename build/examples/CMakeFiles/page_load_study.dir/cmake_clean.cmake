@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_load_study.dir/page_load_study.cpp.o"
+  "CMakeFiles/page_load_study.dir/page_load_study.cpp.o.d"
+  "page_load_study"
+  "page_load_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_load_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

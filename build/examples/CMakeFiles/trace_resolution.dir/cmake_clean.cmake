@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_resolution.dir/trace_resolution.cpp.o"
+  "CMakeFiles/trace_resolution.dir/trace_resolution.cpp.o.d"
+  "trace_resolution"
+  "trace_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

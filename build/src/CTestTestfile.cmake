@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("dns")
+subdirs("simnet")
+subdirs("tlssim")
+subdirs("quicsim")
+subdirs("http1")
+subdirs("http2")
+subdirs("resolver")
+subdirs("core")
+subdirs("workload")
+subdirs("browser")
+subdirs("survey")

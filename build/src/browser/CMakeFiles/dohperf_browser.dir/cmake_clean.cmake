@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_browser.dir/page_load.cpp.o"
+  "CMakeFiles/dohperf_browser.dir/page_load.cpp.o.d"
+  "CMakeFiles/dohperf_browser.dir/vantage.cpp.o"
+  "CMakeFiles/dohperf_browser.dir/vantage.cpp.o.d"
+  "CMakeFiles/dohperf_browser.dir/web_farm.cpp.o"
+  "CMakeFiles/dohperf_browser.dir/web_farm.cpp.o.d"
+  "libdohperf_browser.a"
+  "libdohperf_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

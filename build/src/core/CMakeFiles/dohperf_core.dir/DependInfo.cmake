@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/caching_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/caching_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/caching_client.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/dohperf_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/doh_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/doh_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/doh_client.cpp.o.d"
+  "/root/repo/src/core/doq_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/doq_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/doq_client.cpp.o.d"
+  "/root/repo/src/core/dot_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/dot_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/dot_client.cpp.o.d"
+  "/root/repo/src/core/fallback_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/fallback_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/fallback_client.cpp.o.d"
+  "/root/repo/src/core/tcp_dns_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/tcp_dns_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/tcp_dns_client.cpp.o.d"
+  "/root/repo/src/core/udp_client.cpp" "src/core/CMakeFiles/dohperf_core.dir/udp_client.cpp.o" "gcc" "src/core/CMakeFiles/dohperf_core.dir/udp_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlssim/CMakeFiles/dohperf_tlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http1/CMakeFiles/dohperf_http1.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/dohperf_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/quicsim/CMakeFiles/dohperf_quicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

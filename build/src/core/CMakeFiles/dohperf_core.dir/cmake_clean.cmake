@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_core.dir/caching_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/caching_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/cost.cpp.o"
+  "CMakeFiles/dohperf_core.dir/cost.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/doh_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/doh_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/doq_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/doq_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/dot_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/dot_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/fallback_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/fallback_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/tcp_dns_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/tcp_dns_client.cpp.o.d"
+  "CMakeFiles/dohperf_core.dir/udp_client.cpp.o"
+  "CMakeFiles/dohperf_core.dir/udp_client.cpp.o.d"
+  "libdohperf_core.a"
+  "libdohperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

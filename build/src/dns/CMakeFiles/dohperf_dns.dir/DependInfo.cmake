@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/base64url.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/base64url.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/base64url.cpp.o.d"
+  "/root/repo/src/dns/json.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/json.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/json.cpp.o.d"
+  "/root/repo/src/dns/json_value.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/json_value.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/json_value.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/record.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/record.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/wire.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

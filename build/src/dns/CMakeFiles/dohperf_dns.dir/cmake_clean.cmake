@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_dns.dir/base64url.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/base64url.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/json.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/json.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/json_value.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/json_value.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/message.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/message.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/name.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/record.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/record.cpp.o.d"
+  "CMakeFiles/dohperf_dns.dir/wire.cpp.o"
+  "CMakeFiles/dohperf_dns.dir/wire.cpp.o.d"
+  "libdohperf_dns.a"
+  "libdohperf_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdohperf_dns.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http1/client.cpp" "src/http1/CMakeFiles/dohperf_http1.dir/client.cpp.o" "gcc" "src/http1/CMakeFiles/dohperf_http1.dir/client.cpp.o.d"
+  "/root/repo/src/http1/message.cpp" "src/http1/CMakeFiles/dohperf_http1.dir/message.cpp.o" "gcc" "src/http1/CMakeFiles/dohperf_http1.dir/message.cpp.o.d"
+  "/root/repo/src/http1/server.cpp" "src/http1/CMakeFiles/dohperf_http1.dir/server.cpp.o" "gcc" "src/http1/CMakeFiles/dohperf_http1.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_http1.dir/client.cpp.o"
+  "CMakeFiles/dohperf_http1.dir/client.cpp.o.d"
+  "CMakeFiles/dohperf_http1.dir/message.cpp.o"
+  "CMakeFiles/dohperf_http1.dir/message.cpp.o.d"
+  "CMakeFiles/dohperf_http1.dir/server.cpp.o"
+  "CMakeFiles/dohperf_http1.dir/server.cpp.o.d"
+  "libdohperf_http1.a"
+  "libdohperf_http1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_http1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdohperf_http1.a"
+)

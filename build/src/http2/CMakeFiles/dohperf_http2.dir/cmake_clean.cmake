@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_http2.dir/connection.cpp.o"
+  "CMakeFiles/dohperf_http2.dir/connection.cpp.o.d"
+  "CMakeFiles/dohperf_http2.dir/frame.cpp.o"
+  "CMakeFiles/dohperf_http2.dir/frame.cpp.o.d"
+  "CMakeFiles/dohperf_http2.dir/hpack.cpp.o"
+  "CMakeFiles/dohperf_http2.dir/hpack.cpp.o.d"
+  "libdohperf_http2.a"
+  "libdohperf_http2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quicsim/connection.cpp" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/connection.cpp.o" "gcc" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/connection.cpp.o.d"
+  "/root/repo/src/quicsim/endpoint.cpp" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/endpoint.cpp.o" "gcc" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/endpoint.cpp.o.d"
+  "/root/repo/src/quicsim/packet.cpp" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/packet.cpp.o" "gcc" "src/quicsim/CMakeFiles/dohperf_quicsim.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlssim/CMakeFiles/dohperf_tlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

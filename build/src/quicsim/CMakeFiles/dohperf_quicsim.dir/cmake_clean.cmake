@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_quicsim.dir/connection.cpp.o"
+  "CMakeFiles/dohperf_quicsim.dir/connection.cpp.o.d"
+  "CMakeFiles/dohperf_quicsim.dir/endpoint.cpp.o"
+  "CMakeFiles/dohperf_quicsim.dir/endpoint.cpp.o.d"
+  "CMakeFiles/dohperf_quicsim.dir/packet.cpp.o"
+  "CMakeFiles/dohperf_quicsim.dir/packet.cpp.o.d"
+  "libdohperf_quicsim.a"
+  "libdohperf_quicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_quicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dohperf_quicsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/doh_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o.d"
+  "/root/repo/src/resolver/doq_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/doq_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/doq_server.cpp.o.d"
+  "/root/repo/src/resolver/dot_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/dot_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/dot_server.cpp.o.d"
+  "/root/repo/src/resolver/engine.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/engine.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/engine.cpp.o.d"
+  "/root/repo/src/resolver/tcp_dns_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/tcp_dns_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/tcp_dns_server.cpp.o.d"
+  "/root/repo/src/resolver/udp_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/udp_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/udp_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlssim/CMakeFiles/dohperf_tlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http1/CMakeFiles/dohperf_http1.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/dohperf_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/quicsim/CMakeFiles/dohperf_quicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

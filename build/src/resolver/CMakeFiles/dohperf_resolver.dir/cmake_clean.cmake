@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/doq_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/doq_server.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/dot_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/dot_server.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/engine.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/engine.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/tcp_dns_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/tcp_dns_server.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/udp_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/udp_server.cpp.o.d"
+  "libdohperf_resolver.a"
+  "libdohperf_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/event_loop.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/event_loop.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/event_loop.cpp.o.d"
+  "/root/repo/src/simnet/host.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/host.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/host.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/network.cpp.o.d"
+  "/root/repo/src/simnet/packet.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/packet.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/packet.cpp.o.d"
+  "/root/repo/src/simnet/stream.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/stream.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/stream.cpp.o.d"
+  "/root/repo/src/simnet/tcp.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/tcp.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/tcp.cpp.o.d"
+  "/root/repo/src/simnet/trace.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/trace.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/trace.cpp.o.d"
+  "/root/repo/src/simnet/udp.cpp" "src/simnet/CMakeFiles/dohperf_simnet.dir/udp.cpp.o" "gcc" "src/simnet/CMakeFiles/dohperf_simnet.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_simnet.dir/event_loop.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/event_loop.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/host.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/host.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/network.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/network.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/packet.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/packet.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/stream.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/stream.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/tcp.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/tcp.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/trace.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/trace.cpp.o.d"
+  "CMakeFiles/dohperf_simnet.dir/udp.cpp.o"
+  "CMakeFiles/dohperf_simnet.dir/udp.cpp.o.d"
+  "libdohperf_simnet.a"
+  "libdohperf_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_stats.dir/cdf.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/rng.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/summary.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/table.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/table.cpp.o.d"
+  "libdohperf_stats.a"
+  "libdohperf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

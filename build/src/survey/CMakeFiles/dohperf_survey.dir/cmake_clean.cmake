@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_survey.dir/deployment.cpp.o"
+  "CMakeFiles/dohperf_survey.dir/deployment.cpp.o.d"
+  "CMakeFiles/dohperf_survey.dir/prober.cpp.o"
+  "CMakeFiles/dohperf_survey.dir/prober.cpp.o.d"
+  "CMakeFiles/dohperf_survey.dir/providers.cpp.o"
+  "CMakeFiles/dohperf_survey.dir/providers.cpp.o.d"
+  "CMakeFiles/dohperf_survey.dir/report.cpp.o"
+  "CMakeFiles/dohperf_survey.dir/report.cpp.o.d"
+  "libdohperf_survey.a"
+  "libdohperf_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

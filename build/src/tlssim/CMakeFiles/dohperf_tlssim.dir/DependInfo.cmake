@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlssim/connection.cpp" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/connection.cpp.o" "gcc" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/connection.cpp.o.d"
+  "/root/repo/src/tlssim/context.cpp" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/context.cpp.o" "gcc" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/context.cpp.o.d"
+  "/root/repo/src/tlssim/handshake.cpp" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/handshake.cpp.o" "gcc" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/handshake.cpp.o.d"
+  "/root/repo/src/tlssim/types.cpp" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/types.cpp.o" "gcc" "src/tlssim/CMakeFiles/dohperf_tlssim.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_tlssim.dir/connection.cpp.o"
+  "CMakeFiles/dohperf_tlssim.dir/connection.cpp.o.d"
+  "CMakeFiles/dohperf_tlssim.dir/context.cpp.o"
+  "CMakeFiles/dohperf_tlssim.dir/context.cpp.o.d"
+  "CMakeFiles/dohperf_tlssim.dir/handshake.cpp.o"
+  "CMakeFiles/dohperf_tlssim.dir/handshake.cpp.o.d"
+  "CMakeFiles/dohperf_tlssim.dir/types.cpp.o"
+  "CMakeFiles/dohperf_tlssim.dir/types.cpp.o.d"
+  "libdohperf_tlssim.a"
+  "libdohperf_tlssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_tlssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

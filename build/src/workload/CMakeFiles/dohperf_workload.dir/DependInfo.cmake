@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/alexa.cpp" "src/workload/CMakeFiles/dohperf_workload.dir/alexa.cpp.o" "gcc" "src/workload/CMakeFiles/dohperf_workload.dir/alexa.cpp.o.d"
+  "/root/repo/src/workload/names.cpp" "src/workload/CMakeFiles/dohperf_workload.dir/names.cpp.o" "gcc" "src/workload/CMakeFiles/dohperf_workload.dir/names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_workload.dir/alexa.cpp.o"
+  "CMakeFiles/dohperf_workload.dir/alexa.cpp.o.d"
+  "CMakeFiles/dohperf_workload.dir/names.cpp.o"
+  "CMakeFiles/dohperf_workload.dir/names.cpp.o.d"
+  "libdohperf_workload.a"
+  "libdohperf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

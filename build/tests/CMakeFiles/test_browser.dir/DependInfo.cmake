@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_browser.cpp" "tests/CMakeFiles/test_browser.dir/test_browser.cpp.o" "gcc" "tests/CMakeFiles/test_browser.dir/test_browser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dohperf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlssim/CMakeFiles/dohperf_tlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http1/CMakeFiles/dohperf_http1.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/dohperf_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dohperf_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dohperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dohperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/dohperf_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/dohperf_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/quicsim/CMakeFiles/dohperf_quicsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

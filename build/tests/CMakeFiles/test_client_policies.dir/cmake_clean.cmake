@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_policies.dir/test_client_policies.cpp.o"
+  "CMakeFiles/test_client_policies.dir/test_client_policies.cpp.o.d"
+  "test_client_policies"
+  "test_client_policies.pdb"
+  "test_client_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpack.dir/test_hpack.cpp.o"
+  "CMakeFiles/test_hpack.dir/test_hpack.cpp.o.d"
+  "test_hpack"
+  "test_hpack.pdb"
+  "test_hpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

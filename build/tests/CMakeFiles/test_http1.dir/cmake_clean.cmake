@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http1.dir/test_http1.cpp.o"
+  "CMakeFiles/test_http1.dir/test_http1.cpp.o.d"
+  "test_http1"
+  "test_http1.pdb"
+  "test_http1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

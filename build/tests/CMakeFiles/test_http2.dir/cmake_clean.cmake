@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http2.dir/test_http2.cpp.o"
+  "CMakeFiles/test_http2.dir/test_http2.cpp.o.d"
+  "test_http2"
+  "test_http2.pdb"
+  "test_http2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

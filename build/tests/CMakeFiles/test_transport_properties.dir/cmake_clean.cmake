@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_properties.dir/test_transport_properties.cpp.o"
+  "CMakeFiles/test_transport_properties.dir/test_transport_properties.cpp.o.d"
+  "test_transport_properties"
+  "test_transport_properties.pdb"
+  "test_transport_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

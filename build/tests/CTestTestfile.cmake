@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_tls[1]_include.cmake")
+include("/root/repo/build/tests/test_http1[1]_include.cmake")
+include("/root/repo/build/tests/test_hpack[1]_include.cmake")
+include("/root/repo/build/tests/test_http2[1]_include.cmake")
+include("/root/repo/build/tests/test_resolve_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_browser[1]_include.cmake")
+include("/root/repo/build/tests/test_survey[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_quic[1]_include.cmake")
+include("/root/repo/build/tests/test_chunked[1]_include.cmake")
+include("/root/repo/build/tests/test_client_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_gaps[1]_include.cmake")
