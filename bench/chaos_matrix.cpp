@@ -1,0 +1,292 @@
+// Chaos matrix: the §3 workload (unique names, Poisson arrivals, local
+// resolver) replayed under a grid of fault scenarios × transports, reporting
+// eventual success rate, resolution-time percentiles and the recovery
+// machinery's counters (re-issued queries, reconnects, exhausted budgets).
+//
+// Scenarios:
+//   baseline       unimpaired link and resolver
+//   bursty-loss    Gilbert–Elliott loss (mean burst ~3 packets, 50% in-burst)
+//   link-outage    the link black-holes every packet for 2s mid-run
+//   restart-2s     the resolver crashes (RST on every connection) for 2s
+//   stall-10       resolver accepts but never answers 10% of queries
+//   servfail-10    resolver answers SERVFAIL for 10% of queries
+//   lat-spike      +300ms one-way latency for 2s mid-run
+//   throttle       link throttled to 64 kbit/s for 3s mid-run
+//
+// Every random draw (arrivals, names, loss, faults, backoff jitter) comes
+// from seeded generators over virtual time, so the whole table is a pure
+// function of --seed: the harness runs the grid twice and verifies the two
+// renderings are byte-identical before printing.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/doh_client.hpp"
+#include "core/dot_client.hpp"
+#include "core/udp_client.hpp"
+#include "resolver/doh_server.hpp"
+#include "resolver/dot_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "simnet/fault.hpp"
+#include "workload/names.hpp"
+
+namespace {
+
+using namespace dohperf;
+
+struct Scenario {
+  std::string name;
+  resolver::FaultPolicy engine_faults;
+  simnet::GilbertElliott gilbert_elliott;
+  simnet::FaultSchedule link_faults;
+  simnet::TimeUs restart_at = 0;  ///< 0 = no server restart
+  simnet::TimeUs restart_downtime = 0;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> all;
+
+  all.push_back({.name = "baseline"});
+
+  Scenario bursty{.name = "bursty-loss"};
+  bursty.gilbert_elliott.enabled = true;
+  bursty.gilbert_elliott.p_good_to_bad = 0.02;
+  bursty.gilbert_elliott.p_bad_to_good = 0.3;
+  bursty.gilbert_elliott.loss_good = 0.0;
+  bursty.gilbert_elliott.loss_bad = 0.5;
+  all.push_back(std::move(bursty));
+
+  Scenario outage{.name = "link-outage"};
+  outage.link_faults.add_outage(simnet::seconds(4), simnet::seconds(2));
+  all.push_back(std::move(outage));
+
+  Scenario restart{.name = "restart-2s"};
+  restart.restart_at = simnet::seconds(4);
+  restart.restart_downtime = simnet::seconds(2);
+  all.push_back(std::move(restart));
+
+  Scenario stall{.name = "stall-10"};
+  stall.engine_faults.stall_rate = 0.10;
+  all.push_back(std::move(stall));
+
+  Scenario servfail{.name = "servfail-10"};
+  servfail.engine_faults.servfail_rate = 0.10;
+  all.push_back(std::move(servfail));
+
+  Scenario spike{.name = "lat-spike"};
+  spike.link_faults.add_latency_spike(simnet::seconds(4), simnet::seconds(2),
+                                      simnet::ms(300));
+  all.push_back(std::move(spike));
+
+  Scenario throttle{.name = "throttle"};
+  throttle.link_faults.add_throttle(simnet::seconds(4), simnet::seconds(3),
+                                    /*bps=*/64'000.0);
+  all.push_back(std::move(throttle));
+
+  return all;
+}
+
+struct RunMetrics {
+  std::size_t queries = 0;
+  std::size_t ok = 0;          ///< success with NOERROR
+  std::size_t rcode_fail = 0;  ///< answered, but SERVFAIL/REFUSED
+  std::vector<double> resolution_ms;
+  core::RetryStats retry;
+  std::uint64_t udp_final_timeouts = 0;
+};
+
+/// One cell of the matrix: `transport` in {udp, dot, h1, h2}.
+RunMetrics run(const Scenario& scenario, const std::string& transport,
+               std::uint64_t seed, std::size_t queries, double rate_qps) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, seed);
+  simnet::Host client(net, "client");
+  simnet::Host server(net, "resolver");
+
+  simnet::LinkConfig link;
+  link.latency = simnet::ms(5);
+  link.gilbert_elliott = scenario.gilbert_elliott;
+  net.connect(client.id(), server.id(), link);
+  if (!scenario.link_faults.empty()) {
+    net.inject_faults(client.id(), server.id(), scenario.link_faults);
+  }
+
+  resolver::EngineConfig engine_config;
+  engine_config.upstream.processing = simnet::us(50);
+  engine_config.faults = scenario.engine_faults;
+  engine_config.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  resolver::Engine engine(loop, engine_config);
+
+  resolver::UdpServer udp_server(server, engine, 53);
+  resolver::DotServer dot_server(server, engine, {}, 853);
+  resolver::DohServerConfig doh_config;
+  doh_config.tls.chain = tlssim::CertificateChain::generic("local.resolver");
+  resolver::DohServer doh_server(server, engine, doh_config, 443);
+
+  if (scenario.restart_at > 0) {
+    loop.schedule_at(scenario.restart_at, [&]() {
+      udp_server.restart(scenario.restart_downtime);
+      dot_server.restart(scenario.restart_downtime);
+      doh_server.restart(scenario.restart_downtime);
+    });
+  }
+
+  // The recovery knobs under test: an 8-retry budget with 100ms..1s
+  // exponential backoff spans >5s of cumulative waiting — comfortably past
+  // the 2s outages — and a 2s per-query timeout rescues stalled exchanges.
+  core::RetryPolicy retry;
+  retry.max_retries = 8;
+  retry.backoff_initial = simnet::ms(100);
+  retry.backoff_max = simnet::seconds(1);
+  retry.query_timeout = simnet::seconds(2);
+  retry.seed = seed ^ 0xbf58476d1ce4e5b9ULL;
+
+  std::unique_ptr<core::ResolverClient> stub;
+  core::DohClient* doh = nullptr;
+  core::DotClient* dot = nullptr;
+  core::UdpResolverClient* udp = nullptr;
+  if (transport == "udp") {
+    core::UdpClientConfig config;
+    config.timeout = simnet::seconds(1);
+    config.max_retries = 8;
+    auto c = std::make_unique<core::UdpResolverClient>(
+        client, simnet::Address{server.id(), 53}, config);
+    udp = c.get();
+    stub = std::move(c);
+  } else if (transport == "dot") {
+    core::DotClientConfig config;
+    config.server_name = "local.resolver";
+    config.retry = retry;
+    auto c = std::make_unique<core::DotClient>(
+        client, simnet::Address{server.id(), 853}, config);
+    dot = c.get();
+    stub = std::move(c);
+  } else {
+    core::DohClientConfig config;
+    config.server_name = "local.resolver";
+    config.http_version = transport == "h1" ? core::HttpVersion::kHttp1
+                                            : core::HttpVersion::kHttp2;
+    config.h1_pipelining = true;
+    config.retry = retry;
+    auto c = std::make_unique<core::DohClient>(
+        client, simnet::Address{server.id(), 443}, config);
+    doh = c.get();
+    stub = std::move(c);
+  }
+
+  workload::UniqueNameGenerator names("example.com", seed ^ 77);
+  stats::PoissonArrivals arrivals(rate_qps, seed ^ 13);
+  const auto times = arrivals.arrival_times(queries);
+
+  std::vector<std::uint64_t> ids(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const dns::Name name = names.next();
+    loop.schedule_at(simnet::from_sec(times[i]), [&, i, name]() {
+      ids[i] = stub->resolve(name, dns::RType::kA, {});
+    });
+  }
+  loop.run();
+
+  RunMetrics m;
+  m.queries = queries;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const auto& r = stub->result(ids[i]);
+    const bool noerror =
+        r.success && r.response.flags.rcode == dns::Rcode::kNoError;
+    if (noerror) {
+      ++m.ok;
+      m.resolution_ms.push_back(
+          static_cast<double>(r.resolution_time()) / 1e3);
+    } else if (r.success) {
+      ++m.rcode_fail;
+    }
+  }
+  if (doh != nullptr) m.retry = doh->retry_stats();
+  if (dot != nullptr) m.retry = dot->retry_stats();
+  if (udp != nullptr) m.udp_final_timeouts = udp->timeouts();
+  return m;
+}
+
+std::string render_matrix(std::uint64_t seed, std::size_t queries,
+                          double rate_qps) {
+  stats::TextTable table;
+  table.add_row({"scenario", "transport", "ok", "rcode-fail", "success%",
+                 "med(ms)", "p95(ms)", "max(ms)", "retries", "reconnects",
+                 "timeouts", "exhausted"});
+  for (const auto& scenario : scenarios()) {
+    for (const char* transport : {"udp", "dot", "h1", "h2"}) {
+      const RunMetrics m = run(scenario, transport, seed, queries, rate_qps);
+      const double pct =
+          m.queries == 0 ? 0.0
+                         : 100.0 * static_cast<double>(m.ok) /
+                               static_cast<double>(m.queries);
+      const std::uint64_t timeouts =
+          m.udp_final_timeouts + m.retry.query_timeouts;
+      // percentile() requires a non-empty sample; a cell with zero
+      // successful resolutions (e.g. --queries=0) has no latencies.
+      const auto pctl = [&](double p) {
+        return m.resolution_ms.empty()
+                   ? std::string("-")
+                   : stats::format_double(stats::percentile(m.resolution_ms, p),
+                                          1);
+      };
+      table.add_row(
+          {scenario.name, transport, std::to_string(m.ok),
+           std::to_string(m.rcode_fail), stats::format_double(pct, 1),
+           pctl(50), pctl(95), pctl(100),
+           std::to_string(m.retry.retried_queries),
+           std::to_string(m.retry.reconnects), std::to_string(timeouts),
+           std::to_string(m.retry.budget_exhausted)});
+    }
+  }
+  return table.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t queries = bench::flag(argc, argv, "queries", 100);
+  const std::uint64_t seed = bench::flag(argc, argv, "seed", 5);
+  const double rate_qps = 10.0;
+
+  std::printf("=== Chaos matrix: fault scenarios x DNS transports ===\n");
+  std::printf("(%zu unique names, Poisson %.0f q/s, seed %llu; impairments "
+              "strike 4s into the run)\n\n",
+              queries, rate_qps,
+              static_cast<unsigned long long>(seed));
+
+  const std::string first = render_matrix(seed, queries, rate_qps);
+  const std::string second = render_matrix(seed, queries, rate_qps);
+  std::fputs(first.c_str(), stdout);
+  std::printf("\ndeterminism check (two full grid runs, same seed): %s\n",
+              first == second ? "PASS - byte-identical" : "FAIL");
+
+  // The headline robustness claim: through a 2s resolver outage the
+  // reconnecting connection-oriented clients still answer everything
+  // eventually, without blowing any per-query retry budget.
+  bool recovered = true;
+  for (const auto& scenario : scenarios()) {
+    if (scenario.restart_at == 0) continue;
+    for (const char* transport : {"dot", "h1", "h2"}) {
+      const RunMetrics m = run(scenario, transport, seed, queries, rate_qps);
+      const double pct =
+          m.queries == 0 ? 100.0
+                         : 100.0 * static_cast<double>(m.ok) /
+                               static_cast<double>(m.queries);
+      if (pct < 99.0 || m.retry.budget_exhausted != 0) {
+        std::printf("recovery check FAIL: %s/%s success=%.1f%% "
+                    "budget_exhausted=%llu\n",
+                    scenario.name.c_str(), transport, pct,
+                    static_cast<unsigned long long>(
+                        m.retry.budget_exhausted));
+        recovered = false;
+      }
+    }
+  }
+  std::printf("recovery check (>=99%% success through restart-2s, budget "
+              "intact): %s\n",
+              recovered ? "PASS" : "FAIL");
+  return first == second && recovered ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/doh_client.hpp"
 
+#include <algorithm>
+
 #include "dns/base64url.hpp"
 #include "dns/json.hpp"
 
@@ -23,7 +25,10 @@ CostReport DohClient::Stack::snapshot() const {
 
 DohClient::DohClient(simnet::Host& host, simnet::Address server,
                      DohClientConfig config)
-    : host_(host), server_(server), config_(std::move(config)) {}
+    : host_(host),
+      server_(server),
+      config_(std::move(config)),
+      backoff_(config_.retry) {}
 
 std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
   auto stack = std::make_shared<Stack>();
@@ -42,12 +47,21 @@ std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
       std::move(tls_config));
   stack->tls = tls.get();
 
+  // One error handler per connection, not per query: a transport loss or
+  // GOAWAY fails every query in flight on this stack at once.
+  std::weak_ptr<Stack> weak = stack;
+  auto on_error = [this, weak]() {
+    if (auto s = weak.lock()) on_stack_error(s);
+  };
+
   if (config_.http_version == HttpVersion::kHttp2) {
     stack->h2 = std::make_unique<http2::Http2Connection>(
         std::move(tls), http2::Http2Connection::Role::kClient, config_.h2);
+    stack->h2->set_error_handler(std::move(on_error));
   } else {
     stack->h1 = std::make_unique<http1::Http1Client>(std::move(tls),
                                                      config_.h1_pipelining);
+    stack->h1->set_error_handler(std::move(on_error));
   }
   return stack;
 }
@@ -55,9 +69,12 @@ std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
 std::shared_ptr<DohClient::Stack> DohClient::stack_for_query() {
   if (!config_.persistent) return make_stack();
   // Reuse the stack while it is connecting or open; replace it once the
-  // TLS layer failed or closed.
-  const bool usable = persistent_stack_ && !persistent_stack_->tls->failed() &&
-                      !persistent_stack_->tls->closed();
+  // transport failed, closed, or the server announced shutdown (GOAWAY).
+  const bool usable = persistent_stack_ && !persistent_stack_->broken &&
+                      !persistent_stack_->tls->failed() &&
+                      !persistent_stack_->tls->closed() &&
+                      !(persistent_stack_->h2 &&
+                        persistent_stack_->h2->goaway_received());
   if (!usable) persistent_stack_ = make_stack();
   return persistent_stack_;
 }
@@ -73,6 +90,9 @@ std::uint64_t DohClient::resolve(const dns::Name& name, dns::RType type,
 
   QueryState state;
   state.callback = std::move(callback);
+  state.name = name;
+  state.type = type;
+  state.retries_left = config_.retry.max_retries;
   state.stack = stack;
   state.start = stack->snapshot();
   state.fresh_stack = !config_.persistent;
@@ -122,7 +142,13 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
   }
   results_[query_id].cost.dns_message_bytes += query_dns_bytes;
 
-  std::weak_ptr<Stack> weak_stack = stack;
+  stack->outstanding.push_back(query_id);
+  if (config_.retry.query_timeout > 0) {
+    states_[query_id].timeout_timer = host_.loop().schedule_in(
+        config_.retry.query_timeout,
+        [this, query_id]() { on_query_timeout(query_id); });
+  }
+
   const auto handle_body = [this, query_id](int status,
                                             const std::string& content_type,
                                             const dns::Bytes& payload) {
@@ -160,9 +186,6 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
           {"content-length", std::to_string(body.size())});
     }
     request.body = std::move(body);
-    stack->h2->set_error_handler([this, query_id]() {
-      complete(query_id, false, {}, 0);
-    });
     stack->h2->request(std::move(request),
                        [handle_body](const http2::H2Message& response) {
                          std::string status = "0";
@@ -188,9 +211,6 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
       request.headers.add("Connection", "close");
     }
     request.body = std::move(body);
-    stack->h1->set_error_handler([this, query_id]() {
-      complete(query_id, false, {}, 0);
-    });
     stack->h1->request(std::move(request),
                        [handle_body](const http1::Response& response) {
                          handle_body(
@@ -201,11 +221,108 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
   }
 }
 
+void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
+  if (stack->broken) return;  // double report (close after reset etc.)
+  stack->broken = true;
+  if (persistent_stack_ == stack) persistent_stack_.reset();
+
+  std::vector<std::uint64_t> victims;
+  victims.swap(stack->outstanding);
+  if (victims.empty()) return;
+
+  const bool can_retry = config_.retry.max_retries > 0;
+  // One reconnect delay per connection failure; every surviving query
+  // re-issues together on the replacement connection.
+  simnet::TimeUs delay = 0;
+  bool scheduled_any = false;
+  for (const std::uint64_t query_id : victims) {
+    QueryState& state = states_[query_id];
+    if (state.done) continue;
+    host_.loop().cancel(state.timeout_timer);
+    // A connection failure charges every query's retry budget (their
+    // attempts died with the transport); a timeout teardown charges only
+    // the suspect -- the rest were merely queued behind it.
+    const bool charge = !timeout_teardown_ || query_id == suspect_query_id_;
+    if (!can_retry || (charge && state.retries_left <= 0)) {
+      if (can_retry) ++retry_stats_.budget_exhausted;
+      complete(query_id, false, {}, 0);
+      continue;
+    }
+    if (!scheduled_any) {
+      delay = backoff_.next();
+      ++retry_stats_.reconnects;
+      scheduled_any = true;
+    }
+    if (charge) --state.retries_left;
+    ++retry_stats_.retried_queries;
+    host_.loop().schedule_in(delay,
+                             [this, query_id]() { reissue(query_id); });
+  }
+}
+
+void DohClient::on_query_timeout(std::uint64_t query_id) {
+  QueryState& state = states_[query_id];
+  if (state.done) return;
+  ++retry_stats_.query_timeouts;
+  const auto stack = state.stack;
+  if (config_.retry.max_retries > 0 && state.retries_left > 0) {
+    if (stack && stack->h1 && !stack->broken) {
+      // HTTP/1.1 serializes responses on the connection, so a stalled
+      // exchange blocks everything queued behind it; re-issuing here would
+      // join the same blocked queue. Kill the suspect connection and let
+      // the reconnect path re-issue every query in flight on it, this one
+      // included.
+      auto& out = stack->outstanding;
+      out.erase(std::remove(out.begin(), out.end(), query_id), out.end());
+      out.push_back(query_id);  // re-issue the suspect last: a repeat stall
+                                // then cannot block the rest of the batch
+      suspect_query_id_ = query_id;
+      timeout_teardown_ = true;
+      if (stack->tcp) stack->tcp->abort();  // no local callbacks fire
+      on_stack_error(stack);
+      suspect_query_id_ = 0;
+      timeout_teardown_ = false;
+      return;
+    }
+    // HTTP/2 multiplexes streams independently: only this exchange is
+    // stalled, so re-issue immediately — the elapsed timeout was the wait.
+    if (stack) {
+      auto& out = stack->outstanding;
+      out.erase(std::remove(out.begin(), out.end(), query_id), out.end());
+    }
+    --state.retries_left;
+    ++retry_stats_.retried_queries;
+    reissue(query_id);
+    return;
+  }
+  if (stack) {
+    auto& out = stack->outstanding;
+    out.erase(std::remove(out.begin(), out.end(), query_id), out.end());
+  }
+  if (config_.retry.max_retries > 0) ++retry_stats_.budget_exhausted;
+  complete(query_id, false, {}, 0);
+}
+
+void DohClient::reissue(std::uint64_t query_id) {
+  QueryState& state = states_[query_id];
+  if (state.done) return;
+  auto stack = stack_for_query();
+  state.stack = stack;
+  state.start = stack->snapshot();
+  issue(stack, query_id, state.name, state.type);
+}
+
 void DohClient::complete(std::uint64_t query_id, bool success,
                          dns::Message response, std::size_t dns_bytes) {
   QueryState& state = states_[query_id];
   if (state.done) return;  // error handler may race the response
   state.done = true;
+  host_.loop().cancel(state.timeout_timer);
+  if (state.stack) {
+    auto& out = state.stack->outstanding;
+    out.erase(std::remove(out.begin(), out.end(), query_id), out.end());
+  }
+  if (success) backoff_.reset();
   if (!state.fresh_stack && state.stack) {
     // Persistent connection: freeze the counter window one event from now,
     // so the TCP ACK triggered by the response segment is still attributed
@@ -236,7 +353,10 @@ void DohClient::complete(std::uint64_t query_id, bool success,
     if (state.stack->h2) state.stack->h2->close();
     if (state.stack->h1) state.stack->h1->close();
   }
-  if (state.callback) state.callback(result);
+  // Move the callback out first: it may start new resolutions, which can
+  // reallocate states_ and invalidate `state`.
+  auto callback = std::move(state.callback);
+  if (callback) callback(result);
 }
 
 const ResolutionResult& DohClient::result(std::uint64_t id) const {

@@ -15,6 +15,15 @@
 // connections the cost is the entire connection including teardown, and is
 // finalized once the connection has fully closed (run the event loop to
 // idle before reading it).
+//
+// Resilience: with a RetryPolicy (config.retry.max_retries > 0) the client
+// survives transport loss, server restarts and GOAWAY — a failed connection
+// is replaced after an exponentially backed-off, jittered delay and every
+// in-flight query is re-issued on the new connection until its per-query
+// retry budget runs out. An optional per-query timeout additionally covers
+// accept-then-never-answer stalls. For a retried query the recorded cost
+// window covers its final attempt (dns_message_bytes accumulates across
+// attempts — retransmitted queries do cost bytes).
 #pragma once
 
 #include <deque>
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/retry.hpp"
 #include "http1/client.hpp"
 #include "http2/connection.hpp"
 #include "simnet/host.hpp"
@@ -51,6 +61,8 @@ struct DohClientConfig {
   /// EDNS0 padding block size for queries (RFC 8467 recommends 128 for
   /// clients; 0 disables). Uniform sizes close the length side channel.
   std::size_t pad_queries_to = 0;
+  /// Reconnection + per-query retry behaviour; default is fail-fast.
+  RetryPolicy retry;
 };
 
 class DohClient final : public ResolverClient {
@@ -64,6 +76,7 @@ class DohClient final : public ResolverClient {
   const ResolutionResult& result(std::uint64_t id) const override;
   std::size_t completed() const override { return completed_; }
   std::uint64_t failures() const noexcept { return failures_; }
+  const RetryStats& retry_stats() const noexcept { return retry_stats_; }
 
   /// Close the persistent connection (if any).
   void disconnect();
@@ -80,6 +93,8 @@ class DohClient final : public ResolverClient {
     tlssim::TlsConnection* tls = nullptr;  ///< owned by the HTTP layer
     std::unique_ptr<http1::Http1Client> h1;
     std::unique_ptr<http2::Http2Connection> h2;
+    std::vector<std::uint64_t> outstanding;  ///< query ids in flight here
+    bool broken = false;  ///< transport failed; never reuse
 
     CostReport snapshot() const;
   };
@@ -90,11 +105,23 @@ class DohClient final : public ResolverClient {
              const dns::Name& name, dns::RType type);
   void complete(std::uint64_t query_id, bool success, dns::Message response,
                 std::size_t dns_bytes);
+  /// Transport-level failure (close/reset/GOAWAY/protocol error): retry or
+  /// fail every query that was in flight on `stack`.
+  void on_stack_error(const std::shared_ptr<Stack>& stack);
+  void on_query_timeout(std::uint64_t query_id);
+  /// Re-issue a query on a (possibly fresh) connection.
+  void reissue(std::uint64_t query_id);
 
   simnet::Host& host_;
   simnet::Address server_;
   DohClientConfig config_;
+  Backoff backoff_;
+  RetryStats retry_stats_;
 
+  /// Query whose timeout triggered the current connection teardown: the
+  /// group-retry charges only its budget and re-issues it last.
+  std::uint64_t suspect_query_id_ = 0;
+  bool timeout_teardown_ = false;
   std::shared_ptr<Stack> persistent_stack_;
   std::uint64_t next_query_id_ = 0;
   std::uint64_t completed_ = 0;
@@ -102,9 +129,13 @@ class DohClient final : public ResolverClient {
 
   struct QueryState {
     ResolveCallback callback;
+    dns::Name name;                ///< kept for re-issue
+    dns::RType type = dns::RType::kA;
+    int retries_left = 0;
     std::shared_ptr<Stack> stack;  ///< stack this query ran on
     CostReport start;              ///< stack snapshot at issue time
     CostReport end;                ///< snapshot at completion (persistent)
+    simnet::EventId timeout_timer;
     bool have_end = false;
     bool fresh_stack = false;      ///< cost = whole stack incl. teardown
     bool done = false;

@@ -4,11 +4,16 @@ namespace dohperf::core {
 
 DotClient::DotClient(simnet::Host& host, simnet::Address server,
                      DotClientConfig config)
-    : host_(host), server_(server), config_(std::move(config)) {}
+    : host_(host),
+      server_(server),
+      config_(std::move(config)),
+      backoff_(config_.retry) {}
 
 void DotClient::ensure_connection() {
-  if (tls_ && tls_->is_open()) return;
-  if (tls_ && !tls_->failed() && !tls_->established()) return;  // connecting
+  // A connection is reusable while it is open or still handshaking; one
+  // that failed or whose transport closed (including RST mid-handshake)
+  // must be replaced.
+  if (tls_ && !tls_->failed() && !tls_->closed()) return;
   tcp_ = host_.tcp_connect(server_);
   tlssim::ClientConfig tls_config;
   tls_config.sni = config_.server_name;
@@ -26,26 +31,50 @@ void DotClient::ensure_connection() {
   rx_.clear();
 }
 
-std::uint64_t DotClient::resolve(const dns::Name& name, dns::RType type,
-                                 ResolveCallback callback) {
-  ensure_connection();
-  const std::uint64_t query_id = next_query_id_++;
+std::uint16_t DotClient::allocate_dns_id() {
   std::uint16_t dns_id = next_dns_id_++;
   while (pending_.count(dns_id) != 0 || dns_id == 0) dns_id = next_dns_id_++;
+  return dns_id;
+}
+
+std::uint64_t DotClient::resolve(const dns::Name& name, dns::RType type,
+                                 ResolveCallback callback) {
+  const std::uint64_t query_id = next_query_id_++;
 
   ResolutionResult result;
   result.sent_at = host_.loop().now();
   results_.push_back(std::move(result));
-  pending_.emplace(dns_id, std::make_pair(query_id, std::move(callback)));
 
-  const dns::Message query = dns::Message::make_query(dns_id, name, type);
+  Pending pending;
+  pending.query_id = query_id;
+  pending.callback = std::move(callback);
+  pending.name = name;
+  pending.type = type;
+  pending.retries_left = config_.retry.max_retries;
+  send_query(allocate_dns_id(), std::move(pending));
+  return query_id;
+}
+
+void DotClient::send_query(std::uint16_t dns_id, Pending pending) {
+  ensure_connection();
+  const std::uint64_t query_id = pending.query_id;
+
+  const dns::Message query =
+      dns::Message::make_query(dns_id, pending.name, pending.type);
   const dns::Bytes wire = query.encode();
-  results_[query_id].cost.dns_message_bytes = wire.size();
+  results_[query_id].cost.dns_message_bytes += wire.size();
+
+  if (config_.retry.query_timeout > 0) {
+    pending.timeout_timer = host_.loop().schedule_in(
+        config_.retry.query_timeout,
+        [this, dns_id]() { on_query_timeout(dns_id); });
+  }
+  pending_.emplace(dns_id, std::move(pending));
+
   dns::ByteWriter framed;
   framed.u16(static_cast<std::uint16_t>(wire.size()));
   framed.bytes(wire);
   tls_->send(framed.take());  // queued internally until the handshake ends
-  return query_id;
 }
 
 void DotClient::on_data(std::span<const std::uint8_t> data) {
@@ -65,35 +94,108 @@ void DotClient::on_data(std::span<const std::uint8_t> data) {
     }
     const auto it = pending_.find(response.id);
     if (it == pending_.end()) continue;
-    auto [query_id, callback] = std::move(it->second);
+    Pending pending = std::move(it->second);
     pending_.erase(it);
+    host_.loop().cancel(pending.timeout_timer);
+    backoff_.reset();
 
-    ResolutionResult& result = results_[query_id];
+    ResolutionResult& result = results_[pending.query_id];
     result.success = true;
     result.completed_at = host_.loop().now();
     result.cost.dns_message_bytes += wire.size();
     result.response = std::move(response);
     ++completed_;
-    if (callback) callback(result);
+    if (pending.callback) pending.callback(result);
   }
 }
 
 void DotClient::on_close() {
-  // Fail everything outstanding.
   auto pending = std::move(pending_);
   pending_.clear();
+  const bool can_retry = !closing_ && config_.retry.max_retries > 0;
+
+  // Re-issue in issue order, except that the query whose timeout caused
+  // this teardown (if any) goes last: the server answers in order, so a
+  // repeat stall at the back cannot block anyone else.
+  std::vector<std::pair<bool, Pending>> order;  // (is_suspect, query)
+  order.reserve(pending.size());
   for (auto& [dns_id, entry] : pending) {
-    auto& [query_id, callback] = entry;
-    ResolutionResult& result = results_[query_id];
-    result.success = false;
-    result.completed_at = host_.loop().now();
-    ++completed_;
-    if (callback) callback(result);
+    if (dns_id == suspect_dns_id_) continue;
+    order.emplace_back(false, std::move(entry));
+  }
+  if (const auto it = pending.find(suspect_dns_id_); it != pending.end()) {
+    order.emplace_back(true, std::move(it->second));
+  }
+
+  // One reconnect delay per connection loss; all surviving queries re-issue
+  // together on the replacement connection. A connection failure charges
+  // every query's retry budget (their attempts died with the transport); a
+  // timeout teardown charges only the suspect -- the rest were merely
+  // queued behind it and are re-issued for free.
+  simnet::TimeUs delay = 0;
+  bool scheduled_any = false;
+  for (auto& [is_suspect, entry] : order) {
+    host_.loop().cancel(entry.timeout_timer);
+    const bool charge = !timeout_teardown_ || is_suspect;
+    if (!can_retry || (charge && entry.retries_left <= 0)) {
+      if (can_retry) ++retry_stats_.budget_exhausted;
+      fail_query(std::move(entry));
+      continue;
+    }
+    if (!scheduled_any) {
+      delay = backoff_.next();
+      ++retry_stats_.reconnects;
+      scheduled_any = true;
+    }
+    if (charge) --entry.retries_left;
+    ++retry_stats_.retried_queries;
+    host_.loop().schedule_in(
+        delay, [this, p = std::move(entry)]() mutable {
+          send_query(allocate_dns_id(), std::move(p));
+        });
   }
 }
 
+void DotClient::on_query_timeout(std::uint16_t dns_id) {
+  const auto it = pending_.find(dns_id);
+  if (it == pending_.end()) return;
+  ++retry_stats_.query_timeouts;
+  if (config_.retry.max_retries > 0 && it->second.retries_left > 0) {
+    // DoT serializes responses on one TLS stream (the resolver answers in
+    // order), so a stalled exchange at the head of the line blocks every
+    // response behind it and re-issuing on the same session cannot recover.
+    // Discard the suspect connection -- as real stub resolvers discard
+    // suspect TCP sessions -- and let the reconnect path re-issue every
+    // pending query, this one included.
+    suspect_dns_id_ = dns_id;
+    timeout_teardown_ = true;
+    if (tcp_) tcp_->abort();  // no local callbacks fire; notify ourselves
+    tls_.reset();
+    rx_.clear();
+    on_close();
+    suspect_dns_id_ = 0;
+    timeout_teardown_ = false;
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (config_.retry.max_retries > 0) ++retry_stats_.budget_exhausted;
+  fail_query(std::move(pending));
+}
+
+void DotClient::fail_query(Pending pending) {
+  ResolutionResult& result = results_[pending.query_id];
+  result.success = false;
+  result.completed_at = host_.loop().now();
+  ++completed_;
+  if (pending.callback) pending.callback(result);
+}
+
 void DotClient::disconnect() {
-  if (tls_) tls_->close();
+  if (!tls_) return;
+  closing_ = true;
+  tls_->close();
+  closing_ = false;
 }
 
 bool DotClient::connected() const { return tls_ && tls_->is_open(); }

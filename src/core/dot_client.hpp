@@ -1,5 +1,10 @@
 // DNS-over-TLS client (RFC 7858): TLS to port 853, two-byte length framing,
 // multiple outstanding queries matched by DNS message ID.
+//
+// With a RetryPolicy (config.retry.max_retries > 0) the client reconnects
+// after transport loss with exponential backoff and re-issues the queries
+// that were in flight, each under its own retry budget; a per-query timeout
+// optionally covers servers that accept but never answer.
 #pragma once
 
 #include <map>
@@ -7,6 +12,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/retry.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
 #include "tlssim/connection.hpp"
@@ -18,6 +24,8 @@ struct DotClientConfig {
   tlssim::TlsVersion min_tls = tlssim::TlsVersion::kTls12;
   tlssim::TlsVersion max_tls = tlssim::TlsVersion::kTls13;
   tlssim::SessionCache* session_cache = nullptr;
+  /// Reconnection + per-query retry behaviour; default is fail-fast.
+  RetryPolicy retry;
 };
 
 class DotClient final : public ResolverClient {
@@ -29,8 +37,10 @@ class DotClient final : public ResolverClient {
                         ResolveCallback callback) override;
   const ResolutionResult& result(std::uint64_t id) const override;
   std::size_t completed() const override { return completed_; }
+  const RetryStats& retry_stats() const noexcept { return retry_stats_; }
 
   /// Close the TLS connection (a new one is opened on the next resolve).
+  /// Outstanding queries fail without retry — the close was deliberate.
   void disconnect();
   bool connected() const;
 
@@ -39,22 +49,46 @@ class DotClient final : public ResolverClient {
   const simnet::TcpCounters* tcp_counters() const;
 
  private:
+  /// Everything needed to answer — or re-issue — one query.
+  struct Pending {
+    std::uint64_t query_id = 0;
+    ResolveCallback callback;
+    dns::Name name;
+    dns::RType type = dns::RType::kA;
+    int retries_left = 0;
+    simnet::EventId timeout_timer;
+  };
+
   void ensure_connection();
+  void send_query(std::uint16_t dns_id, Pending pending);
   void on_data(std::span<const std::uint8_t> data);
   void on_close();
+  void on_query_timeout(std::uint16_t dns_id);
+  void fail_query(Pending pending);
+  std::uint16_t allocate_dns_id();
 
   simnet::Host& host_;
   simnet::Address server_;
   DotClientConfig config_;
+  Backoff backoff_;
+  RetryStats retry_stats_;
 
   std::shared_ptr<simnet::TcpConnection> tcp_;
   std::unique_ptr<tlssim::TlsConnection> tls_;
   dns::Bytes rx_;
+  bool closing_ = false;  ///< disconnect() in progress: do not retry
+  /// DNS ID of a query whose timeout triggered the current connection
+  /// teardown. The reconnect path re-issues it after everything else so a
+  /// repeat stall cannot head-of-line-block the rest of the batch again,
+  /// and charges only its retry budget: the other in-flight queries did
+  /// not fail, the client preempted them.
+  std::uint16_t suspect_dns_id_ = 0;
+  bool timeout_teardown_ = false;
 
   std::uint16_t next_dns_id_ = 1;
   std::uint64_t next_query_id_ = 0;
   std::uint64_t completed_ = 0;
-  std::map<std::uint16_t, std::pair<std::uint64_t, ResolveCallback>> pending_;
+  std::map<std::uint16_t, Pending> pending_;
   std::vector<ResolutionResult> results_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/fallback_client.hpp"
 
+#include <algorithm>
+
 namespace dohperf::core {
 
 FallbackResolverClient::FallbackResolverClient(simnet::EventLoop& loop,
@@ -34,8 +36,10 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
     } else if (!it->second.fallback_started) {
       // Hard failure before the deadline: fall back immediately.
       start_fallback(id);
+    } else {
+      // Primary failed after the fallback started: wait for the fallback.
+      ++stats_.primary_late_failures;
     }
-    // Primary failed after the fallback started: wait for the fallback.
   });
   return id;
 }
@@ -48,6 +52,10 @@ void FallbackResolverClient::start_fallback(std::uint64_t id) {
   }
   it->second.fallback_started = true;
   loop_.cancel(it->second.deadline);
+  ++stats_.fallback_started;
+  const simnet::TimeUs waited = loop_.now() - results_[id].sent_at;
+  stats_.decision_latency_total += waited;
+  stats_.decision_latency_max = std::max(stats_.decision_latency_max, waited);
   fallback_.resolve(it->second.name, it->second.type,
                     [this, id](const ResolutionResult& r) {
                       const auto p = pending_.find(id);

@@ -22,6 +22,22 @@ struct FallbackStats {
   std::uint64_t primary_wins = 0;    ///< primary answered in time
   std::uint64_t fallback_used = 0;   ///< deadline hit or primary failed
   std::uint64_t both_failed = 0;
+  std::uint64_t fallback_started = 0;  ///< fallback launched (won or not)
+  /// Primary reported failure only after the fallback was already racing —
+  /// the slow-failure path where the deadline, not the error, decided.
+  std::uint64_t primary_late_failures = 0;
+  /// Time from resolve() to the decision to start the fallback, summed /
+  /// maxed over fallback_started decisions. The mean bounds how much a
+  /// misbehaving primary delays the user before the rescue begins.
+  simnet::TimeUs decision_latency_total = 0;
+  simnet::TimeUs decision_latency_max = 0;
+
+  double mean_decision_latency_us() const {
+    return fallback_started == 0
+               ? 0.0
+               : static_cast<double>(decision_latency_total) /
+                     static_cast<double>(fallback_started);
+  }
 };
 
 class FallbackResolverClient final : public ResolverClient {

@@ -301,6 +301,15 @@ void Http2Connection::handle_frame(const Frame& frame) {
       handle_ping(frame);
       return;
     case FrameType::kGoaway:
+      counters_.mgmt_bytes_received += frame.wire_size();
+      goaway_received_ = true;
+      // A client with work in flight treats GOAWAY like a transport loss:
+      // the peer is shutting down and will not answer those streams.
+      if (role_ == Role::kClient && on_error_ &&
+          (!streams_.empty() || !queued_requests_.empty())) {
+        on_error_();
+      }
+      return;
     case FrameType::kRstStream:
     case FrameType::kPriority:
     case FrameType::kPushPromise:

@@ -86,6 +86,8 @@ class Http2Connection {
   void close(H2Error error = H2Error::kNoError);
 
   bool is_open() const { return !goaway_sent_ && transport_->is_open(); }
+  /// The peer announced shutdown; a client should not reuse the connection.
+  bool goaway_received() const noexcept { return goaway_received_; }
   const H2Counters& counters() const noexcept { return counters_; }
   simnet::ByteStream& transport() noexcept { return *transport_; }
   std::size_t open_streams() const noexcept { return streams_.size(); }
@@ -144,6 +146,7 @@ class Http2Connection {
   bool preface_done_ = false;   ///< server: client preface consumed
   bool settings_sent_ = false;
   bool goaway_sent_ = false;
+  bool goaway_received_ = false;
 
   std::uint32_t next_stream_id_;  ///< client: 1, 3, 5, ...
   std::map<std::uint32_t, Stream> streams_;

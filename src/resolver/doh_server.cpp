@@ -75,17 +75,45 @@ std::pair<std::string, std::string> parse_json_query(
 DohServer::DohServer(simnet::Host& host, Engine& engine,
                      DohServerConfig config, std::uint16_t port)
     : host_(host), engine_(engine), config_(std::move(config)), port_(port) {
+  listen();
+}
+
+DohServer::~DohServer() {
+  *alive_ = false;
+  if (listening_) host_.tcp_stop_listening(port_);
+}
+
+void DohServer::listen() {
   host_.tcp_listen(port_, [this](std::shared_ptr<simnet::TcpConnection> c) {
     on_accept(std::move(c));
   });
+  listening_ = true;
 }
 
-DohServer::~DohServer() { host_.tcp_stop_listening(port_); }
+void DohServer::restart(simnet::TimeUs downtime) {
+  // Reset at the host level so connections still mid-handshake (not yet
+  // delivered to on_accept) die with the crashed process too.
+  host_.tcp_reset_port(port_);
+  for (auto& session : sessions_) session->dead = true;
+  prune();
+  if (listening_) {
+    host_.tcp_stop_listening(port_);
+    listening_ = false;
+  }
+  ++restarts_;
+  host_.loop().schedule_in(downtime,
+                           [this, alive = std::weak_ptr<bool>(alive_)]() {
+                             const auto a = alive.lock();
+                             if (!a || !*a || listening_) return;
+                             listen();
+                           });
+}
 
 void DohServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
   prune();
   auto session = std::make_shared<Session>();
   session->self = session;
+  session->tcp = conn;
   session->tls_holder = std::make_unique<tlssim::TlsConnection>(
       std::make_unique<simnet::TcpByteStream>(std::move(conn)), &config_.tls);
   session->tls = session->tls_holder.get();

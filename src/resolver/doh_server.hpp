@@ -62,16 +62,26 @@ class DohServer {
   std::size_t session_count() const noexcept { return sessions_.size(); }
   const DohServerConfig& config() const noexcept { return config_; }
 
+  /// Simulate a crash + restart: RST every live connection and stop
+  /// listening; the listener comes back after `downtime`. Clients see
+  /// connection resets while down, then refused/reset connects until the
+  /// restart completes.
+  void restart(simnet::TimeUs downtime);
+  bool listening() const noexcept { return listening_; }
+  std::uint64_t restarts() const noexcept { return restarts_; }
+
  private:
   struct Session {
     tlssim::TlsConnection* tls = nullptr;  ///< owned by the HTTP layer below
     std::unique_ptr<tlssim::TlsConnection> tls_holder;  ///< until HTTP attach
     std::unique_ptr<http1::Http1ServerConnection> h1;
     std::unique_ptr<http2::Http2Connection> h2;
+    std::weak_ptr<simnet::TcpConnection> tcp;  ///< for abortive restart
     bool dead = false;
     std::weak_ptr<Session> self;
   };
 
+  void listen();
   void on_accept(std::shared_ptr<simnet::TcpConnection> conn);
   void attach_http(const std::shared_ptr<Session>& session);
   /// Validate + resolve one exchange, completing asynchronously.
@@ -83,6 +93,10 @@ class DohServer {
   Engine& engine_;
   DohServerConfig config_;
   std::uint16_t port_;
+  bool listening_ = false;
+  std::uint64_t restarts_ = 0;
+  /// Guards the deferred re-listen against the server being destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<std::shared_ptr<Session>> sessions_;
 };
 

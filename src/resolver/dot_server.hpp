@@ -37,9 +37,16 @@ class DotServer {
   simnet::Address address() const { return {host_.id(), port_}; }
   std::size_t session_count() const noexcept { return sessions_.size(); }
 
+  /// Simulate a crash + restart: RST every live connection and stop
+  /// listening; the listener comes back after `downtime`.
+  void restart(simnet::TimeUs downtime);
+  bool listening() const noexcept { return listening_; }
+  std::uint64_t restarts() const noexcept { return restarts_; }
+
  private:
   struct Session {
     std::unique_ptr<tlssim::TlsConnection> tls;
+    std::weak_ptr<simnet::TcpConnection> tcp;  ///< for abortive restart
     simnet::Bytes rx;
     std::uint64_t next_assigned = 0;
     std::uint64_t next_to_send = 0;
@@ -48,6 +55,7 @@ class DotServer {
     std::weak_ptr<Session> self;  ///< for continuations that may outlive us
   };
 
+  void listen();
   void on_accept(std::shared_ptr<simnet::TcpConnection> conn);
   void on_data(Session& session, std::span<const std::uint8_t> data);
   void answer(Session& session, std::uint64_t sequence, dns::Bytes wire);
@@ -57,6 +65,10 @@ class DotServer {
   Engine& engine_;
   DotServerConfig config_;
   std::uint16_t port_;
+  bool listening_ = false;
+  std::uint64_t restarts_ = 0;
+  /// Guards the deferred re-listen against the server being destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<std::shared_ptr<Session>> sessions_;
 };
 

@@ -8,7 +8,8 @@ Engine::Engine(simnet::EventLoop& loop, EngineConfig config)
     : loop_(loop), config_(std::move(config)),
       upstream_latency_(std::log(config_.upstream.upstream_mu_ms),
                         config_.upstream.upstream_sigma, config_.seed),
-      cache_rng_(config_.seed ^ 0x9e3779b97f4a7c15ULL) {}
+      cache_rng_(config_.seed ^ 0x9e3779b97f4a7c15ULL),
+      fault_rng_(config_.seed ^ 0xc2b2ae3d27d4eb4fULL) {}
 
 void Engine::add_record(const dns::Name& name, const std::string& address) {
   zone_[name] = address;
@@ -67,6 +68,37 @@ void Engine::handle(const dns::Message& query, Continuation done) {
     ++stats_.delayed;
     service += dp.delay;
   }
+
+  // Fault injection: one uniform draw decides among stall / SERVFAIL /
+  // REFUSED so the rates partition [0, 1) and compose predictably.
+  const auto& fp = config_.faults;
+  if (fp.stall_rate > 0.0 || fp.servfail_rate > 0.0 ||
+      fp.refused_rate > 0.0) {
+    const double u = fault_rng_.next_double();
+    if (u < fp.stall_rate) {
+      ++stats_.stalled;
+      return;  // accept-then-never-answer: the continuation is dropped
+    }
+    if (u < fp.stall_rate + fp.servfail_rate) {
+      ++stats_.injected_servfail;
+      dns::Message error = dns::Message::make_error(query, dns::Rcode::kServFail);
+      loop_.schedule_in(service, [done = std::move(done),
+                                  error = std::move(error)]() mutable {
+        done(std::move(error));
+      });
+      return;
+    }
+    if (u < fp.stall_rate + fp.servfail_rate + fp.refused_rate) {
+      ++stats_.injected_refused;
+      dns::Message error = dns::Message::make_error(query, dns::Rcode::kRefused);
+      loop_.schedule_in(service, [done = std::move(done),
+                                  error = std::move(error)]() mutable {
+        done(std::move(error));
+      });
+      return;
+    }
+  }
+
   dns::Message response = answer(query);
   loop_.schedule_in(service, [done = std::move(done),
                               response = std::move(response)]() mutable {

@@ -21,6 +21,16 @@ struct DelayPolicy {
   simnet::TimeUs delay = simnet::ms(1000);
 };
 
+/// Server-side fault injection, sampled per query from the engine's seeded
+/// RNG: error rcodes model a broken recursive backend, a stall models the
+/// worst failure a connection-oriented transport can see — the server
+/// accepts the query and never answers, leaving the client to time out.
+struct FaultPolicy {
+  double servfail_rate = 0.0;  ///< P(answer SERVFAIL)
+  double refused_rate = 0.0;   ///< P(answer REFUSED)
+  double stall_rate = 0.0;     ///< P(accept, never answer)
+};
+
 /// Recursive-resolution model: each query hits the cache with probability
 /// `cache_hit_ratio`; misses pay an upstream round trip sampled from a
 /// log-normal distribution (heavy tail, like real recursive latency).
@@ -42,6 +52,7 @@ struct EngineConfig {
   /// supports ECS; Cloudflare deliberately does not.
   bool ecs_option = false;
   DelayPolicy delay_policy;
+  FaultPolicy faults;
   UpstreamModel upstream;
   std::uint64_t seed = 42;
 };
@@ -50,6 +61,9 @@ struct EngineStats {
   std::uint64_t queries = 0;
   std::uint64_t delayed = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t injected_servfail = 0;
+  std::uint64_t injected_refused = 0;
+  std::uint64_t stalled = 0;
 };
 
 /// Asynchronous query handler; the continuation runs on the event loop
@@ -81,6 +95,7 @@ class Engine {
   EngineStats stats_;
   stats::LogNormalSampler upstream_latency_;
   stats::SplitMix64 cache_rng_;
+  stats::SplitMix64 fault_rng_;
   std::map<dns::Name, std::string> zone_;
 };
 

@@ -6,6 +6,10 @@ UdpServer::UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port)
     : host_(host), engine_(engine), socket_(&host.udp_open(port)) {
   socket_->set_receiver(
       [this](const simnet::Bytes& payload, simnet::Address from) {
+        if (down_) {
+          ++dropped_while_down_;
+          return;
+        }
         dns::Message query;
         try {
           query = dns::Message::decode(payload);
@@ -14,11 +18,24 @@ UdpServer::UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port)
           return;  // real servers drop unparseable datagrams
         }
         engine_.handle(query, [this, from](dns::Message response) {
+          if (down_) return;  // crashed while the query was in service
           socket_->send_to(from, response.encode());
         });
       });
 }
 
-UdpServer::~UdpServer() { host_.udp_close(*socket_); }
+UdpServer::~UdpServer() {
+  *alive_ = false;
+  host_.udp_close(*socket_);
+}
+
+void UdpServer::restart(simnet::TimeUs downtime) {
+  down_ = true;
+  host_.loop().schedule_in(downtime,
+                           [this, alive = std::weak_ptr<bool>(alive_)]() {
+                             const auto a = alive.lock();
+                             if (a && *a) down_ = false;
+                           });
+}
 
 }  // namespace dohperf::resolver

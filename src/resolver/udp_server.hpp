@@ -19,11 +19,23 @@ class UdpServer {
   simnet::Address address() const { return socket_->local(); }
   std::uint64_t malformed_queries() const noexcept { return malformed_; }
 
+  /// Simulate a crash + restart: queries arriving during the `downtime`
+  /// window are silently dropped (UDP has no connections to reset).
+  void restart(simnet::TimeUs downtime);
+  bool up() const noexcept { return !down_; }
+  std::uint64_t dropped_while_down() const noexcept {
+    return dropped_while_down_;
+  }
+
  private:
   simnet::Host& host_;
   Engine& engine_;
   simnet::UdpSocket* socket_;
   std::uint64_t malformed_ = 0;
+  bool down_ = false;
+  std::uint64_t dropped_while_down_ = 0;
+  /// Guards the deferred restart against the server being destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace dohperf::resolver

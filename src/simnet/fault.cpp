@@ -1,0 +1,82 @@
+#include "simnet/fault.hpp"
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace dohperf::simnet {
+
+const char* to_string(LinkFaultKind kind) noexcept {
+  switch (kind) {
+    case LinkFaultKind::kOutage: return "outage";
+    case LinkFaultKind::kLatencySpike: return "latency-spike";
+    case LinkFaultKind::kThrottle: return "throttle";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(LinkFault fault) { faults_.push_back(fault); }
+
+void FaultSchedule::add_outage(TimeUs start, TimeUs duration) {
+  add({LinkFaultKind::kOutage, start, start + duration, 0, 0.0});
+}
+
+void FaultSchedule::add_latency_spike(TimeUs start, TimeUs duration,
+                                      TimeUs extra) {
+  add({LinkFaultKind::kLatencySpike, start, start + duration, extra, 0.0});
+}
+
+void FaultSchedule::add_throttle(TimeUs start, TimeUs duration,
+                                 double bandwidth_bps) {
+  add({LinkFaultKind::kThrottle, start, start + duration, 0, bandwidth_bps});
+}
+
+FaultSchedule FaultSchedule::random_outages(std::uint64_t seed,
+                                            double rate_per_sec,
+                                            TimeUs duration, TimeUs horizon) {
+  FaultSchedule schedule;
+  stats::SplitMix64 rng(seed);
+  TimeUs at = 0;
+  while (true) {
+    // Exponential gap, inverse-CDF on a uniform draw (1 - u avoids log(0)).
+    const double gap_sec = -std::log(1.0 - rng.next_double()) / rate_per_sec;
+    at += from_sec(gap_sec);
+    if (at >= horizon) break;
+    schedule.add_outage(at, duration);
+    at += duration;
+  }
+  return schedule;
+}
+
+bool FaultSchedule::in_outage(TimeUs now) const noexcept {
+  for (const auto& f : faults_) {
+    if (f.kind == LinkFaultKind::kOutage && now >= f.start && now < f.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TimeUs FaultSchedule::extra_latency(TimeUs now) const noexcept {
+  TimeUs extra = 0;
+  for (const auto& f : faults_) {
+    if (f.kind == LinkFaultKind::kLatencySpike && now >= f.start &&
+        now < f.end) {
+      extra += f.extra_latency;
+    }
+  }
+  return extra;
+}
+
+double FaultSchedule::bandwidth_cap(TimeUs now) const noexcept {
+  double cap = 0.0;
+  for (const auto& f : faults_) {
+    if (f.kind == LinkFaultKind::kThrottle && now >= f.start && now < f.end &&
+        f.bandwidth_bps > 0.0 && (cap == 0.0 || f.bandwidth_bps < cap)) {
+      cap = f.bandwidth_bps;
+    }
+  }
+  return cap;
+}
+
+}  // namespace dohperf::simnet

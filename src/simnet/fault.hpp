@@ -1,0 +1,80 @@
+// Deterministic fault injection for the simulated network.
+//
+// Two mechanisms, composable per link:
+//   * Gilbert–Elliott bursty loss — a two-state Markov chain (good/bad)
+//     advanced once per packet, replacing the static Bernoulli drop of
+//     LinkConfig::loss_rate. Real access links lose packets in bursts
+//     (fading, buffer overflow), which stresses connection-oriented DNS
+//     transports very differently from independent drops.
+//   * FaultSchedule — a list of timed link impairments (outage windows,
+//     latency spikes, bandwidth throttling) evaluated against the virtual
+//     clock. Schedules are plain data built either by hand or from a seeded
+//     generator, so the same seed always yields the same chaos.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace dohperf::simnet {
+
+/// Two-state Markov loss model. `enabled` keeps LinkConfig aggregate-
+/// initializable without a sentinel; transition probabilities are applied
+/// once per packet offered to the channel.
+struct GilbertElliott {
+  bool enabled = false;
+  double p_good_to_bad = 0.0;  ///< per-packet P(good -> bad)
+  double p_bad_to_good = 0.3;  ///< per-packet P(bad -> good)
+  double loss_good = 0.0;      ///< drop probability while in "good"
+  double loss_bad = 0.5;       ///< drop probability while in "bad"
+};
+
+enum class LinkFaultKind {
+  kOutage,        ///< every packet offered during the window is dropped
+  kLatencySpike,  ///< extra one-way latency during the window
+  kThrottle,      ///< bandwidth capped during the window
+};
+
+const char* to_string(LinkFaultKind kind) noexcept;
+
+/// One timed impairment over the half-open window [start, end).
+struct LinkFault {
+  LinkFaultKind kind = LinkFaultKind::kOutage;
+  TimeUs start = 0;
+  TimeUs end = 0;
+  TimeUs extra_latency = 0;    ///< kLatencySpike only
+  double bandwidth_bps = 0.0;  ///< kThrottle only; cap applied to the link
+};
+
+/// An immutable-once-attached collection of LinkFaults with point queries
+/// against the virtual clock. Attach to a link via Network::inject_faults.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(LinkFault fault);
+  void add_outage(TimeUs start, TimeUs duration);
+  void add_latency_spike(TimeUs start, TimeUs duration, TimeUs extra);
+  void add_throttle(TimeUs start, TimeUs duration, double bandwidth_bps);
+
+  /// Seeded generator: outages of fixed `duration` whose gaps are
+  /// exponential with mean `1/rate_per_sec`, laid out until `horizon`.
+  /// The same seed always produces the same windows.
+  static FaultSchedule random_outages(std::uint64_t seed,
+                                      double rate_per_sec, TimeUs duration,
+                                      TimeUs horizon);
+
+  bool in_outage(TimeUs now) const noexcept;
+  TimeUs extra_latency(TimeUs now) const noexcept;  ///< sum of active spikes
+  /// Tightest bandwidth cap active at `now`; 0 when none.
+  double bandwidth_cap(TimeUs now) const noexcept;
+
+  const std::vector<LinkFault>& faults() const noexcept { return faults_; }
+  bool empty() const noexcept { return faults_.empty(); }
+
+ private:
+  std::vector<LinkFault> faults_;
+};
+
+}  // namespace dohperf::simnet

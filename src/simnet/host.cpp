@@ -134,6 +134,15 @@ void Host::send_rst(const TcpSegment& offending, NodeId to) {
   net_.send(std::move(packet));
 }
 
+void Host::tcp_reset_port(std::uint16_t port) {
+  // abort() unregisters the connection, so collect victims first.
+  std::vector<std::shared_ptr<TcpConnection>> victims;
+  for (const auto& [key, conn] : tcp_conns_) {
+    if (std::get<0>(key) == port) victims.push_back(conn);
+  }
+  for (const auto& conn : victims) conn->abort();
+}
+
 void Host::tcp_unregister(const TcpKey& key) { tcp_conns_.erase(key); }
 
 }  // namespace dohperf::simnet

@@ -44,6 +44,11 @@ class Host {
   std::shared_ptr<TcpConnection> tcp_connect(const Address& remote,
                                              TcpConfig config = {});
 
+  /// Abort (RST) every TCP connection whose local port is `port`,
+  /// including half-open ones still completing their handshake. Models a
+  /// server process crash, where the kernel resets all of its sockets.
+  void tcp_reset_port(std::uint16_t port);
+
   /// Number of live TCP connections (for leak-checking in tests).
   std::size_t tcp_connection_count() const noexcept { return tcp_conns_.size(); }
 

@@ -23,8 +23,10 @@ void Network::connect(NodeId a, NodeId b, const LinkConfig& config) {
     throw std::logic_error("connect: unknown node");
   }
   if (a == b) throw std::logic_error("connect: self link");
-  channels_[{a, b}] = Channel{config, 0};
-  channels_[{b, a}] = Channel{config, 0};
+  Channel fresh;
+  fresh.config = config;
+  channels_[{a, b}] = fresh;
+  channels_[{b, a}] = fresh;
 }
 
 void Network::reconfigure(NodeId a, NodeId b, const LinkConfig& config) {
@@ -35,6 +37,19 @@ void Network::reconfigure(NodeId a, NodeId b, const LinkConfig& config) {
   }
   ab->config = config;
   ba->config = config;
+}
+
+void Network::inject_faults(NodeId a, NodeId b, FaultSchedule schedule) {
+  auto* ab = find_channel(a, b);
+  auto* ba = find_channel(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::logic_error("inject_faults: no such link");
+  }
+  auto shared = schedule.empty()
+                    ? nullptr
+                    : std::make_shared<const FaultSchedule>(std::move(schedule));
+  ab->faults = shared;
+  ba->faults = shared;
 }
 
 void Network::set_handler(NodeId node, PacketHandler handler) {
@@ -55,23 +70,45 @@ void Network::send(Packet packet) {
   }
   ++packets_sent_;
 
-  const bool dropped = ch->config.loss_rate > 0.0 &&
-                       rng_.next_double() < ch->config.loss_rate;
+  // Scheduled outage: the link is dead, everything offered to it drops.
+  bool dropped = ch->faults && ch->faults->in_outage(loop_.now());
+  if (dropped) ++fault_drops_;
+
+  // Loss model: Gilbert–Elliott bursts when enabled, else static Bernoulli.
+  if (!dropped) {
+    double loss = ch->config.loss_rate;
+    const GilbertElliott& ge = ch->config.gilbert_elliott;
+    if (ge.enabled) {
+      const double flip = ch->ge_bad ? ge.p_bad_to_good : ge.p_good_to_bad;
+      if (rng_.next_double() < flip) ch->ge_bad = !ch->ge_bad;
+      loss = ch->ge_bad ? ge.loss_bad : ge.loss_good;
+    }
+    dropped = loss > 0.0 && rng_.next_double() < loss;
+  }
+
   for (auto* tap : taps_) tap->on_packet(loop_.now(), packet, dropped);
   if (dropped) {
     ++packets_dropped_;
     return;
   }
 
-  // FIFO serialization at the sender, then propagation.
+  // FIFO serialization at the sender, then propagation. An active throttle
+  // caps the configured bandwidth; a latency spike stretches propagation.
+  double bandwidth = ch->config.bandwidth_bps;
+  TimeUs latency = ch->config.latency;
+  if (ch->faults) {
+    const double cap = ch->faults->bandwidth_cap(loop_.now());
+    if (cap > 0.0 && (bandwidth == 0.0 || cap < bandwidth)) bandwidth = cap;
+    latency += ch->faults->extra_latency(loop_.now());
+  }
   TimeUs tx_time = 0;
-  if (ch->config.bandwidth_bps > 0.0) {
+  if (bandwidth > 0.0) {
     const double bits = static_cast<double>(packet.wire_size()) * 8.0;
-    tx_time = from_sec(bits / ch->config.bandwidth_bps);
+    tx_time = from_sec(bits / bandwidth);
   }
   const TimeUs departure = std::max(loop_.now(), ch->busy_until) + tx_time;
   ch->busy_until = departure;
-  const TimeUs arrival = departure + ch->config.latency;
+  const TimeUs arrival = departure + latency;
 
   const NodeId dst = packet.dst_node;
   loop_.schedule_at(arrival, [this, dst, p = std::move(packet)]() {

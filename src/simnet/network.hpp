@@ -1,5 +1,7 @@
 // The network fabric: nodes joined by point-to-point links with one-way
-// latency, finite bandwidth (with FIFO queueing) and Bernoulli loss.
+// latency, finite bandwidth (with FIFO queueing) and loss — static
+// Bernoulli or bursty Gilbert–Elliott — plus scheduled impairments
+// (outages, latency spikes, throttling) via an attached FaultSchedule.
 #pragma once
 
 #include <functional>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "simnet/event_loop.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/packet.hpp"
 #include "stats/rng.hpp"
 
@@ -18,6 +21,8 @@ struct LinkConfig {
   TimeUs latency = ms(1);        ///< one-way propagation delay
   double bandwidth_bps = 0.0;    ///< bits per second; 0 = infinite
   double loss_rate = 0.0;        ///< per-packet Bernoulli drop probability
+  /// Bursty loss; when enabled it replaces `loss_rate`.
+  GilbertElliott gilbert_elliott;
 };
 
 /// Receives packets addressed to a node. Hosts register themselves here.
@@ -52,17 +57,26 @@ class Network {
   /// the packet's endpoints.
   void send(Packet packet);
 
+  /// Attach a fault schedule to the link between `a` and `b` (shared by
+  /// both directions). Replaces any previously injected schedule; an empty
+  /// schedule clears it. Throws std::logic_error if no link exists.
+  void inject_faults(NodeId a, NodeId b, FaultSchedule schedule);
+
   /// Attach a tap observing every packet on every link. Not owned.
   void add_tap(PacketTap* tap);
   void remove_tap(PacketTap* tap);
 
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
   std::uint64_t packets_dropped() const noexcept { return packets_dropped_; }
+  /// Subset of packets_dropped() caused by scheduled outage windows.
+  std::uint64_t fault_drops() const noexcept { return fault_drops_; }
 
  private:
   struct Channel {
     LinkConfig config;
     TimeUs busy_until = 0;  ///< FIFO serialization point
+    bool ge_bad = false;    ///< Gilbert–Elliott state, advanced per packet
+    std::shared_ptr<const FaultSchedule> faults;  ///< may be null
   };
 
   Channel* find_channel(NodeId from, NodeId to);
@@ -75,6 +89,7 @@ class Network {
   std::vector<PacketTap*> taps_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t fault_drops_ = 0;
 };
 
 }  // namespace dohperf::simnet

@@ -195,7 +195,7 @@ void TcpConnection::try_send_data() {
     send_segment(/*syn=*/false, /*fin=*/false, /*force_ack=*/true,
                  std::move(payload), seq);
   }
-  if (!inflight_.empty() || fin_sent_) arm_rto();
+  if (!inflight_.empty() || fin_sent_) ensure_rto();
   maybe_send_fin();
 }
 
@@ -211,7 +211,7 @@ void TcpConnection::maybe_send_fin() {
   state_ = state_ == TcpState::kEstablished ? TcpState::kFinWait1
                                             : TcpState::kLastAck;
   send_segment(/*syn=*/false, /*fin=*/true, /*force_ack=*/true, {}, fin_seq_);
-  arm_rto();
+  ensure_rto();
 }
 
 void TcpConnection::update_rtt(TimeUs measured) {
@@ -241,6 +241,10 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
     const std::uint32_t acked_bytes = ack - snd_una_;
     snd_una_ = ack;
     dup_acks_ = 0;
+    // RFC 6298 (5.3): an ACK for new data restarts the retransmission
+    // timer from the base RTO; the exponential backoff applies only to
+    // consecutive expirations with no forward progress.
+    rto_backoff_ = 0;
 
     // Retire fully acknowledged segments; sample RTT from any segment that
     // is now covered and was never retransmitted (Karn's rule: retransmits
@@ -257,6 +261,22 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
         it = inflight_.erase(it);
       } else {
         ++it;
+      }
+    }
+
+    // After a timeout, retransmission is ack-clocked (go-back-N): each ACK
+    // that moves snd_una but leaves the recovery point uncovered triggers
+    // the next hole immediately, instead of costing one full RTO per lost
+    // segment.
+    if (in_rto_recovery_) {
+      if (seq_lt(snd_una_, recovery_point_) && !inflight_.empty()) {
+        const auto first = inflight_.begin();
+        send_times_.erase(first->first);  // Karn's rule
+        ++counters_.retransmits;
+        Bytes copy = first->second;
+        send_segment(false, false, true, std::move(copy), first->first);
+      } else {
+        in_rto_recovery_ = false;
       }
     }
 
@@ -391,6 +411,14 @@ void TcpConnection::schedule_delayed_ack() {
       });
 }
 
+void TcpConnection::ensure_rto() {
+  // RFC 6298 (5.1): when data is sent and the timer is not already running,
+  // start it -- but never restart a running timer. Restarting on every send
+  // would let a steady stream of new writes (e.g. application-level retries
+  // during an outage) postpone the retransmission deadline indefinitely.
+  if (!rto_timer_) arm_rto();
+}
+
 void TcpConnection::arm_rto() {
   disarm_rto();
   if (state_ == TcpState::kClosed) return;
@@ -418,6 +446,10 @@ void TcpConnection::on_rto() {
   ssthresh_ = std::max(flight_size() / 2, 2 * config_.mss);
   cwnd_ = config_.mss;
   dup_acks_ = 0;
+  if (!inflight_.empty()) {
+    in_rto_recovery_ = true;
+    recovery_point_ = snd_nxt_;
+  }
 
   if (state_ == TcpState::kSynSent) {
     send_segment(true, false, false, {}, iss_);

@@ -132,6 +132,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void process_payload(const TcpSegment& seg);
   void schedule_delayed_ack();
   void arm_rto();
+  /// Start the retransmission timer only if it is not already running
+  /// (RFC 6298 rule 5.1 for newly sent data).
+  void ensure_rto();
   void disarm_rto();
   void on_rto();
   void update_rtt(TimeUs measured);
@@ -166,6 +169,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TimeUs rto_;
   EventId rto_timer_;
   int rto_backoff_ = 0;
+  /// Go-back-N state after a retransmission timeout: while snd_una has not
+  /// yet reached the recovery point, every ACK for new data releases the
+  /// next retransmission.
+  bool in_rto_recovery_ = false;
+  std::uint32_t recovery_point_ = 0;
   /// Send time of each in-flight segment for RTT sampling (Karn's rule:
   /// retransmitted segments are removed).
   std::map<std::uint32_t, TimeUs> send_times_;

@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "core/doh_client.hpp"
+#include "core/fallback_client.hpp"
+#include "core/udp_client.hpp"
 #include "http2/connection.hpp"
 #include "resolver/doh_server.hpp"
+#include "resolver/udp_server.hpp"
 #include "sim_fixture.hpp"
+#include "simnet/fault.hpp"
 
 namespace dohperf {
 namespace {
@@ -249,6 +253,149 @@ TEST_F(DohNegativeTest, PaddedQueriesHaveUniformSize) {
   auto q = dns::Message::make_query(0, dns::Name::parse("a.example"));
   q.pad_to_multiple(128);
   EXPECT_EQ(q.encode().size() % 128, 0u);
+}
+
+// --- UDP retransmission under link loss ---------------------------------------------
+
+class UdpRetransmissionTest : public TwoHostFixture {
+ protected:
+  resolver::EngineConfig engine_config;
+};
+
+TEST_F(UdpRetransmissionTest, RetransmitRecoversFromDroppedDatagram) {
+  resolver::Engine engine(loop, engine_config);
+  resolver::UdpServer udp_server(server, engine, 53);
+
+  // Outage covering exactly the first transmission: the initial datagram is
+  // lost, the timeout fires, and the retransmission gets through.
+  simnet::FaultSchedule schedule;
+  schedule.add_outage(simnet::ms(0), simnet::ms(100));
+  net.inject_faults(client.id(), server.id(), schedule);
+
+  core::UdpClientConfig config;
+  config.timeout = simnet::ms(200);
+  config.max_retries = 2;
+  core::UdpResolverClient stub(client, {server.id(), 53}, config);
+
+  core::ResolutionResult observed;
+  const auto id = stub.resolve(dns::Name::parse("retry.example"),
+                               dns::RType::kA,
+                               [&](const core::ResolutionResult& r) {
+                                 observed = r;
+                               });
+  loop.run();
+
+  EXPECT_TRUE(observed.success);
+  // One full timeout elapsed before the retransmission could succeed.
+  EXPECT_GE(observed.resolution_time(), simnet::ms(200));
+  EXPECT_EQ(stub.timeouts(), 0u);  // counts final failures, not retries
+  EXPECT_EQ(net.fault_drops(), 1u);
+  EXPECT_TRUE(stub.result(id).success);
+}
+
+TEST_F(UdpRetransmissionTest, BudgetExhaustionFailsQuery) {
+  resolver::Engine engine(loop, engine_config);
+  resolver::UdpServer udp_server(server, engine, 53);
+
+  // Outage outlasting every retransmission.
+  simnet::FaultSchedule schedule;
+  schedule.add_outage(simnet::ms(0), simnet::seconds(10));
+  net.inject_faults(client.id(), server.id(), schedule);
+
+  core::UdpClientConfig config;
+  config.timeout = simnet::ms(200);
+  config.max_retries = 2;
+  core::UdpResolverClient stub(client, {server.id(), 53}, config);
+
+  core::ResolutionResult observed;
+  observed.success = true;
+  stub.resolve(dns::Name::parse("lost.example"), dns::RType::kA,
+               [&](const core::ResolutionResult& r) { observed = r; });
+  loop.run();
+
+  EXPECT_FALSE(observed.success);
+  EXPECT_EQ(stub.timeouts(), 1u);
+  // Initial transmission plus both retransmissions were sent (and dropped).
+  EXPECT_EQ(net.fault_drops(), 3u);
+}
+
+// --- Fallback decision accounting ----------------------------------------------------
+
+TEST_F(TwoHostFixture, FallbackStatsRecordDecisionLatencyAndLatePrimaryFailure) {
+  // Primary: a stalled resolver that accepts and never answers; its client
+  // times out 1s in. Fallback: healthy but slow (every answer +1s), so the
+  // primary's failure lands while the fallback is still racing.
+  resolver::EngineConfig stalled;
+  stalled.faults.stall_rate = 1.0;
+  resolver::Engine primary_engine(loop, stalled);
+  resolver::UdpServer primary_server(server, primary_engine, 53);
+
+  resolver::EngineConfig slow;
+  slow.delay_policy.every_n = 1;
+  slow.delay_policy.delay = simnet::seconds(1);
+  resolver::Engine fallback_engine(loop, slow);
+  resolver::UdpServer fallback_server(server, fallback_engine, 54);
+
+  core::UdpClientConfig primary_config;
+  primary_config.timeout = simnet::seconds(1);
+  core::UdpResolverClient primary(client, {server.id(), 53}, primary_config);
+  core::UdpResolverClient fallback(client, {server.id(), 54});
+
+  core::FallbackConfig config;
+  config.primary_deadline = simnet::ms(500);
+  core::FallbackResolverClient trr(loop, primary, fallback, config);
+
+  core::ResolutionResult observed;
+  trr.resolve(dns::Name::parse("late.example"), dns::RType::kA,
+              [&](const core::ResolutionResult& r) { observed = r; });
+  loop.run();
+
+  EXPECT_TRUE(observed.success);
+  const auto& s = trr.stats();
+  EXPECT_EQ(s.fallback_started, 1u);
+  EXPECT_EQ(s.fallback_used, 1u);
+  EXPECT_EQ(s.primary_wins, 0u);
+  EXPECT_EQ(s.both_failed, 0u);
+  // Primary timed out at 1s, after the 500ms deadline started the fallback
+  // but before the fallback's ~1.5s answer arrived.
+  EXPECT_EQ(s.primary_late_failures, 1u);
+  EXPECT_EQ(s.decision_latency_total, simnet::ms(500));
+  EXPECT_EQ(s.decision_latency_max, simnet::ms(500));
+  EXPECT_DOUBLE_EQ(s.mean_decision_latency_us(),
+                   static_cast<double>(simnet::ms(500)));
+}
+
+TEST_F(TwoHostFixture, FallbackDecisionLatencyOnHardFailureBeatsDeadline) {
+  // Primary fails fast (connection refused is not modelled for UDP, so use
+  // a short client timeout): the fallback decision happens at the failure,
+  // well before the deadline.
+  resolver::EngineConfig stalled;
+  stalled.faults.stall_rate = 1.0;
+  resolver::Engine primary_engine(loop, stalled);
+  resolver::UdpServer primary_server(server, primary_engine, 53);
+  resolver::Engine fallback_engine(loop, {});
+  resolver::UdpServer fallback_server(server, fallback_engine, 54);
+
+  core::UdpClientConfig primary_config;
+  primary_config.timeout = simnet::ms(100);
+  core::UdpResolverClient primary(client, {server.id(), 53}, primary_config);
+  core::UdpResolverClient fallback(client, {server.id(), 54});
+
+  core::FallbackConfig config;
+  config.primary_deadline = simnet::seconds(2);
+  core::FallbackResolverClient trr(loop, primary, fallback, config);
+
+  core::ResolutionResult observed;
+  trr.resolve(dns::Name::parse("fast-fail.example"), dns::RType::kA,
+              [&](const core::ResolutionResult& r) { observed = r; });
+  loop.run();
+
+  EXPECT_TRUE(observed.success);
+  const auto& s = trr.stats();
+  EXPECT_EQ(s.fallback_started, 1u);
+  EXPECT_EQ(s.fallback_used, 1u);
+  EXPECT_EQ(s.primary_late_failures, 0u);  // failure *triggered* the fallback
+  EXPECT_EQ(s.decision_latency_max, simnet::ms(100));
 }
 
 }  // namespace
