@@ -38,9 +38,9 @@ using namespace dohperf;
 
 struct Scenario {
   std::string name;
-  resolver::FaultPolicy engine_faults;
-  simnet::GilbertElliott gilbert_elliott;
-  simnet::FaultSchedule link_faults;
+  resolver::FaultPolicy engine_faults{};
+  simnet::GilbertElliott gilbert_elliott{};
+  simnet::FaultSchedule link_faults{};
   simnet::TimeUs restart_at = 0;  ///< 0 = no server restart
   simnet::TimeUs restart_downtime = 0;
 };

@@ -1,0 +1,31 @@
+// detlint fixture: the `detlint: allow(CODE) <reason>` pragma path.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// Same-line pragma with a justification: suppressed.
+int suppressed_same_line() {
+  std::unordered_map<std::string, int> m;  // detlint: allow(DET003) lookup only, never iterated
+  m["k"] = 1;
+  return m.at("k");
+}
+
+// Pragma on the preceding line: suppressed.
+int suppressed_prev_line() {
+  // detlint: allow(DET003) membership test only, never iterated
+  std::unordered_set<int> s;
+  s.insert(7);
+  return static_cast<int>(s.count(7));
+}
+
+// Pragma with NO reason text: justification is mandatory, finding stays.
+int not_suppressed_no_reason() {
+  std::unordered_set<int> s;  // detlint: allow(DET003)
+  return static_cast<int>(s.size());
+}
+
+// Pragma for a different code does not suppress DET003.
+int not_suppressed_wrong_code() {
+  std::unordered_set<int> s;  // detlint: allow(DET004) wrong code on purpose
+  return static_cast<int>(s.size());
+}

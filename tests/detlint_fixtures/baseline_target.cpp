@@ -1,0 +1,15 @@
+// detlint fixture: target for the --baseline suppression path. Contains
+// exactly two findings; fixtures.baseline suppresses the DET003 by exact
+// line and the HYG002 by wildcard.
+#include <string>
+#include <unordered_map>
+
+int baselined_map() {
+  std::unordered_map<std::string, int> m;  // suppressed via path:line:CODE
+  m["x"] = 2;
+  return m.at("x");
+}
+
+int* baselined_new() {
+  return new int(5);  // suppressed via path:*:CODE
+}

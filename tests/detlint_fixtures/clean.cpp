@@ -1,0 +1,39 @@
+// detlint fixture: a deliberately idiomatic file — zero findings expected.
+// Mentions of rand(), time(), %p, new and unordered_map inside comments
+// and string literals must NOT be flagged; only real tokens count.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// The simulator never calls rand() or time(); it draws from a seeded
+// stream and reads the virtual clock. unordered_map is banned; new too.
+struct Sample {
+  std::int64_t when_us;
+  std::int64_t bytes;
+};
+
+const char* kDoc =
+    "determinism notes: no rand(), no time(nullptr), no unordered_map, "
+    "no raw new, and never print with %"
+    "p in a format string";
+
+std::int64_t total_bytes(const std::vector<Sample>& samples) {
+  std::int64_t total = 0;
+  for (const Sample& s : samples) total += s.bytes;
+  return total;
+}
+
+}  // namespace
+
+std::int64_t clean_entry(std::int64_t seed) {
+  std::map<std::string, std::int64_t> by_name;
+  by_name["a"] = seed;
+  std::vector<Sample> samples{{1, 100}, {2, 200}};
+  auto owned = std::make_unique<Sample>(Sample{3, 300});
+  return total_bytes(samples) + by_name.at("a") + owned->bytes +
+         static_cast<std::int64_t>(sizeof kDoc);
+}

@@ -1,0 +1,44 @@
+// detlint fixture: every DET001 wall-clock pattern must be flagged.
+// This file is test data — it is never compiled and is excluded from the
+// repo-wide scan (the detlint engine skips detlint_fixtures directories).
+#include <chrono>
+#include <ctime>
+
+long bad_chrono_system() {
+  auto now = std::chrono::system_clock::now();  // DET001
+  return now.time_since_epoch().count();
+}
+
+long bad_chrono_steady() {
+  auto now = std::chrono::steady_clock::now();  // DET001
+  return now.time_since_epoch().count();
+}
+
+long bad_time_call() {
+  return time(nullptr);  // DET001
+}
+
+long bad_std_time_call() {
+  return std::time(nullptr);  // DET001
+}
+
+long bad_clock_call() {
+  return clock();  // DET001
+}
+
+long bad_gettimeofday() {
+  struct timeval {
+    long tv_sec;
+    long tv_usec;
+  } tv;
+  gettimeofday(&tv, nullptr);  // DET001
+  return tv.tv_sec;
+}
+
+// NOT flagged: a declaration of an unrelated function that happens to be
+// named `time`, and member access `x.time()`.
+struct HasTime {
+  long time_us;
+  long time() const { return time_us; }
+};
+long fine_member(const HasTime& h) { return h.time(); }

@@ -1,0 +1,41 @@
+// detlint fixture: DET002 unseeded/global randomness patterns.
+#include <random>
+
+int bad_rand() {
+  return rand();  // DET002
+}
+
+void bad_srand() {
+  srand(42);  // DET002
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // DET002
+  return rd();
+}
+
+unsigned bad_default_engine() {
+  std::default_random_engine eng;  // DET002 (unportable streams)
+  return static_cast<unsigned>(eng());
+}
+
+unsigned long bad_unseeded_mt() {
+  std::mt19937_64 gen;  // DET002 (default-constructed)
+  return gen();
+}
+
+unsigned long bad_braced_unseeded_mt() {
+  std::mt19937_64 gen{};  // DET002
+  return gen();
+}
+
+// NOT flagged: explicitly seeded engines are reproducible.
+unsigned long fine_seeded_mt(unsigned long seed) {
+  std::mt19937_64 gen{seed};
+  return gen();
+}
+
+unsigned long fine_seeded_mt_parens(unsigned long seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}

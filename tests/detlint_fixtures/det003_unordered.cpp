@@ -1,0 +1,26 @@
+// detlint fixture: DET003 unordered containers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad_unordered_map() {
+  std::unordered_map<std::string, int> counts;  // DET003
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;  // order leaks into output
+  return total;
+}
+
+int bad_unordered_set() {
+  std::unordered_set<int> seen;  // DET003
+  seen.insert(1);
+  return static_cast<int>(seen.size());
+}
+
+// NOT flagged: ordered containers iterate deterministically.
+#include <map>
+int fine_ordered_map() {
+  std::map<std::string, int> counts;
+  counts["a"] = 1;
+  return counts.begin()->second;
+}

@@ -1,0 +1,38 @@
+// detlint fixture: DET004 real concurrency / blocking primitives.
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+void bad_thread() {
+  std::thread t([] {});  // DET004
+  t.join();
+}
+
+void bad_mutex() {
+  std::mutex m;  // DET004
+  m.lock();
+  m.unlock();
+}
+
+int bad_async() {
+  auto f = std::async([] { return 1; });  // DET004 (async + future)
+  return f.get();
+}
+
+void bad_sleep() {
+  sleep(1);  // DET004
+}
+
+void bad_sleep_for() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // DET004
+}
+
+// NOT flagged: an unrelated member named `sleep` accessed through an
+// object, and the word thread in a comment: thread thread thread.
+struct Animal {
+  void sleep(int hours) { hours_ = hours; }
+  int hours_ = 0;
+};
+void fine_member_sleep(Animal& a) { a.sleep(8); }

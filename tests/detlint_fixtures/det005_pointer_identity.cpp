@@ -1,0 +1,32 @@
+// detlint fixture: DET005 pointer identity flowing into hashes/logs/stats.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+struct Conn {
+  int id;
+};
+
+void bad_printf_pointer(const Conn* c) {
+  std::printf("conn %p id %d\n", (const void*)c, c->id);  // DET005 x2
+}
+
+std::size_t bad_hash_pointer(const Conn* c) {
+  return std::hash<const Conn*>{}(c);  // DET005
+}
+
+std::uintptr_t bad_uintptr_cast(const Conn* c) {
+  return reinterpret_cast<std::uintptr_t>(c);  // DET005
+}
+
+void bad_stream_pointer(const Conn* c) {
+  std::cout << static_cast<const void*>(c) << "\n";  // DET005
+}
+
+// NOT flagged: data-pointer reinterpretation for byte I/O (no identity
+// leaves the process), and hashing a value type.
+const char* fine_data_cast(const unsigned char* bytes) {
+  return reinterpret_cast<const char*>(bytes);
+}
+std::size_t fine_hash_value(int v) { return std::hash<int>{}(v); }

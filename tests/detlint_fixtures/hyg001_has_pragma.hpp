@@ -1,0 +1,6 @@
+// detlint fixture: a header WITH #pragma once — must produce no HYG001.
+#pragma once
+
+#include <cstdint>
+
+inline std::int64_t thrice(std::int64_t v) { return v * 3; }

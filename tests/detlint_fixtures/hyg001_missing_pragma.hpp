@@ -1,0 +1,4 @@
+// detlint fixture: HYG001 — this header deliberately lacks #pragma once.
+#include <cstdint>
+
+inline std::int64_t twice(std::int64_t v) { return v * 2; }

@@ -1,0 +1,28 @@
+// detlint fixture: HYG002 raw owning new/delete.
+#include <memory>
+
+struct Widget {
+  int v = 0;
+};
+
+Widget* bad_new() {
+  return new Widget();  // HYG002
+}
+
+void bad_delete(Widget* w) {
+  delete w;  // HYG002
+}
+
+void bad_array(int n) {
+  int* xs = new int[n];  // HYG002
+  delete[] xs;           // HYG002
+}
+
+// NOT flagged: deleted special members and make_unique.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+std::unique_ptr<Widget> fine_make_unique() {
+  return std::make_unique<Widget>();
+}

@@ -1,0 +1,17 @@
+// detlint fixture: HYG003 float arithmetic in accounting code.
+#include <cstdint>
+
+std::int64_t bad_float_bytes(std::int64_t packets) {
+  float per_packet = 1500;  // HYG003 (float type)
+  return static_cast<std::int64_t>(per_packet * packets);
+}
+
+double bad_float_literal(double x) {
+  return x * 0.5f;  // HYG003 (float literal)
+}
+
+// NOT flagged: doubles for analysis, integers for counts, and hex
+// literals whose last digit is F.
+double fine_double(double x) { return x * 0.5; }
+std::int64_t fine_hex() { return 0x1F; }
+std::int64_t fine_int(std::int64_t bytes) { return bytes + 1500; }

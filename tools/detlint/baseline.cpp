@@ -1,0 +1,85 @@
+#include "baseline.hpp"
+
+#include <sstream>
+
+namespace detlint {
+
+bool Baseline::matches(const Diagnostic& d) const {
+  for (const BaselineEntry& e : entries) {
+    if (e.code != d.code) continue;
+    if (e.path != d.file) continue;
+    if (e.line == -1 || e.line == d.line) return true;
+  }
+  return false;
+}
+
+Baseline parse_baseline(const std::string& text,
+                        std::vector<std::string>& errors) {
+  Baseline out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    // Split on the *last* two ':' so paths containing ':' never break.
+    std::size_t second = line.rfind(':');
+    std::size_t first = second == std::string::npos
+                            ? std::string::npos
+                            : line.rfind(':', second - 1);
+    if (first == std::string::npos || second == std::string::npos ||
+        first == 0) {
+      errors.push_back("baseline line " + std::to_string(lineno) +
+                       ": expected path:line:CODE");
+      continue;
+    }
+    std::string path = line.substr(start, first - start);
+    std::string linespec = line.substr(first + 1, second - first - 1);
+    std::string codename = line.substr(second + 1);
+    Code code;
+    if (!parse_code(codename, code)) {
+      errors.push_back("baseline line " + std::to_string(lineno) +
+                       ": unknown code '" + codename + "'");
+      continue;
+    }
+    int ln = -1;
+    if (linespec != "*") {
+      try {
+        ln = std::stoi(linespec);
+      } catch (...) {
+        errors.push_back("baseline line " + std::to_string(lineno) +
+                         ": bad line number '" + linespec + "'");
+        continue;
+      }
+      if (ln < 1) {
+        errors.push_back("baseline line " + std::to_string(lineno) +
+                         ": bad line number '" + linespec + "'");
+        continue;
+      }
+    }
+    out.entries.push_back({std::move(path), ln, code});
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Diagnostic>& diags) {
+  std::string out =
+      "# detlint baseline — known findings suppressed in non-strict runs.\n"
+      "# Regenerate with: detlint --write-baseline <file>\n"
+      "# Entries: path:line:CODE  (or path:*:CODE for any line)\n";
+  for (const Diagnostic& d : diags) {
+    if (d.suppressed) continue;  // pragma-suppressed needs no baseline entry
+    out += d.file;
+    out += ":";
+    out += std::to_string(d.line);
+    out += ":";
+    out += code_name(d.code);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,45 @@
+// Baseline suppression files.
+//
+// A baseline lets a newly-adopted rule land without blocking CI on legacy
+// findings: `detlint --write-baseline detlint.baseline` records the current
+// findings, `--baseline detlint.baseline` marks exactly those as known.
+// Baselined findings are still printed (tagged `[baselined]`) but do not
+// fail the run — except under --strict, which ignores the baseline so that
+// the tree itself must be clean.  This repo's gate runs strict with an
+// empty baseline; the mechanism exists for downstream forks and for
+// staging new rules.
+//
+// Format: one entry per line, `path:line:CODE` or `path:*:CODE` (any line
+// in that file).  `#` starts a comment.  Paths use '/' and are relative to
+// the scan root.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace detlint {
+
+struct BaselineEntry {
+  std::string path;
+  int line;  // -1 means wildcard (any line)
+  Code code;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  bool matches(const Diagnostic& d) const;
+  bool empty() const { return entries.empty(); }
+};
+
+/// Parses baseline text.  Malformed lines are collected into `errors`
+/// (prefixed with their line number) rather than aborting the run.
+Baseline parse_baseline(const std::string& text,
+                        std::vector<std::string>& errors);
+
+/// Renders findings as baseline text, one entry per unsuppressed finding.
+std::string render_baseline(const std::vector<Diagnostic>& diags);
+
+}  // namespace detlint

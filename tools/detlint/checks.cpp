@@ -1,0 +1,441 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string_view>
+
+namespace detlint {
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header_path(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") ||
+         ends_with(path, ".hxx");
+}
+
+bool is_rng_exempt(std::string_view path) {
+  return path.find("src/stats/rng.") != std::string_view::npos;
+}
+
+// Keywords that can directly precede a call expression.  Used to tell a
+// call `return time(nullptr)` from a declaration `TimeUs time(TimeUs v)`:
+// if the token before `time(` is a non-keyword identifier it is almost
+// certainly a return type, i.e. a declaration of an unrelated function.
+const std::set<std::string_view> kExprKeywords = {
+    "return",    "co_return", "co_yield", "co_await", "throw",  "case",
+    "else",      "do",        "and",      "or",       "not",    "if",
+    "while",     "for",       "switch",   "sizeof",   "new",    "delete",
+    "constexpr", "goto",      "default",
+};
+
+struct Checker {
+  const std::string& path;
+  const LexedFile& lexed;
+  std::vector<Diagnostic> diags;
+
+  const std::vector<Token>& toks() const { return lexed.tokens; }
+
+  void report(int line, Code code, std::string message) {
+    diags.push_back({path, line, code, std::move(message)});
+  }
+
+  bool is_ident(std::size_t i, std::string_view text) const {
+    return i < toks().size() && toks()[i].kind == TokenKind::Identifier &&
+           toks()[i].text == text;
+  }
+
+  bool is_punct(std::size_t i, char c) const {
+    return i < toks().size() && toks()[i].kind == TokenKind::Punct &&
+           toks()[i].text[0] == c;
+  }
+
+  /// True when tokens[i] is reached via `std::` (or `::`), e.g. the
+  /// `mutex` of `std::mutex`.
+  bool std_qualified(std::size_t i) const {
+    if (i < 3) return false;
+    return is_punct(i - 1, ':') && is_punct(i - 2, ':') &&
+           is_ident(i - 3, "std");
+  }
+
+  bool member_access(std::size_t i) const {
+    if (i == 0) return false;
+    if (is_punct(i - 1, '.')) return true;
+    return i >= 2 && is_punct(i - 1, '>') && is_punct(i - 2, '-');
+  }
+
+  /// True when `tokens[i](` looks like a call of a known global function
+  /// rather than a member call or a declaration of a same-named function.
+  bool is_global_call(std::size_t i) const {
+    if (!is_punct(i + 1, '(')) return false;
+    if (member_access(i)) return false;
+    if (i == 0) return true;
+    const Token& prev = toks()[i - 1];
+    if (prev.kind == TokenKind::Identifier)
+      return kExprKeywords.count(prev.text) > 0;
+    // `::time(` and `std::time(` are calls; any other punctuation
+    // (`=`, `(`, `,`, `;`, `{`, operators...) means expression context.
+    return true;
+  }
+
+  // ---- DET001: wall-clock / real time sources -------------------------
+
+  void det001() {
+    static const std::set<std::string_view> kClockIdents = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime",
+        "utc_clock",     "file_clock",
+    };
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind != TokenKind::Identifier) continue;
+      if (kClockIdents.count(t.text)) {
+        report(t.line, Code::DET001,
+               "'" + t.text +
+                   "' reads real time; experiments must use the virtual "
+                   "clock (simnet::TimeUs / EventLoop::now)");
+      } else if ((t.text == "time" || t.text == "clock") &&
+                 is_global_call(i)) {
+        report(t.line, Code::DET001,
+               "call to '" + t.text +
+                   "()' reads real time; use the virtual clock "
+                   "(simnet::TimeUs / EventLoop::now)");
+      }
+    }
+  }
+
+  // ---- DET002: unseeded / global randomness ---------------------------
+
+  void det002() {
+    if (is_rng_exempt(path)) return;
+    static const std::set<std::string_view> kEngines = {
+        "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
+        "ranlux24", "ranlux48",   "knuth_b",
+    };
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind != TokenKind::Identifier) continue;
+      if (t.text == "random_device") {
+        report(t.line, Code::DET002,
+               "'std::random_device' is nondeterministic by design; seed "
+               "from the experiment config instead");
+      } else if (t.text == "default_random_engine") {
+        report(t.line, Code::DET002,
+               "'std::default_random_engine' is implementation-defined and "
+               "not reproducible across standard libraries; use "
+               "stats::SplitMix64");
+      } else if ((t.text == "rand" || t.text == "srand") &&
+                 is_global_call(i)) {
+        report(t.line, Code::DET002,
+               "'" + t.text +
+                   "()' uses hidden global RNG state; use stats::SplitMix64 "
+                   "seeded from the experiment config");
+      } else if (kEngines.count(t.text) && default_constructed_after(i)) {
+        report(t.line, Code::DET002,
+               "'" + t.text +
+                   "' default-constructed (unseeded); pass an explicit seed "
+                   "or use stats::SplitMix64");
+      }
+    }
+  }
+
+  /// For an engine type token at `i`, detect `std::mt19937_64 g;`,
+  /// `... g{}` or `... g()` — i.e. a declaration with no seed argument.
+  bool default_constructed_after(std::size_t i) const {
+    std::size_t j = i + 1;
+    if (!(j < toks().size() && toks()[j].kind == TokenKind::Identifier))
+      return false;  // type mention (template arg, using-alias, ...) only
+    ++j;
+    if (is_punct(j, ';')) return true;
+    if (is_punct(j, '{') && is_punct(j + 1, '}')) return true;
+    if (is_punct(j, '(') && is_punct(j + 1, ')')) return true;
+    return false;
+  }
+
+  // ---- DET003: unordered containers -----------------------------------
+
+  void det003() {
+    static const std::set<std::string_view> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "unordered_flat_map", "unordered_flat_set",
+    };
+    for (const Token& t : toks()) {
+      if (t.kind == TokenKind::Identifier && kUnordered.count(t.text)) {
+        report(t.line, Code::DET003,
+               "'" + t.text +
+                   "' iterates in unspecified order, which leaks into "
+                   "stats/traces; use std::map/std::set or justify with "
+                   "a detlint allow pragma");
+      }
+    }
+  }
+
+  // ---- DET004: real concurrency / blocking ----------------------------
+
+  void det004() {
+    static const std::set<std::string_view> kStdOnly = {
+        "thread",       "jthread",        "mutex",
+        "recursive_mutex", "timed_mutex", "shared_mutex",
+        "condition_variable", "condition_variable_any",
+        "async",        "future",         "promise",
+        "counting_semaphore", "binary_semaphore", "barrier", "latch",
+    };
+    static const std::set<std::string_view> kAlways = {
+        "this_thread", "pthread_create", "pthread_mutex_lock",
+        "sleep_for",   "sleep_until",
+    };
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind != TokenKind::Identifier) continue;
+      if (kStdOnly.count(t.text) && std_qualified(i)) {
+        report(t.line, Code::DET004,
+               "'std::" + t.text +
+                   "' is a real concurrency/blocking primitive; the "
+                   "simulator is single-threaded over virtual time");
+      } else if (kAlways.count(t.text)) {
+        report(t.line, Code::DET004,
+               "'" + t.text +
+                   "' blocks on real time; schedule an event on the "
+                   "virtual clock instead");
+      } else if ((t.text == "sleep" || t.text == "usleep" ||
+                  t.text == "nanosleep") &&
+                 is_global_call(i)) {
+        report(t.line, Code::DET004,
+               "'" + t.text +
+                   "()' blocks the process; schedule an event on the "
+                   "virtual clock instead");
+      }
+    }
+  }
+
+  // ---- DET005: pointer identity in hashes / logs / stats --------------
+
+  void det005() {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == TokenKind::String) {
+        if (t.text.find("%p") != std::string::npos) {
+          report(t.line, Code::DET005,
+                 "format string prints a pointer value (%p); pointer "
+                 "identity differs across runs (ASLR) — print a stable id "
+                 "instead");
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::Identifier) continue;
+      if (t.text == "hash" && is_punct(i + 1, '<') &&
+          template_args_contain_pointer(i + 1)) {
+        report(t.line, Code::DET005,
+               "std::hash over a pointer type hashes the address, which "
+               "differs across runs; hash a stable id instead");
+      } else if ((t.text == "reinterpret_cast" || t.text == "bit_cast") &&
+                 is_punct(i + 1, '<') &&
+                 template_args_contain(i + 1, {"uintptr_t", "intptr_t"})) {
+        report(t.line, Code::DET005,
+               "casting a pointer to an integer exposes its address to "
+               "arithmetic/output; use a stable id instead");
+      } else if (t.text == "void" && cast_to_void_pointer(i)) {
+        report(t.line, Code::DET005,
+               "cast to void* is the pointer-printing idiom; pointer "
+               "identity differs across runs — print a stable id instead");
+      }
+    }
+  }
+
+  /// Scans a balanced `<...>` starting at `open` (which must be '<') and
+  /// reports whether a '*' occurs at any depth.  Bounded so a stray '<'
+  /// comparison cannot send us across the file.
+  bool template_args_contain_pointer(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks().size() && j < open + 40; ++j) {
+      if (is_punct(j, '<')) ++depth;
+      else if (is_punct(j, '>')) {
+        if (--depth == 0) return false;
+      } else if (is_punct(j, '*')) {
+        return true;
+      } else if (is_punct(j, ';') || is_punct(j, '{')) {
+        return false;  // definitely not a template argument list
+      }
+    }
+    return false;
+  }
+
+  bool template_args_contain(std::size_t open,
+                             std::initializer_list<std::string_view> names)
+      const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks().size() && j < open + 40; ++j) {
+      if (is_punct(j, '<')) ++depth;
+      else if (is_punct(j, '>')) {
+        if (--depth == 0) return false;
+      } else if (toks()[j].kind == TokenKind::Identifier) {
+        for (std::string_view n : names)
+          if (toks()[j].text == n) return true;
+      } else if (is_punct(j, ';') || is_punct(j, '{')) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  /// Matches `static_cast<[const] void*>` and the C casts `(void*)`,
+  /// `(const void*)` with `void` at index i.
+  bool cast_to_void_pointer(std::size_t i) const {
+    if (!is_punct(i + 1, '*')) return false;
+    std::size_t before = i;
+    if (i >= 1 && is_ident(i - 1, "const")) before = i - 1;
+    if (before == 0) return false;
+    // static_cast< / reinterpret_cast< path
+    if (is_punct(before - 1, '<') && before >= 2 &&
+        (is_ident(before - 2, "static_cast") ||
+         is_ident(before - 2, "reinterpret_cast")) &&
+        is_punct(i + 2, '>'))
+      return true;
+    // C-style `(void*)expr` — require the ')' right after '*' so that
+    // declarations like `f(void* p)` don't match.
+    if (is_punct(before - 1, '(') && is_punct(i + 2, ')') &&
+        !is_punct(i + 3, ';'))
+      return true;
+    return false;
+  }
+
+  // ---- HYG001: #pragma once -------------------------------------------
+
+  void hyg001() {
+    if (!is_header_path(path)) return;
+    for (const Directive& d : lexed.directives) {
+      std::string_view text = d.text;
+      if (text.substr(0, 6) == "pragma" &&
+          text.find("once") != std::string_view::npos)
+        return;
+    }
+    report(1, Code::HYG001,
+           "header is missing '#pragma once' (include guards are not used "
+           "in this repo)");
+  }
+
+  // ---- HYG002: raw owning new / delete --------------------------------
+
+  void hyg002() {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind != TokenKind::Identifier) continue;
+      if (i > 0 && is_ident(i - 1, "operator")) continue;  // operator new
+      if (t.text == "new") {
+        report(t.line, Code::HYG002,
+               "raw 'new'; use std::make_unique/std::make_shared or a "
+               "container");
+      } else if (t.text == "delete") {
+        // `= delete` (deleted function) and `= delete;` are fine.
+        if (i > 0 && is_punct(i - 1, '=')) continue;
+        report(t.line, Code::HYG002,
+               "raw 'delete'; owning raw pointers are banned — use "
+               "std::unique_ptr");
+      }
+    }
+  }
+
+  // ---- HYG003: float arithmetic ---------------------------------------
+
+  void hyg003() {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == TokenKind::Identifier && t.text == "float") {
+        if (i > 0 && is_ident(i - 1, "operator")) continue;
+        report(t.line, Code::HYG003,
+               "'float' in accounting/simulation code; byte and packet "
+               "counts are integers (the paper's Figs 3-5), analysis uses "
+               "double");
+      } else if (t.kind == TokenKind::Number && is_float_literal(t.text)) {
+        report(t.line, Code::HYG003,
+               "float literal '" + t.text +
+                   "'; use a double literal (no f suffix) or an integer");
+      }
+    }
+  }
+
+  static bool is_float_literal(const std::string& text) {
+    if (text.size() < 2) return false;
+    if (text.size() > 1 && (text[0] == '0') &&
+        (text[1] == 'x' || text[1] == 'X'))
+      return false;  // hex: trailing F is a digit
+    char last = text.back();
+    if (last != 'f' && last != 'F') return false;
+    return text.find('.') != std::string::npos ||
+           text.find('e') != std::string::npos ||
+           text.find('E') != std::string::npos;
+  }
+
+  // ---- allow pragmas ---------------------------------------------------
+
+  void apply_allow_pragmas() {
+    struct Allow {
+      Code code;
+      int first_line;
+      int last_line;  // inclusive; pragma also covers last_line + 1
+      std::string reason;
+    };
+    std::vector<Allow> allows;
+    for (const Comment& c : lexed.comments) {
+      std::string_view text = c.text;
+      std::size_t at = text.find("detlint:");
+      if (at == std::string_view::npos) continue;
+      std::size_t open = text.find("allow(", at);
+      if (open == std::string_view::npos) continue;
+      std::size_t close = text.find(')', open);
+      if (close == std::string_view::npos) continue;
+      std::string_view name = text.substr(open + 6, close - (open + 6));
+      Code code;
+      if (!parse_code(name, code)) continue;
+      std::string_view reason = text.substr(close + 1);
+      while (!reason.empty() &&
+             (reason.front() == ' ' || reason.front() == '-'))
+        reason.remove_prefix(1);
+      while (!reason.empty() && (reason.back() == ' ' || reason.back() == '\r'))
+        reason.remove_suffix(1);
+      if (reason.empty()) continue;  // justification is mandatory
+      allows.push_back({code, c.first_line, c.last_line, std::string(reason)});
+    }
+    if (allows.empty()) return;
+    for (Diagnostic& d : diags) {
+      for (const Allow& a : allows) {
+        if (d.code != a.code) continue;
+        if (d.line >= a.first_line && d.line <= a.last_line + 1) {
+          d.suppressed = true;
+          d.suppress_reason = a.reason;
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> run_checks(const std::string& path,
+                                   const LexedFile& lexed) {
+  Checker c{path, lexed, {}};
+  c.det001();
+  c.det002();
+  c.det003();
+  c.det004();
+  c.det005();
+  c.hyg001();
+  c.hyg002();
+  c.hyg003();
+  c.apply_allow_pragmas();
+  std::sort(c.diags.begin(), c.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return code_name(a.code) < code_name(b.code);
+            });
+  return std::move(c.diags);
+}
+
+}  // namespace detlint

@@ -1,0 +1,31 @@
+// The detlint rule implementations.
+//
+// Every check is a pure function of one lexed translation unit plus its
+// (repo-relative) path — there is no cross-TU state, which keeps the scan
+// trivially parallelisable and, more importantly, keeps every finding
+// explainable by pointing at one line of one file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+#include "lexer.hpp"
+
+namespace detlint {
+
+/// Runs all DET/HYG checks over one file and applies any
+/// `// detlint: allow(CODE) <reason>` pragmas found in its comments.
+/// A pragma suppresses matching findings on the lines the comment covers
+/// and on the line immediately following it; a pragma with no reason text
+/// is ignored (the finding stays live) — justification is mandatory.
+///
+/// `path` should be repo-relative with '/' separators; it drives the two
+/// path-sensitive behaviours:
+///   * files matching src/stats/rng.* are exempt from DET002 (that is the
+///     one sanctioned home of raw randomness), and
+///   * HYG001 applies only to headers (.hpp/.h/.hxx).
+std::vector<Diagnostic> run_checks(const std::string& path,
+                                   const LexedFile& lexed);
+
+}  // namespace detlint

@@ -1,0 +1,62 @@
+#include "diagnostics.hpp"
+
+namespace detlint {
+
+std::string_view code_name(Code code) {
+  switch (code) {
+    case Code::DET001: return "DET001";
+    case Code::DET002: return "DET002";
+    case Code::DET003: return "DET003";
+    case Code::DET004: return "DET004";
+    case Code::DET005: return "DET005";
+    case Code::HYG001: return "HYG001";
+    case Code::HYG002: return "HYG002";
+    case Code::HYG003: return "HYG003";
+  }
+  return "DET???";
+}
+
+std::string_view code_summary(Code code) {
+  switch (code) {
+    case Code::DET001:
+      return "wall-clock or real time source in simulated code";
+    case Code::DET002:
+      return "unseeded or global randomness outside src/stats/rng";
+    case Code::DET003:
+      return "unordered container (iteration order is unspecified)";
+    case Code::DET004:
+      return "real concurrency or blocking primitive in the simulator";
+    case Code::DET005:
+      return "pointer identity flowing into hashes, logs, or stats";
+    case Code::HYG001:
+      return "header is missing #pragma once";
+    case Code::HYG002:
+      return "raw owning new/delete";
+    case Code::HYG003:
+      return "float arithmetic (byte/packet accounting is integer)";
+  }
+  return "unknown diagnostic";
+}
+
+bool parse_code(std::string_view name, Code& out) {
+  for (Code c : kAllCodes) {
+    if (code_name(c) == name) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::string s = d.file;
+  s += ":";
+  s += std::to_string(d.line);
+  s += ": ";
+  s += code_name(d.code);
+  s += " ";
+  s += d.message;
+  return s;
+}
+
+}  // namespace detlint

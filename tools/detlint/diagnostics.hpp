@@ -1,0 +1,51 @@
+// Diagnostic codes enforced by detlint.
+//
+// DET* codes guard the repo's core scientific invariant: every experiment
+// (the §3 transport comparison, the §4 overhead accounting, the chaos
+// matrix) is a pure function of its seed, byte-identical across runs.
+// HYG* codes are hygiene rules that keep the codebase uniform enough for
+// the DET* rules to stay checkable.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace detlint {
+
+enum class Code {
+  DET001,  // wall-clock / real time source
+  DET002,  // unseeded or global randomness
+  DET003,  // unordered associative container
+  DET004,  // real concurrency / blocking primitive
+  DET005,  // pointer identity flowing into hashes, logs, or stats
+  HYG001,  // header missing #pragma once
+  HYG002,  // raw owning new / delete
+  HYG003,  // float arithmetic in byte/packet accounting
+};
+
+inline constexpr std::array<Code, 8> kAllCodes = {
+    Code::DET001, Code::DET002, Code::DET003, Code::DET004,
+    Code::DET005, Code::HYG001, Code::HYG002, Code::HYG003,
+};
+
+std::string_view code_name(Code code);
+std::string_view code_summary(Code code);
+
+/// Parses "DET001" etc.  Returns false if the name is unknown.
+bool parse_code(std::string_view name, Code& out);
+
+struct Diagnostic {
+  std::string file;  // path as scanned (relative to the scan root)
+  int line;
+  Code code;
+  std::string message;
+  bool suppressed = false;        // by a justified allow-pragma
+  bool baselined = false;         // by a --baseline entry
+  std::string suppress_reason{};  // pragma justification, if any
+};
+
+/// "file:line: CODE message" — the grep/compiler-friendly format.
+std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace detlint

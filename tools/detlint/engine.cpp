@@ -1,0 +1,154 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "checks.hpp"
+#include "lexer.hpp"
+#include "stats/table.hpp"
+
+namespace fs = std::filesystem;
+
+namespace detlint {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool in_fixture_dir(const std::string& path) {
+  return path.find("detlint_fixtures") != std::string::npos;
+}
+
+std::string normalize(const fs::path& p) {
+  return p.lexically_normal().generic_string();
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void collect(const fs::path& root, const fs::path& target,
+             std::vector<fs::path>& files, std::vector<std::string>& errors) {
+  std::error_code ec;
+  fs::path abs = target.is_absolute() ? target : root / target;
+  if (fs::is_regular_file(abs, ec)) {
+    files.push_back(abs);
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) {
+    errors.push_back("not found: " + target.generic_string());
+    return;
+  }
+  for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      errors.push_back("walk error under " + target.generic_string() + ": " +
+                       ec.message());
+      break;
+    }
+    if (!it->is_regular_file(ec)) continue;
+    std::string p = normalize(it->path());
+    if (in_fixture_dir(p)) continue;
+    if (scannable_file(p)) files.push_back(it->path());
+  }
+}
+
+}  // namespace
+
+bool scannable_file(const std::string& path) {
+  static const char* kExts[] = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx"};
+  for (const char* e : kExts)
+    if (ends_with(path, e)) return true;
+  return false;
+}
+
+std::size_t ScanResult::live_count(bool strict) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.suppressed) continue;
+    if (d.baselined && !strict) continue;
+    ++n;
+  }
+  return n;
+}
+
+ScanResult scan(const ScanOptions& options) {
+  ScanResult result;
+  fs::path root(options.root);
+
+  std::vector<fs::path> files;
+  if (options.paths.empty()) {
+    for (const char* dir : kDefaultDirs) {
+      std::error_code ec;
+      if (fs::is_directory(root / dir, ec))
+        collect(root, dir, files, result.io_errors);
+    }
+  } else {
+    for (const std::string& p : options.paths)
+      collect(root, p, files, result.io_errors);
+  }
+
+  // Deterministic scan order regardless of directory iteration order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const fs::path& file : files) {
+    std::string source;
+    if (!read_file(file, source)) {
+      result.io_errors.push_back("unreadable: " + normalize(file));
+      continue;
+    }
+    ++result.files_scanned;
+    std::string rel =
+        normalize(fs::proximate(file, root.empty() ? fs::path(".") : root));
+    LexedFile lexed = lex(source);
+    std::vector<Diagnostic> diags = run_checks(rel, lexed);
+    for (Diagnostic& d : diags) {
+      if (options.baseline.matches(d)) d.baselined = true;
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+std::string render_summary(const ScanResult& result, bool strict) {
+  std::map<Code, std::size_t> live, quiet;
+  for (const Diagnostic& d : result.diagnostics) {
+    bool silenced = d.suppressed || (d.baselined && !strict);
+    (silenced ? quiet : live)[d.code]++;
+  }
+
+  dohperf::stats::TextTable table;
+  table.add_row({"code", "live", "suppressed", "rule"});
+  for (Code c : kAllCodes) {
+    std::size_t l = live.count(c) ? live.at(c) : 0;
+    std::size_t q = quiet.count(c) ? quiet.at(c) : 0;
+    if (l == 0 && q == 0) continue;
+    table.add_row({std::string(code_name(c)), std::to_string(l),
+                   std::to_string(q), std::string(code_summary(c))});
+  }
+
+  std::string out;
+  if (table.rows() > 1) out += table.render();
+  out += "detlint: scanned " + std::to_string(result.files_scanned) +
+         " files, " + std::to_string(result.live_count(strict)) +
+         " finding(s)";
+  std::size_t silenced =
+      result.diagnostics.size() - result.live_count(strict);
+  if (silenced > 0) out += ", " + std::to_string(silenced) + " suppressed";
+  if (strict) out += " [strict]";
+  out += "\n";
+  return out;
+}
+
+}  // namespace detlint

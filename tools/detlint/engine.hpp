@@ -1,0 +1,43 @@
+// File discovery and scan orchestration for detlint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "diagnostics.hpp"
+
+namespace detlint {
+
+struct ScanOptions {
+  std::string root = ".";          // repo root; scan paths are relative to it
+  std::vector<std::string> paths;  // explicit files/dirs; empty = defaults
+  bool strict = false;             // ignore baseline; any live finding fails
+  Baseline baseline;
+};
+
+struct ScanResult {
+  std::vector<Diagnostic> diagnostics;  // all findings, suppressed included
+  std::size_t files_scanned = 0;
+  std::vector<std::string> io_errors;  // unreadable files etc.
+
+  /// Findings that should fail the run under the given strictness.
+  std::size_t live_count(bool strict) const;
+};
+
+/// The directories scanned when no explicit paths are given.  Fixture
+/// snippets under tests/detlint_fixtures are deliberately full of
+/// violations and are always excluded from directory walks.
+inline constexpr const char* kDefaultDirs[] = {"src", "bench", "examples",
+                                               "tests"};
+
+/// True for the extensions detlint lexes (.cpp/.cc/.cxx/.hpp/.h/.hxx).
+bool scannable_file(const std::string& path);
+
+ScanResult scan(const ScanOptions& options);
+
+/// Renders the per-code summary table (reuses dohperf::stats::TextTable so
+/// detlint output matches the bench harnesses' tables).
+std::string render_summary(const ScanResult& result, bool strict);
+
+}  // namespace detlint

@@ -1,0 +1,230 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace detlint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (is_ident_start(c)) {
+        identifier_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      out_.tokens.push_back({TokenKind::Punct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void line_comment() {
+    int start = line_;
+    std::size_t begin = pos_ + 2;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        {std::string(src_.substr(begin, pos_ - begin)), start, start});
+  }
+
+  void block_comment() {
+    int start = line_;
+    std::size_t begin = pos_ + 2;
+    pos_ += 2;
+    while (pos_ < src_.size() && !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    std::size_t end = pos_;
+    if (pos_ < src_.size()) pos_ += 2;  // consume "*/"
+    out_.comments.push_back(
+        {std::string(src_.substr(begin, end - begin)), start, line_});
+  }
+
+  // A directive runs to end of line, honouring backslash continuations.
+  // Comments inside directives are rare enough to ignore for our rules.
+  void directive() {
+    int start = line_;
+    ++pos_;  // consume '#'
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      text.push_back(c);
+      ++pos_;
+    }
+    // Trim leading whitespace between '#' and the directive name.
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    out_.directives.push_back({text.substr(i), start});
+    at_line_start_ = false;
+  }
+
+  void identifier_or_prefixed_literal() {
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string_view word = src_.substr(begin, pos_ - begin);
+    // String-literal prefixes: R"(..)", u8"..", L"..", uR"(..)" etc.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (word == "R" || word == "u8" || word == "u" || word == "U" ||
+         word == "L" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR")) {
+      string_literal(word.back() == 'R');
+      return;
+    }
+    out_.tokens.push_back({TokenKind::Identifier, std::string(word), line_});
+  }
+
+  void number() {
+    std::size_t begin = pos_;
+    // Consume the full pp-number: digits, dots, exponent signs, suffixes,
+    // and digit separators.  This is broader than a real C++ literal but
+    // never under-consumes.
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back(
+        {TokenKind::Number, std::string(src_.substr(begin, pos_ - begin)),
+         line_});
+  }
+
+  void string_literal(bool raw) {
+    int start = line_;
+    ++pos_;  // consume '"'
+    std::string contents;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim.push_back(src_[pos_]);
+        ++pos_;
+      }
+      if (pos_ < src_.size()) ++pos_;  // consume '('
+      std::string closer = ")" + delim + "\"";
+      std::size_t end = src_.find(closer, pos_);
+      if (end == std::string_view::npos) end = src_.size();
+      for (std::size_t i = pos_; i < end; ++i)
+        if (src_[i] == '\n') ++line_;
+      contents = std::string(src_.substr(pos_, end - pos_));
+      pos_ = end == src_.size() ? end : end + closer.size();
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          contents.push_back(src_[pos_]);
+          contents.push_back(src_[pos_ + 1]);
+          pos_ += 2;
+          continue;
+        }
+        if (src_[pos_] == '\n') {
+          ++line_;  // unterminated; keep line count honest
+          break;
+        }
+        contents.push_back(src_[pos_]);
+        ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    }
+    out_.tokens.push_back({TokenKind::String, std::move(contents), start});
+  }
+
+  void char_literal() {
+    int start = line_;
+    ++pos_;  // consume '\''
+    std::string contents;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        contents.push_back(src_[pos_]);
+        contents.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // stray quote, e.g. in a macro — bail
+      contents.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back({TokenKind::CharLit, std::move(contents), start});
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace detlint

@@ -1,0 +1,61 @@
+// A lightweight C++ lexer for detlint.
+//
+// detlint does not need a full parser: every rule it enforces (wall-clock
+// reads, unseeded engines, unordered containers, threads, pointer-identity
+// leaks, raw new/delete, float accounting) is recognisable from the token
+// stream plus a little lookahead.  The lexer therefore only has to be exact
+// about the things a grep is not: comments, string/char literals (including
+// raw strings), and preprocessor lines must never produce identifier tokens,
+// and line numbers must be right so diagnostics and `detlint: allow`
+// pragmas anchor to the correct line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class TokenKind {
+  Identifier,  // keywords are identifiers too; checks match on text
+  Number,      // integer or floating literal, suffix included
+  String,      // text is the literal's *contents* (no quotes/prefix)
+  CharLit,
+  Punct,       // single punctuation character
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// A comment with the line range it covers.  `text` excludes the comment
+/// markers.  Used for `// detlint: allow(CODE) reason` pragmas.
+struct Comment {
+  std::string text;
+  int first_line;
+  int last_line;
+};
+
+/// One preprocessor directive (continuation lines folded in), e.g.
+/// "pragma once" or "include <thread>".  `text` excludes the leading '#'.
+struct Directive {
+  std::string text;
+  int line;
+};
+
+/// The lexed view of one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+};
+
+/// Lex `source`.  Never throws on malformed input: an unterminated
+/// comment/literal simply runs to end-of-file, which is the forgiving
+/// behaviour a linter wants.
+LexedFile lex(std::string_view source);
+
+}  // namespace detlint

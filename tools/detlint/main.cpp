@@ -1,0 +1,129 @@
+// detlint — determinism & simulation-safety lint for the dohperf repo.
+//
+// Usage:
+//   detlint [--root DIR] [--strict] [--baseline FILE]
+//           [--write-baseline FILE] [--no-summary] [--list-codes] [path...]
+//
+// With no paths, scans src/ bench/ examples/ tests/ under --root
+// (excluding tests/detlint_fixtures, which are deliberately bad snippets
+// for detlint's own test suite).  Exit codes: 0 clean, 1 findings, 2 usage
+// or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: detlint [options] [path...]\n"
+      "\n"
+      "Scans C++ sources for determinism and hygiene violations.  With no\n"
+      "paths, scans src/ bench/ examples/ tests/ under the root.\n"
+      "\n"
+      "options:\n"
+      "  --root DIR             repo root (default: .)\n"
+      "  --strict               ignore the baseline; any live finding fails\n"
+      "  --baseline FILE        suppress findings listed in FILE\n"
+      "  --write-baseline FILE  write current findings as a baseline\n"
+      "  --no-summary           omit the summary table\n"
+      "  --list-codes           print every diagnostic code and exit\n"
+      "  -h, --help             this text\n"
+      "\n"
+      "Suppress a single finding in code with a justified pragma:\n"
+      "  std::map<...> m;  // detlint: allow(DET003) order irrelevant: <why>\n";
+}
+
+void list_codes() {
+  for (detlint::Code c : detlint::kAllCodes) {
+    std::printf("%s  %s\n", std::string(detlint::code_name(c)).c_str(),
+                std::string(detlint::code_summary(c)).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  detlint::ScanOptions options;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool summary = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: " << arg << " requires " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      print_usage();
+      return 0;
+    } else if (arg == "--list-codes") {
+      list_codes();
+      return 0;
+    } else if (arg == "--root") {
+      options.root = next("a directory");
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--baseline") {
+      baseline_path = next("a file");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next("a file");
+    } else if (arg == "--no-summary") {
+      summary = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "detlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<std::string> errors;
+    options.baseline = detlint::parse_baseline(ss.str(), errors);
+    for (const std::string& e : errors)
+      std::cerr << "detlint: " << baseline_path << ": " << e << "\n";
+    if (!errors.empty()) return 2;
+  }
+
+  detlint::ScanResult result = detlint::scan(options);
+  for (const std::string& e : result.io_errors)
+    std::cerr << "detlint: " << e << "\n";
+
+  for (const detlint::Diagnostic& d : result.diagnostics) {
+    if (d.suppressed) continue;  // justified in-code pragma: silent
+    bool silenced = d.baselined && !options.strict;
+    std::cout << detlint::format_diagnostic(d)
+              << (silenced ? " [baselined]" : "") << "\n";
+  }
+  if (summary) std::cout << detlint::render_summary(result, options.strict);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "detlint: cannot write baseline " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    out << detlint::render_baseline(result.diagnostics);
+  }
+
+  if (!result.io_errors.empty()) return 2;
+  return result.live_count(options.strict) > 0 ? 1 : 0;
+}
