@@ -23,7 +23,7 @@ namespace {
 
 using namespace dohperf;
 
-void cache_ablation(std::size_t queries) {
+void cache_ablation(std::size_t queries, bench::BenchReport& report) {
   std::printf("--- TTL cache over DoH, Zipf query stream (%zu queries) "
               "---\n", queries);
   for (const bool cache_on : {false, true}) {
@@ -61,25 +61,34 @@ void cache_ablation(std::size_t queries) {
       loop.run();
     }
     const auto* tcp = doh.tcp_counters();
+    const double mean_ms = [&] {
+      double total = 0;
+      for (const auto t : times_ms) total += t;
+      return total / static_cast<double>(times_ms.size());
+    }();
     std::printf("cache %-3s med=%6.2fms mean=%6.2fms  wire=%s",
                 cache_on ? "ON" : "OFF", stats::percentile(times_ms, 50),
-                [&] {
-                  double total = 0;
-                  for (const auto t : times_ms) total += t;
-                  return total / static_cast<double>(times_ms.size());
-                }(),
+                mean_ms,
                 tcp ? stats::format_bytes(
                           static_cast<double>(tcp->total_wire_bytes()))
                           .c_str()
                     : "n/a");
+    const std::string key = cache_on ? "cache_on" : "cache_off";
+    report.set(key, "resolution_ms", bench::box_json(times_ms));
+    report.set(key, "mean_ms", mean_ms);
+    if (tcp != nullptr) {
+      report.set(key, "wire_bytes",
+                 static_cast<std::int64_t>(tcp->total_wire_bytes()));
+    }
     if (cache_on) {
       std::printf("  hit-ratio=%.0f%%", cache.stats().hit_ratio() * 100.0);
+      report.set(key, "hit_ratio", cache.stats().hit_ratio());
     }
     std::printf("\n");
   }
 }
 
-void fallback_ablation(std::size_t queries) {
+void fallback_ablation(std::size_t queries, bench::BenchReport& report) {
   std::printf("\n--- TRR fallback under a degraded DoH service "
               "(1 in 5 queries stalls 5s; %zu queries) ---\n", queries);
   for (const bool fallback_on : {false, true}) {
@@ -126,10 +135,14 @@ void fallback_ablation(std::size_t queries) {
                 fallback_on ? "ON" : "OFF", stats::percentile(times_ms, 50),
                 stats::percentile(times_ms, 90),
                 stats::percentile(times_ms, 100));
+    const std::string key = fallback_on ? "fallback_on" : "fallback_off";
+    report.set(key, "resolution_ms", bench::box_json(times_ms));
     if (fallback_on) {
       std::printf("  (fallbacks: %llu/%zu)",
                   static_cast<unsigned long long>(trr.stats().fallback_used),
                   queries);
+      report.set(key, "fallbacks", static_cast<std::int64_t>(
+                                       trr.stats().fallback_used));
     }
     std::printf("\n");
   }
@@ -140,11 +153,14 @@ void fallback_ablation(std::size_t queries) {
 int main(int argc, char** argv) {
   const std::size_t queries = bench::flag(argc, argv, "queries", 400);
   std::printf("=== Ablation: client-side resolution policies ===\n\n");
-  cache_ablation(queries);
-  fallback_ablation(std::min<std::size_t>(queries, 200));
+  bench::BenchReport report("ablation_client_policies");
+  report.params["queries"] = static_cast<std::int64_t>(queries);
+  cache_ablation(queries, report);
+  fallback_ablation(std::min<std::size_t>(queries, 200), report);
   std::printf(
       "\nCaching collapses most DoH queries to zero network cost (the\n"
       "paper's cache-emptying methodology measures the worst case); the\n"
       "TRR fallback bounds a degraded DoH service's tail at the deadline.\n");
+  bench::finish(argc, argv, report);
   return 0;
 }

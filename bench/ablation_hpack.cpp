@@ -66,5 +66,13 @@ int main(int argc, char** argv) {
               stats::median(without_table) - stats::median(with_table),
               100.0 * (1.0 - stats::median(with_table) /
                                  stats::median(without_table)));
+
+  bench::BenchReport report("ablation_hpack");
+  report.params["names"] = static_cast<std::int64_t>(count);
+  report.set("dynamic_table_on", "http_header_bytes",
+             bench::box_json(with_table));
+  report.set("dynamic_table_off", "http_header_bytes",
+             bench::box_json(without_table));
+  bench::finish(argc, argv, report);
   return 0;
 }

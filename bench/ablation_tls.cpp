@@ -60,17 +60,21 @@ SetupCost fresh_resolution(tlssim::TlsVersion version, bool resume,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using tlssim::TlsVersion;
   std::printf("=== Ablation: TLS version / resumption / certificate size "
               "===\n");
   std::printf("(fresh DoH connection per query, 10ms one-way link)\n\n");
   std::printf("%-34s %10s %12s\n", "configuration", "time", "wire bytes");
 
+  bench::BenchReport report("ablation_tls");
+
   const auto cf = tlssim::CertificateChain::cloudflare();
   const auto go = tlssim::CertificateChain::google();
-  const auto row = [](const char* label, SetupCost c) {
+  const auto row = [&report](const char* label, SetupCost c) {
     std::printf("%-34s %8.1fms %10.0f B\n", label, c.time_ms, c.wire_bytes);
+    report.set(label, "time_ms", c.time_ms);
+    report.set(label, "wire_bytes", c.wire_bytes);
   };
   row("TLS 1.2, full, CF cert",
       fresh_resolution(TlsVersion::kTls12, false, cf));
@@ -113,5 +117,12 @@ int main() {
   std::printf("\ndistinct sizes observable on the wire: %zu -> %zu "
               "(padding collapses the size side channel)\n",
               unpadded_sizes.size(), padded_sizes.size());
+  report.set("padding", "unpadded_bytes", bench::box_json(unpadded));
+  report.set("padding", "padded_bytes", bench::box_json(padded));
+  report.set("padding", "unpadded_distinct_sizes",
+             static_cast<std::int64_t>(unpadded_sizes.size()));
+  report.set("padding", "padded_distinct_sizes",
+             static_cast<std::int64_t>(padded_sizes.size()));
+  bench::finish(argc, argv, report);
   return 0;
 }

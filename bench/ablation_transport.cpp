@@ -23,7 +23,8 @@ struct Outcome {
   std::size_t over_100ms;
 };
 
-Outcome run(const std::string& variant, std::size_t queries) {
+Outcome run(const std::string& variant, std::size_t queries,
+            obs::Registry* registry) {
   simnet::EventLoop loop;
   simnet::Network net(loop, 5);
   simnet::Host client(net, "client");
@@ -32,7 +33,10 @@ Outcome run(const std::string& variant, std::size_t queries) {
   link.latency = simnet::us(150);
   net.connect(client.id(), server.id(), link);
 
+  const obs::SpanContext obs{nullptr, 0, registry};
+
   resolver::EngineConfig engine_config;
+  engine_config.obs = obs;
   engine_config.upstream.processing = simnet::us(50);
   engine_config.delay_policy.every_n = 25;
   engine_config.delay_policy.delay = simnet::ms(1000);
@@ -46,10 +50,13 @@ Outcome run(const std::string& variant, std::size_t queries) {
 
   std::unique_ptr<core::ResolverClient> resolver_client;
   if (variant.rfind("dot", 0) == 0) {
+    core::DotClientConfig config;
+    config.obs = obs;
     resolver_client = std::make_unique<core::DotClient>(
-        client, simnet::Address{server.id(), 853});
+        client, simnet::Address{server.id(), 853}, config);
   } else {
     core::DohClientConfig config;
+    config.obs = obs;
     config.http_version = core::HttpVersion::kHttp1;
     config.h1_pipelining = variant == "h1-pipelined";
     resolver_client = std::make_unique<core::DohClient>(
@@ -89,13 +96,21 @@ int main(int argc, char** argv) {
               "===\n");
   std::printf("(fig2 workload: %zu queries, 1 in 25 delayed by 1000ms)\n\n",
               queries);
+  obs::Registry registry;
+  bench::BenchReport report("ablation_transport");
+  report.params["queries"] = static_cast<std::int64_t>(queries);
+
   std::printf("%-22s %10s %10s %14s\n", "variant", "median", "p90",
               "queries>100ms");
   for (const char* variant :
        {"dot-inorder", "dot-ooo", "h1-pipelined", "h1-serial"}) {
-    const auto o = run(variant, queries);
+    const auto o = run(variant, queries, &registry);
     std::printf("%-22s %8.2fms %8.2fms %10zu\n", variant, o.median_ms,
                 o.p90_ms, o.over_100ms);
+    report.set(variant, "median_ms", o.median_ms);
+    report.set(variant, "p90_ms", o.p90_ms);
+    report.set(variant, "over_100ms",
+               static_cast<std::int64_t>(o.over_100ms));
   }
   std::printf(
       "\nOut-of-order DoT (only Cloudflare implemented it in 2019) removes\n"
@@ -103,5 +118,6 @@ int main(int argc, char** argv) {
       "complexity of reimplementing stream multiplexing inside DoT is why\n"
       "DoT lost to DoH/2. Serial (unpipelined) HTTP/1.1 avoids *response*\n"
       "blocking but pays queueing delay at 10 q/s instead.\n");
+  bench::finish(argc, argv, report, nullptr, &registry);
   return 0;
 }

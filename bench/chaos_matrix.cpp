@@ -99,7 +99,8 @@ struct RunMetrics {
 
 /// One cell of the matrix: `transport` in {udp, dot, h1, h2}.
 RunMetrics run(const Scenario& scenario, const std::string& transport,
-               std::uint64_t seed, std::size_t queries, double rate_qps) {
+               std::uint64_t seed, std::size_t queries, double rate_qps,
+               obs::Registry* registry = nullptr) {
   simnet::EventLoop loop;
   simnet::Network net(loop, seed);
   simnet::Host client(net, "client");
@@ -113,7 +114,10 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
     net.inject_faults(client.id(), server.id(), scenario.link_faults);
   }
 
+  const obs::SpanContext obs{nullptr, 0, registry};
+
   resolver::EngineConfig engine_config;
+  engine_config.obs = obs;
   engine_config.upstream.processing = simnet::us(50);
   engine_config.faults = scenario.engine_faults;
   engine_config.seed = seed ^ 0x9e3779b97f4a7c15ULL;
@@ -149,6 +153,7 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
   core::UdpResolverClient* udp = nullptr;
   if (transport == "udp") {
     core::UdpClientConfig config;
+    config.obs = obs;
     config.timeout = simnet::seconds(1);
     config.max_retries = 8;
     auto c = std::make_unique<core::UdpResolverClient>(
@@ -157,6 +162,7 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
     stub = std::move(c);
   } else if (transport == "dot") {
     core::DotClientConfig config;
+    config.obs = obs;
     config.server_name = "local.resolver";
     config.retry = retry;
     auto c = std::make_unique<core::DotClient>(
@@ -165,6 +171,7 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
     stub = std::move(c);
   } else {
     core::DohClientConfig config;
+    config.obs = obs;
     config.server_name = "local.resolver";
     config.http_version = transport == "h1" ? core::HttpVersion::kHttp1
                                             : core::HttpVersion::kHttp2;
@@ -210,14 +217,17 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
 }
 
 std::string render_matrix(std::uint64_t seed, std::size_t queries,
-                          double rate_qps) {
+                          double rate_qps,
+                          bench::BenchReport* json_report = nullptr,
+                          obs::Registry* registry = nullptr) {
   stats::TextTable table;
   table.add_row({"scenario", "transport", "ok", "rcode-fail", "success%",
                  "med(ms)", "p95(ms)", "max(ms)", "retries", "reconnects",
                  "timeouts", "exhausted"});
   for (const auto& scenario : scenarios()) {
     for (const char* transport : {"udp", "dot", "h1", "h2"}) {
-      const RunMetrics m = run(scenario, transport, seed, queries, rate_qps);
+      const RunMetrics m =
+          run(scenario, transport, seed, queries, rate_qps, registry);
       const double pct =
           m.queries == 0 ? 0.0
                          : 100.0 * static_cast<double>(m.ok) /
@@ -239,6 +249,23 @@ std::string render_matrix(std::uint64_t seed, std::size_t queries,
            std::to_string(m.retry.retried_queries),
            std::to_string(m.retry.reconnects), std::to_string(timeouts),
            std::to_string(m.retry.budget_exhausted)});
+      if (json_report != nullptr) {
+        const std::string key = scenario.name + "/" + transport;
+        json_report->set(key, "ok", static_cast<std::int64_t>(m.ok));
+        json_report->set(key, "rcode_fail",
+                         static_cast<std::int64_t>(m.rcode_fail));
+        json_report->set(key, "success_pct", pct);
+        json_report->set(key, "resolution_ms",
+                         bench::box_json(m.resolution_ms));
+        json_report->set(key, "retries", static_cast<std::int64_t>(
+                                             m.retry.retried_queries));
+        json_report->set(key, "reconnects",
+                         static_cast<std::int64_t>(m.retry.reconnects));
+        json_report->set(key, "timeouts",
+                         static_cast<std::int64_t>(timeouts));
+        json_report->set(key, "budget_exhausted",
+                         static_cast<std::int64_t>(m.retry.budget_exhausted));
+      }
     }
   }
   return table.render();
@@ -257,7 +284,13 @@ int main(int argc, char** argv) {
               queries, rate_qps,
               static_cast<unsigned long long>(seed));
 
-  const std::string first = render_matrix(seed, queries, rate_qps);
+  obs::Registry registry;
+  bench::BenchReport json_report("chaos_matrix");
+  json_report.params["queries"] = static_cast<std::int64_t>(queries);
+  json_report.params["seed"] = static_cast<std::int64_t>(seed);
+
+  const std::string first =
+      render_matrix(seed, queries, rate_qps, &json_report, &registry);
   const std::string second = render_matrix(seed, queries, rate_qps);
   std::fputs(first.c_str(), stdout);
   std::printf("\ndeterminism check (two full grid runs, same seed): %s\n",
@@ -288,5 +321,10 @@ int main(int argc, char** argv) {
   std::printf("recovery check (>=99%% success through restart-2s, budget "
               "intact): %s\n",
               recovered ? "PASS" : "FAIL");
+  json_report.set("checks", "determinism",
+                  std::string(first == second ? "PASS" : "FAIL"));
+  json_report.set("checks", "recovery",
+                  std::string(recovered ? "PASS" : "FAIL"));
+  bench::finish(argc, argv, json_report, nullptr, &registry);
   return first == second && recovered ? 0 : 1;
 }

@@ -80,7 +80,7 @@ struct Rig {
   }
 };
 
-void setup_latency() {
+void setup_latency(bench::BenchReport& report) {
   std::printf("--- 1. cold-start resolution time (20ms RTT link) ---\n");
   for (const char* transport : {"DoT", "DoH/2", "DoQ"}) {
     Rig rig(simnet::ms(10));
@@ -100,10 +100,12 @@ void setup_latency() {
                 simnet::to_ms(cold),
                 static_cast<int>(simnet::to_ms(cold) / 20.0 + 0.5),
                 simnet::to_ms(warm));
+    report.set(transport, "cold_ms", simnet::to_ms(cold));
+    report.set(transport, "warm_ms", simnet::to_ms(warm));
   }
 }
 
-void per_resolution_cost(std::size_t queries) {
+void per_resolution_cost(std::size_t queries, bench::BenchReport& report) {
   std::printf("\n--- 2. wire cost per warm resolution (%zu queries) ---\n",
               queries);
   workload::UniqueNameGenerator names("example.com", 3);
@@ -123,13 +125,17 @@ void per_resolution_cost(std::size_t queries) {
       rig.loop.run();
     }
     const auto end = *doq->quic_counters();
+    const double bytes_per_query =
+        static_cast<double>(end.total_wire_bytes() -
+                            start.total_wire_bytes()) /
+        static_cast<double>(queries);
+    const double packets_per_query =
+        static_cast<double>(end.total_packets() - start.total_packets()) /
+        static_cast<double>(queries);
     std::printf("DoQ      %6.0f B, %4.1f packets per query\n",
-                static_cast<double>(end.total_wire_bytes() -
-                                    start.total_wire_bytes()) /
-                    static_cast<double>(queries),
-                static_cast<double>(end.total_packets() -
-                                    start.total_packets()) /
-                    static_cast<double>(queries));
+                bytes_per_query, packets_per_query);
+    report.set("DoQ", "warm_bytes_per_query", bytes_per_query);
+    report.set("DoQ", "warm_packets_per_query", packets_per_query);
   }
   // DoH/2 persistent for comparison.
   {
@@ -147,13 +153,19 @@ void per_resolution_cost(std::size_t queries) {
       bytes += client.result(id).cost.wire_bytes;
       packets += client.result(id).cost.packets;
     }
+    const double bytes_per_query =
+        static_cast<double>(bytes) / static_cast<double>(queries);
+    const double packets_per_query =
+        static_cast<double>(packets) / static_cast<double>(queries);
     std::printf("DoH/2    %6.0f B, %4.1f packets per query\n",
-                static_cast<double>(bytes) / static_cast<double>(queries),
-                static_cast<double>(packets) / static_cast<double>(queries));
+                bytes_per_query, packets_per_query);
+    report.set("DoH/2", "warm_bytes_per_query", bytes_per_query);
+    report.set("DoH/2", "warm_packets_per_query", packets_per_query);
   }
 }
 
-void hol_under_loss(double loss, std::size_t queries) {
+void hol_under_loss(double loss, std::size_t queries,
+                    bench::BenchReport& report) {
   std::printf("\n--- 3. resolution times under %.0f%% packet loss "
               "(%zu queries, 20 q/s) ---\n", loss * 100.0, queries);
   for (const char* transport : {"DoT", "DoH/2", "DoQ"}) {
@@ -186,6 +198,9 @@ void hol_under_loss(double loss, std::size_t queries) {
                 "p99=%8.1fms\n",
                 transport, ok.size(), queries, stats::percentile(ok, 50),
                 stats::percentile(ok, 90), stats::percentile(ok, 99));
+    report.set(transport, "lossy_answered",
+               static_cast<std::int64_t>(ok.size()));
+    report.set(transport, "lossy_resolution_ms", bench::box_json(ok));
   }
 }
 
@@ -194,13 +209,16 @@ void hol_under_loss(double loss, std::size_t queries) {
 int main(int argc, char** argv) {
   const std::size_t queries = bench::flag(argc, argv, "queries", 200);
   std::printf("=== Extension: DNS-over-QUIC vs the paper's transports ===\n\n");
-  setup_latency();
-  per_resolution_cost(queries);
-  hol_under_loss(0.05, queries);
+  bench::BenchReport report("ext_doq_comparison");
+  report.params["queries"] = static_cast<std::int64_t>(queries);
+  setup_latency(report);
+  per_resolution_cost(queries, report);
+  hol_under_loss(0.05, queries, report);
   std::printf(
       "\nDoQ completes its handshake a full RTT before DoT/DoH (combined\n"
       "transport+crypto), matches DoH/2's immunity to slow queries, and\n"
       "under loss avoids TCP's cross-stream retransmission stalls — the\n"
       "transport-level head-of-line blocking HTTP/2 cannot escape.\n");
+  bench::finish(argc, argv, report);
   return 0;
 }

@@ -46,5 +46,15 @@ int main(int argc, char** argv) {
   std::printf("  pages needing >=20 q   : %.1f%%  (paper: ~50%%)\n",
               (1.0 - cdf.at(19.999)) * 100.0);
   std::printf("  median queries per page: %.0f\n", cdf.quantile(0.5));
+
+  bench::BenchReport report("fig1_queries_per_page");
+  report.params["pages"] = static_cast<std::int64_t>(pages);
+  report.set("corpus", "queries_per_page", bench::cdf_json(cdf));
+  report.set("corpus", "total_queries",
+             static_cast<std::int64_t>(stats.total_queries));
+  report.set("corpus", "unique_domains",
+             static_cast<std::int64_t>(stats.unique_domains));
+  report.set("corpus", "top15_query_share", stats.top15_query_share);
+  bench::finish(argc, argv, report);
   return 0;
 }

@@ -40,7 +40,8 @@ struct RunResult {
 
 /// One experiment run: `transport` in {udp, dot, h1, h2}.
 RunResult run(const std::string& transport, bool delayed,
-              std::size_t queries, double rate_qps) {
+              std::size_t queries, double rate_qps,
+              obs::Tracer* tracer, obs::Registry* registry) {
   simnet::EventLoop loop;
   simnet::Network net(loop, /*seed=*/5);
   simnet::Host client(net, "client");
@@ -51,7 +52,11 @@ RunResult run(const std::string& transport, bool delayed,
   link.latency = simnet::us(150);
   net.connect(client.id(), server.id(), link);
 
+  if (tracer != nullptr) tracer->bind(loop);
+  const obs::SpanContext obs{tracer, 0, registry};
+
   resolver::EngineConfig engine_config;
+  engine_config.obs = obs;
   engine_config.upstream.processing = simnet::us(50);
   if (delayed) {
     engine_config.delay_policy.every_n = 25;
@@ -69,14 +74,17 @@ RunResult run(const std::string& transport, bool delayed,
 
   std::unique_ptr<core::ResolverClient> resolver_client;
   if (transport == "udp") {
+    core::UdpClientConfig config;
+    config.obs = obs;
     resolver_client = std::make_unique<core::UdpResolverClient>(
-        client, simnet::Address{server.id(), 53});
+        client, simnet::Address{server.id(), 53}, config);
   } else if (transport == "tcp") {
     resolver_client = std::make_unique<core::TcpDnsClient>(
-        client, simnet::Address{server.id(), 53});
+        client, simnet::Address{server.id(), 53}, obs);
   } else if (transport == "dot") {
     core::DotClientConfig config;
     config.server_name = "local.resolver";
+    config.obs = obs;
     resolver_client = std::make_unique<core::DotClient>(
         client, simnet::Address{server.id(), 853}, config);
   } else {
@@ -85,6 +93,7 @@ RunResult run(const std::string& transport, bool delayed,
     config.http_version = transport == "h1" ? core::HttpVersion::kHttp1
                                             : core::HttpVersion::kHttp2;
     config.h1_pipelining = true;  // §3: unpipelined h1 would be unfair
+    config.obs = obs;
     resolver_client = std::make_unique<core::DohClient>(
         client, simnet::Address{server.id(), 443}, config);
   }
@@ -114,7 +123,7 @@ RunResult run(const std::string& transport, bool delayed,
   return result;
 }
 
-void report(const RunResult& r, bool verbose) {
+void report(const RunResult& r, bool verbose, bench::BenchReport& out) {
   std::vector<double> res_ms;
   std::size_t over_100ms = 0;
   for (const auto& s : r.samples) {
@@ -125,6 +134,9 @@ void report(const RunResult& r, bool verbose) {
   std::printf(" med=%8.3fms p90=%8.3fms max=%9.3fms  queries>100ms: %zu\n",
               stats::percentile(res_ms, 50), stats::percentile(res_ms, 90),
               stats::percentile(res_ms, 100), over_100ms);
+  const std::string key = r.transport + "/" + r.scenario;
+  out.set(key, "resolution_ms", bench::box_json(res_ms));
+  out.set(key, "over_100ms", static_cast<std::int64_t>(over_100ms));
   if (verbose) {
     std::printf("# %s/%s: query-sent(s) resolution-time(s)\n",
                 r.transport.c_str(), r.scenario.c_str());
@@ -139,17 +151,25 @@ void report(const RunResult& r, bool verbose) {
 int main(int argc, char** argv) {
   const std::size_t queries = bench::flag(argc, argv, "queries", 100);
   const bool verbose = bench::flag_set(argc, argv, "series");
+  const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
 
   std::printf("=== Figure 2: head-of-line blocking across DNS transports "
               "===\n");
   std::printf("(%zu unique names, Poisson 10 q/s, delayed run: 1 in 25 "
               "queries +1000ms)\n\n", queries);
 
+  obs::Tracer tracer;
+  obs::Registry registry;
+  bench::BenchReport json_report("fig2_hol_blocking");
+  json_report.params["queries"] = static_cast<std::int64_t>(queries);
+
   for (const bool delayed : {false, true}) {
     // "tcp" (RFC 7766, unencrypted) is an extension beyond the paper's four
     // transports; it isolates TCP's in-order delivery from TLS's.
     for (const char* transport : {"udp", "tcp", "dot", "h1", "h2"}) {
-      report(run(transport, delayed, queries, 10.0), verbose);
+      report(run(transport, delayed, queries, 10.0,
+                 want_trace ? &tracer : nullptr, &registry),
+             verbose, json_report);
     }
     std::printf("\n");
   }
@@ -158,5 +178,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper): in the delayed run, UDP and HTTP/2 show ~4 "
       "slow\nqueries (the delayed ones only); TLS (DoT) and HTTP/1.1 drag "
       "subsequent\nqueries past 100ms through in-order delivery.\n");
+  bench::finish(argc, argv, json_report, &tracer, &registry);
   return 0;
 }

@@ -12,11 +12,18 @@
 int main(int argc, char** argv) {
   using namespace dohperf;
   const std::size_t names = bench::flag(argc, argv, "names", 2000);
+  const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
 
   std::printf("=== Figure 3: total bytes per DNS resolution (%zu names) "
               "===\n\n", names);
 
-  const auto scenarios = bench::run_all_scenarios(names);
+  obs::Tracer tracer;
+  obs::Registry registry;
+  const auto scenarios = bench::run_all_scenarios(
+      names, want_trace ? &tracer : nullptr, &registry);
+  bench::BenchReport report("fig3_bytes_per_resolution");
+  report.params["names"] = static_cast<std::int64_t>(names);
+
   double udp_median = 0.0;
   for (const auto& scenario : scenarios) {
     std::vector<double> bytes;
@@ -24,6 +31,7 @@ int main(int argc, char** argv) {
       bytes.push_back(static_cast<double>(c.wire_bytes));
     }
     bench::print_box(scenario.label, bytes, "bytes");
+    report.set(scenario.label, "wire_bytes", bench::box_json(bytes));
     if (scenario.label == "U/CF") udp_median = stats::median(bytes);
   }
 
@@ -38,5 +46,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper reference medians: U=182B  H/CF=5737B  H/GO=6941B  "
               "HP/CF=864B  HP/GO=1203B\n");
+  bench::finish(argc, argv, report, &tracer, &registry);
   return 0;
 }

@@ -10,11 +10,18 @@
 int main(int argc, char** argv) {
   using namespace dohperf;
   const std::size_t names = bench::flag(argc, argv, "names", 2000);
+  const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
 
   std::printf("=== Figure 4: total packets per DNS resolution (%zu names) "
               "===\n\n", names);
 
-  const auto scenarios = bench::run_all_scenarios(names);
+  obs::Tracer tracer;
+  obs::Registry registry;
+  const auto scenarios = bench::run_all_scenarios(
+      names, want_trace ? &tracer : nullptr, &registry);
+  bench::BenchReport report("fig4_packets_per_resolution");
+  report.params["names"] = static_cast<std::int64_t>(names);
+
   double udp_median = 0.0;
   for (const auto& scenario : scenarios) {
     std::vector<double> packets;
@@ -22,6 +29,7 @@ int main(int argc, char** argv) {
       packets.push_back(static_cast<double>(c.packets));
     }
     bench::print_box(scenario.label, packets, "packets");
+    report.set(scenario.label, "packets", bench::box_json(packets));
     if (scenario.label == "U/CF") udp_median = stats::median(packets);
   }
 
@@ -36,5 +44,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper reference medians: U=2  H/CF=27  H/GO=31  HP/CF=8  "
               "HP/GO=11\n");
+  bench::finish(argc, argv, report, &tracer, &registry);
   return 0;
 }

@@ -37,7 +37,8 @@ struct ConfigResult {
 /// Run all five resolver configurations from one vantage.
 std::map<std::string, ConfigResult> run_vantage(
     const browser::Vantage& vantage, std::size_t pages, int loads_per_page,
-    std::uint64_t seed) {
+    std::uint64_t seed, obs::Tracer* tracer = nullptr,
+    obs::Registry* registry = nullptr) {
   std::map<std::string, ConfigResult> results;
 
   for (const std::string config_name :
@@ -46,6 +47,9 @@ std::map<std::string, ConfigResult> run_vantage(
     simnet::Network net(loop, seed);
     simnet::Host browser_host(net, "browser");
     simnet::Host resolver_host(net, "resolver");
+
+    if (tracer != nullptr) tracer->bind(loop);
+    const obs::SpanContext obs{tracer, 0, registry};
 
     const bool local = config_name == "U/LO";
     const bool cloudflare = config_name.find("CF") != std::string::npos;
@@ -56,6 +60,7 @@ std::map<std::string, ConfigResult> run_vantage(
     net.connect(browser_host.id(), resolver_host.id(), resolver_link);
 
     resolver::EngineConfig engine_config;
+    engine_config.obs = obs;
     engine_config.upstream =
         local ? vantage.local_resolver : vantage.cloud_resolver;
     engine_config.seed = seed ^ 0xabcd;
@@ -70,12 +75,16 @@ std::map<std::string, ConfigResult> run_vantage(
 
     std::unique_ptr<core::ResolverClient> resolver_client;
     if (config_name[0] == 'U') {
+      core::UdpClientConfig client_config;
+      client_config.obs = obs;
       resolver_client = std::make_unique<core::UdpResolverClient>(
-          browser_host, simnet::Address{resolver_host.id(), 53});
+          browser_host, simnet::Address{resolver_host.id(), 53},
+          client_config);
     } else {
       core::DohClientConfig client_config;
       client_config.server_name =
           cloudflare ? "cloudflare-dns.com" : "dns.google.com";
+      client_config.obs = obs;
       resolver_client = std::make_unique<core::DohClient>(
           browser_host, simnet::Address{resolver_host.id(), 443},
           client_config);
@@ -93,7 +102,10 @@ std::map<std::string, ConfigResult> run_vantage(
     for (std::size_t rank = 1; rank <= pages; ++rank) {
       const auto page = model.page(rank);
       for (int load = 0; load < loads_per_page; ++load) {
-        browser::PageLoader loader(browser_host, farm, *resolver_client);
+        browser::PageLoadConfig loader_config;
+        loader_config.obs = obs;
+        browser::PageLoader loader(browser_host, farm, *resolver_client,
+                                   loader_config);
         bool finished = false;
         browser::PageLoadResult page_result;
         loader.load(page, [&](const browser::PageLoadResult& r) {
@@ -113,8 +125,9 @@ std::map<std::string, ConfigResult> run_vantage(
   return results;
 }
 
-void report(const std::string& title,
-            const std::map<std::string, ConfigResult>& results) {
+void report(const std::string& title, const std::string& key_prefix,
+            const std::map<std::string, ConfigResult>& results,
+            bench::BenchReport& out) {
   std::printf("--- %s: cumulative DNS resolution time per page ---\n",
               title.c_str());
   for (const auto& [name, r] : results) {
@@ -125,7 +138,13 @@ void report(const std::string& title,
     dohperf::bench::print_cdf(name, r.onload_ms, "ms");
   }
   std::size_t failures = 0;
-  for (const auto& [name, r] : results) failures += r.failures;
+  for (const auto& [name, r] : results) {
+    const std::string key = key_prefix + "/" + name;
+    out.set(key, "dns_ms", bench::cdf_json(r.dns_ms));
+    out.set(key, "onload_ms", bench::cdf_json(r.onload_ms));
+    out.set(key, "failures", static_cast<std::int64_t>(r.failures));
+    failures += r.failures;
+  }
   std::printf("\nfailed loads: %zu\n\n", failures);
 }
 
@@ -139,22 +158,36 @@ int main(int argc, char** argv) {
   const std::size_t planetlab_pages =
       bench::flag(argc, argv, "planetlab-pages", 8);
 
+  const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
+
   std::printf("=== Figure 6: DNS resolution & page load times by resolver "
               "configuration ===\n");
   std::printf("(university vantage: %zu pages x %zu loads; PlanetLab: %zu "
               "nodes x %zu pages)\n\n",
               pages, loads, planetlab_nodes, planetlab_pages);
 
-  const auto university = run_vantage(browser::Vantage::university(), pages,
-                                      static_cast<int>(loads), 1001);
-  report("University vantage", university);
+  obs::Tracer tracer;
+  obs::Registry registry;
+  bench::BenchReport json_report("fig6_page_load");
+  json_report.params["pages"] = static_cast<std::int64_t>(pages);
+  json_report.params["loads"] = static_cast<std::int64_t>(loads);
+  json_report.params["planetlab_nodes"] =
+      static_cast<std::int64_t>(planetlab_nodes);
+  json_report.params["planetlab_pages"] =
+      static_cast<std::int64_t>(planetlab_pages);
+
+  const auto university =
+      run_vantage(browser::Vantage::university(), pages,
+                  static_cast<int>(loads), 1001,
+                  want_trace ? &tracer : nullptr, &registry);
+  report("University vantage", "university", university, json_report);
 
   // PlanetLab: aggregate across heterogeneous nodes, fewer pages per node.
   std::map<std::string, ConfigResult> planetlab;
   for (std::size_t node = 0; node < planetlab_nodes; ++node) {
     const auto node_results =
         run_vantage(browser::Vantage::planetlab(static_cast<int>(node)),
-                    planetlab_pages, 1, 2000 + node);
+                    planetlab_pages, 1, 2000 + node, nullptr, &registry);
     for (const auto& [name, r] : node_results) {
       auto& agg = planetlab[name];
       agg.dns_ms.add_all(r.dns_ms.sorted_values());
@@ -162,11 +195,12 @@ int main(int argc, char** argv) {
       agg.failures += r.failures;
     }
   }
-  report("PlanetLab vantage (39 nodes)", planetlab);
+  report("PlanetLab vantage (39 nodes)", "planetlab", planetlab, json_report);
 
   std::printf(
       "Expected shape (paper): cloud UDP < local resolver on DNS time;\n"
       "DoH slower than UDP to the same provider (CF < GO in both); onload\n"
       "times nearly identical across all five configurations.\n");
+  bench::finish(argc, argv, json_report, &tracer, &registry);
   return 0;
 }

@@ -4,6 +4,7 @@
 // machinery every experiment is built on.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "dns/base64url.hpp"
 #include "dns/json.hpp"
 #include "dns/message.hpp"
@@ -172,6 +173,62 @@ void BM_NameCompressionEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_NameCompressionEncode);
 
+/// Console reporter that also captures per-benchmark timings, so the repo's
+/// --json convention ("dohperf-bench-v1") works here too. Microbenchmark
+/// timings are wall-clock, not virtual-clock — this is the one bench whose
+/// JSON is NOT byte-identical across runs.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(dohperf::bench::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      report_.set(run.benchmark_name(), "real_time",
+                  run.GetAdjustedRealTime());
+      report_.set(run.benchmark_name(), "cpu_time",
+                  run.GetAdjustedCPUTime());
+      report_.set(run.benchmark_name(), "time_unit",
+                  std::string(benchmark::GetTimeUnitString(run.time_unit)));
+      report_.set(run.benchmark_name(), "iterations",
+                  static_cast<std::int64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  dohperf::bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the repo-wide --json/--trace flags before google-benchmark sees
+  // (and rejects) them; everything else passes through to the library.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0) {
+      continue;
+    }
+    if (arg == "--json" || arg == "--trace") {
+      ++i;  // skip the separate value token too
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  dohperf::bench::BenchReport report("micro_codecs");
+  RecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  dohperf::bench::finish(argc, argv, report);
+  return 0;
+}

@@ -12,6 +12,8 @@
 
 #include "core/doh_client.hpp"
 #include "core/udp_client.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "workload/alexa.hpp"
@@ -41,11 +43,16 @@ inline std::vector<dns::Name> corpus_names(std::size_t max_names) {
   return names;
 }
 
-/// Run one scenario over `names`; provider is "CF" or "GO".
+/// Run one scenario over `names`; provider is "CF" or "GO". When a tracer
+/// and/or registry are supplied, the scenario's clients record spans and
+/// metrics into them (the tracer is re-bound to this scenario's clock, so
+/// one tracer can collect several scenarios into a single export).
 inline ScenarioCosts run_scenario(const std::string& label,
                                   const std::string& transport,  // U/H/HP
                                   const std::string& provider,
-                                  const std::vector<dns::Name>& names) {
+                                  const std::vector<dns::Name>& names,
+                                  obs::Tracer* tracer = nullptr,
+                                  obs::Registry* registry = nullptr) {
   simnet::EventLoop loop;
   simnet::Network net(loop, /*seed=*/21);
   simnet::Host client(net, "client");
@@ -54,7 +61,11 @@ inline ScenarioCosts run_scenario(const std::string& label,
   link.latency = provider == "CF" ? simnet::ms(4) : simnet::ms(6);
   net.connect(client.id(), server.id(), link);
 
+  if (tracer != nullptr) tracer->bind(loop);
+  const obs::SpanContext obs{tracer, 0, registry};
+
   resolver::EngineConfig engine_config;
+  engine_config.obs = obs;
   if (provider == "GO") {
     // Google answers with several A records and an ECS option, so its DNS
     // bodies (and thus per-resolution bytes) run larger than Cloudflare's.
@@ -74,7 +85,9 @@ inline ScenarioCosts run_scenario(const std::string& label,
   out.costs.reserve(names.size());
 
   if (transport == "U") {
-    core::UdpResolverClient resolver(client, {server.id(), 53});
+    core::UdpClientConfig udp_config;
+    udp_config.obs = obs;
+    core::UdpResolverClient resolver(client, {server.id(), 53}, udp_config);
     for (const auto& name : names) {
       const auto id = resolver.resolve(name, dns::RType::kA, {});
       loop.run();
@@ -87,6 +100,7 @@ inline ScenarioCosts run_scenario(const std::string& label,
   config.server_name = provider == "CF" ? "cloudflare-dns.com"
                                         : "dns.google.com";
   config.persistent = transport == "HP";
+  config.obs = obs;
   core::DohClient resolver(client, {server.id(), 443}, config);
   for (const auto& name : names) {
     const auto id = resolver.resolve(name, dns::RType::kA, {});
@@ -97,15 +111,17 @@ inline ScenarioCosts run_scenario(const std::string& label,
 }
 
 /// All six scenarios of Figures 3-4.
-inline std::vector<ScenarioCosts> run_all_scenarios(std::size_t max_names) {
+inline std::vector<ScenarioCosts> run_all_scenarios(
+    std::size_t max_names, obs::Tracer* tracer = nullptr,
+    obs::Registry* registry = nullptr) {
   const auto names = corpus_names(max_names);
   return {
-      run_scenario("U/CF", "U", "CF", names),
-      run_scenario("U/GO", "U", "GO", names),
-      run_scenario("H/CF", "H", "CF", names),
-      run_scenario("H/GO", "H", "GO", names),
-      run_scenario("HP/CF", "HP", "CF", names),
-      run_scenario("HP/GO", "HP", "GO", names),
+      run_scenario("U/CF", "U", "CF", names, tracer, registry),
+      run_scenario("U/GO", "U", "GO", names, tracer, registry),
+      run_scenario("H/CF", "H", "CF", names, tracer, registry),
+      run_scenario("H/GO", "H", "GO", names, tracer, registry),
+      run_scenario("HP/CF", "HP", "CF", names, tracer, registry),
+      run_scenario("HP/GO", "HP", "GO", names, tracer, registry),
   };
 }
 

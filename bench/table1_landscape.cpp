@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_common.hpp"
 #include "survey/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dohperf;
   std::printf("=== Table 1: Compared DoH resolvers ===\n\n");
   const auto& providers = survey::paper_providers();
@@ -20,5 +21,12 @@ int main() {
               "/dns-query, /family-filter)\n",
               paths.size());
   for (const auto& path : paths) std::printf("  %s\n", path.c_str());
+
+  bench::BenchReport report("table1_landscape");
+  report.set("landscape", "providers",
+             static_cast<std::int64_t>(providers.size()));
+  report.set("landscape", "distinct_url_paths",
+             static_cast<std::int64_t>(paths.size()));
+  bench::finish(argc, argv, report);
   return 0;
 }

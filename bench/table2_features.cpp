@@ -5,11 +5,12 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_common.hpp"
 #include "survey/deployment.hpp"
 #include "survey/prober.hpp"
 #include "survey/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dohperf;
 
   simnet::EventLoop loop;
@@ -55,5 +56,16 @@ int main() {
   std::printf("  services with TLS 1.3 : %zu -> %zu  (paper: only CF+SD -> "
               "all but CB and RF)\n",
               tls13_2018, tls13_2019);
+
+  bench::BenchReport report("table2_features");
+  report.set("2018", "distinct_url_paths",
+             static_cast<std::int64_t>(paths_2018.size()));
+  report.set("2018", "tls13_services",
+             static_cast<std::int64_t>(tls13_2018));
+  report.set("2019", "distinct_url_paths",
+             static_cast<std::int64_t>(paths_2019.size()));
+  report.set("2019", "tls13_services",
+             static_cast<std::int64_t>(tls13_2019));
+  bench::finish(argc, argv, report);
   return 0;
 }

@@ -1,0 +1,72 @@
+// Trace one DoH resolution with the observability layer: attach a Tracer
+// and a metrics Registry via SpanContext, resolve a name, and print the
+// span timeline (resolution → connect → tcp/tls handshake → request →
+// response) plus the metrics snapshot. Optionally write a Chrome
+// trace_event file to browse in chrome://tracing or ui.perfetto.dev.
+//
+//   $ ./trace_a_resolution [trace.json]
+//
+// Companion to trace_resolution (the packet-level tcpdump view): same
+// scenario, but seen as the hierarchical span tree the benches export
+// with --trace.
+#include <cstdio>
+#include <fstream>
+
+#include "core/doh_client.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "resolver/doh_server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dohperf;
+
+  simnet::EventLoop loop;
+  simnet::Network net(loop);
+  simnet::Host client(net, "client");
+  simnet::Host server(net, "resolver");
+  simnet::LinkConfig link;
+  link.latency = simnet::ms(10);
+  net.connect(client.id(), server.id(), link);
+
+  // The whole observability hookup: one tracer, one registry, one context.
+  obs::Tracer tracer(loop);
+  obs::Registry registry;
+  const obs::SpanContext obs_ctx{&tracer, 0, &registry};
+
+  resolver::EngineConfig engine_config;
+  engine_config.obs = obs_ctx;  // engine-side counters (engine.queries, ...)
+  resolver::Engine engine(loop, engine_config);
+  resolver::DohServerConfig server_config;
+  server_config.tls.chain = tlssim::CertificateChain::cloudflare();
+  resolver::DohServer doh(server, engine, server_config, 443);
+
+  core::DohClientConfig config;
+  config.server_name = "cloudflare-dns.com";
+  config.obs = obs_ctx;  // client-side spans + client.doh_h2.* metrics
+  core::DohClient resolver_client(client, {server.id(), 443}, config);
+
+  // Two queries: the first pays the TCP+TLS handshake, the second reuses
+  // the connection — compare their `resolution` spans in the timeline.
+  const auto first = resolver_client.resolve(
+      dns::Name::parse("www.example.com"), dns::RType::kA, {});
+  loop.run();
+  const auto second = resolver_client.resolve(
+      dns::Name::parse("cdn.example.com"), dns::RType::kA, {});
+  loop.run();
+  // result() finalizes the lazily computed per-layer costs onto the spans.
+  (void)resolver_client.result(first);
+  (void)resolver_client.result(second);
+
+  std::printf("span timeline of two DoH resolutions (cold, then warm):\n\n%s",
+              obs::render_timeline(tracer).c_str());
+  std::printf("\nmetrics snapshot:\n%s", registry.render().c_str());
+
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary);
+    out << obs::chrome_trace_json(tracer) << '\n';
+    std::printf("\nwrote %s — open it in chrome://tracing or "
+                "https://ui.perfetto.dev\n", argv[1]);
+  }
+  return 0;
+}

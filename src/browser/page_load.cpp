@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "simnet/stream.hpp"
 
 namespace dohperf::browser {
@@ -32,6 +33,14 @@ void PageLoader::load(const workload::Page& page,
   done_ = std::move(done);
   result_ = PageLoadResult{};
   result_.started_at = loop().now();
+  page_span_ = config_.obs.begin("page_load");
+  config_.obs.set_attr(page_span_, "page", page_.primary.to_string());
+  config_.obs.set_attr(page_span_, "objects",
+                       static_cast<std::int64_t>(page_.objects.size()));
+  page_obs_ = config_.obs.child(page_span_);
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("browser.pages");
+  }
   // Everything that must complete before onload: the HTML + all objects.
   objects_outstanding_ = page_.objects.size() + 1;
 
@@ -45,6 +54,12 @@ void PageLoader::resolve_origin(const dns::Name& domain) {
   if (origin.resolved || origin.resolving) return;
   origin.resolving = true;
   ++result_.dns_queries;
+  const obs::SpanId span = page_obs_.begin("resolve_origin");
+  page_obs_.set_attr(span, "domain", domain.to_string());
+  resolve_spans_[domain] = span;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("browser.dns_queries");
+  }
   resolver_.resolve(domain, dns::RType::kA,
                     [this, domain](const core::ResolutionResult& r) {
                       on_resolved(domain, r);
@@ -56,6 +71,11 @@ void PageLoader::on_resolved(const dns::Name& domain,
   Origin& origin = origins_[domain];
   origin.resolving = false;
   result_.cumulative_dns += r.resolution_time();
+  const auto span_it = resolve_spans_.find(domain);
+  if (span_it != resolve_spans_.end()) {
+    page_obs_.set_attr(span_it->second, "success", r.success);
+    page_obs_.end(span_it->second);
+  }
   if (!r.success) {
     // Every object waiting on this origin fails.
     while (!origin.pending_objects.empty()) {
@@ -132,6 +152,15 @@ void PageLoader::pump_origin(const dns::Name& domain) {
     request.headers.add("User-Agent", "dohperf-browser/1.0");
     request.headers.add("Accept", "*/*");
 
+    const obs::SpanId fetch_span = page_obs_.begin("fetch");
+    page_obs_.set_attr(fetch_span, "domain", domain.to_string());
+    page_obs_.set_attr(fetch_span, "bytes",
+                       static_cast<std::int64_t>(bytes));
+    fetch_spans_[index] = fetch_span;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("browser.fetches");
+    }
+
     ++best->outstanding;
     Connection* conn_ptr = best;
     best->http->set_error_handler([this, conn_ptr]() {
@@ -150,10 +179,19 @@ void PageLoader::pump_origin(const dns::Name& domain) {
 
 void PageLoader::on_object_done(int object_index, bool success) {
   if (finished_) return;
+  const auto span_it = fetch_spans_.find(object_index);
+  if (span_it != fetch_spans_.end()) {
+    page_obs_.set_attr(span_it->second, "success", success);
+    page_obs_.end(span_it->second);
+    fetch_spans_.erase(span_it);
+  }
   if (success) {
     ++result_.objects_fetched;
   } else {
     ++result_.fetch_failures;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("browser.fetch_failures");
+    }
   }
   --objects_outstanding_;
 
@@ -187,6 +225,12 @@ void PageLoader::maybe_finish() {
   finished_ = true;
   result_.onload_at = loop().now();
   result_.success = result_.fetch_failures == 0;
+  config_.obs.set_attr(page_span_, "success", result_.success);
+  config_.obs.set_attr(page_span_, "dns_queries",
+                       static_cast<std::int64_t>(result_.dns_queries));
+  config_.obs.set_attr(page_span_, "objects_fetched",
+                       static_cast<std::int64_t>(result_.objects_fetched));
+  config_.obs.end(page_span_);
   if (done_) done_(result_);
 }
 

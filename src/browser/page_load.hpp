@@ -16,6 +16,7 @@
 #include "browser/web_farm.hpp"
 #include "core/client.hpp"
 #include "http1/client.hpp"
+#include "obs/span.hpp"
 #include "workload/alexa.hpp"
 
 namespace dohperf::browser {
@@ -23,6 +24,7 @@ namespace dohperf::browser {
 struct PageLoadConfig {
   int max_connections_per_origin = 6;  ///< Firefox's per-origin limit
   simnet::TimeUs parse_delay = simnet::ms(5);  ///< HTML parse before fetches
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 struct PageLoadResult {
@@ -91,6 +93,10 @@ class PageLoader {
   workload::Page page_;
   std::function<void(const PageLoadResult&)> done_;
   PageLoadResult result_;
+  obs::SpanId page_span_ = 0;
+  obs::SpanContext page_obs_;  ///< children hang under the page_load span
+  std::map<dns::Name, obs::SpanId> resolve_spans_;
+  std::map<int, obs::SpanId> fetch_spans_;
   std::map<dns::Name, Origin> origins_;
   std::size_t objects_outstanding_ = 0;  ///< fetches not yet finished
   bool html_done_ = false;

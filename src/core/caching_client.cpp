@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/registry.hpp"
+
 namespace dohperf::core {
 
 CachingResolverClient::CachingResolverClient(simnet::EventLoop& loop,
@@ -15,11 +17,17 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
                                              ResolveCallback callback) {
   const std::uint64_t id = results_.size();
   const Key key{name, type};
+  const obs::SpanId lookup = config_.obs.begin("cache_lookup");
 
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.expires_at > loop_.now()) {
       ++stats_.hits;
+      config_.obs.set_attr(lookup, "hit", true);
+      config_.obs.end(lookup);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->add("cache.hits");
+      }
       ResolutionResult result;
       result.success = true;
       result.sent_at = loop_.now();
@@ -31,10 +39,18 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
       return id;
     }
     ++stats_.expirations;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("cache.expirations");
+    }
     entries_.erase(it);
   }
 
   ++stats_.misses;
+  config_.obs.set_attr(lookup, "hit", false);
+  config_.obs.end(lookup);
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("cache.misses");
+  }
   results_.emplace_back();
   upstream_.resolve(
       name, type,
@@ -77,6 +93,9 @@ void CachingResolverClient::evict_if_needed() {
   }
   entries_.erase(oldest);
   ++stats_.evictions;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("cache.evictions");
+  }
 }
 
 const ResolutionResult& CachingResolverClient::result(

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "simnet/event_loop.hpp"
 
 namespace dohperf::core {
@@ -18,6 +19,7 @@ struct CacheConfig {
   std::size_t max_entries = 10000;
   simnet::TimeUs max_ttl = simnet::seconds(3600);  ///< TTL clamp
   simnet::TimeUs min_ttl = 0;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 struct CacheStats {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/obs_hooks.hpp"
 #include "dns/base64url.hpp"
 #include "dns/json.hpp"
 
@@ -28,10 +29,20 @@ DohClient::DohClient(simnet::Host& host, simnet::Address server,
     : host_(host),
       server_(server),
       config_(std::move(config)),
-      backoff_(config_.retry) {}
+      backoff_(config_.retry),
+      metric_key_(config_.http_version == HttpVersion::kHttp2 ? "doh_h2"
+                                                              : "doh_h1") {}
 
-std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
+std::shared_ptr<DohClient::Stack> DohClient::make_stack(obs::SpanId parent) {
   auto stack = std::make_shared<Stack>();
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client." + metric_key_ + ".conn_open");
+  }
+  if (config_.obs.tracer != nullptr) {
+    stack->connect_span = config_.obs.tracer->begin(parent, "connect");
+    stack->tcp_hs_span =
+        config_.obs.tracer->begin(stack->connect_span, "tcp_handshake");
+  }
   stack->tcp = host_.tcp_connect(server_);
 
   tlssim::ClientConfig tls_config;
@@ -54,10 +65,43 @@ std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
     if (auto s = weak.lock()) on_stack_error(s);
   };
 
+  if (config_.obs.tracer != nullptr) {
+    // Split connection setup into tcp_handshake / tls_handshake spans. The
+    // hooks stay with us even though the HTTP layer owns the TLS handlers.
+    tls->set_transport_open_hook([this, weak]() {
+      auto s = weak.lock();
+      if (!s) return;
+      config_.obs.end(s->tcp_hs_span);
+      s->tcp_hs_span = 0;
+      s->tls_hs_span =
+          config_.obs.tracer->begin(s->connect_span, "tls_handshake");
+    });
+    tls->set_established_hook([this, weak]() {
+      auto s = weak.lock();
+      if (!s) return;
+      if (s->tls_hs_span != 0 && s->tls != nullptr) {
+        config_.obs.set_attr(s->tls_hs_span, "tls_version",
+                             tlssim::to_string(s->tls->version()));
+        config_.obs.set_attr(s->tls_hs_span, "resumed", s->tls->resumed());
+        config_.obs.set_attr(s->tls_hs_span, "alpn", s->tls->alpn());
+      }
+      config_.obs.end(s->tls_hs_span);
+      config_.obs.end(s->connect_span);
+      s->tls_hs_span = 0;
+      s->connect_span = 0;
+    });
+  }
+
   if (config_.http_version == HttpVersion::kHttp2) {
     stack->h2 = std::make_unique<http2::Http2Connection>(
         std::move(tls), http2::Http2Connection::Role::kClient, config_.h2);
     stack->h2->set_error_handler(std::move(on_error));
+    if (config_.obs.tracer != nullptr) {
+      stack->h2->set_stream_observer(
+          [this, weak](std::uint32_t stream_id, http2::StreamEvent event) {
+            if (auto s = weak.lock()) on_stream_event(s, stream_id, event);
+          });
+    }
   } else {
     stack->h1 = std::make_unique<http1::Http1Client>(std::move(tls),
                                                      config_.h1_pipelining);
@@ -66,8 +110,46 @@ std::shared_ptr<DohClient::Stack> DohClient::make_stack() {
   return stack;
 }
 
-std::shared_ptr<DohClient::Stack> DohClient::stack_for_query() {
-  if (!config_.persistent) return make_stack();
+void DohClient::on_stream_event(const std::shared_ptr<Stack>& stack,
+                                std::uint32_t stream_id,
+                                http2::StreamEvent event) {
+  switch (event) {
+    case http2::StreamEvent::kRequestSent: {
+      if (stack->awaiting_stream.empty()) return;
+      const std::uint64_t query_id = stack->awaiting_stream.front();
+      stack->awaiting_stream.pop_front();
+      stack->stream_to_query.emplace(stream_id, query_id);
+      QueryState& state = states_[query_id];
+      config_.obs.set_attr(state.request_span, "stream_id",
+                           static_cast<std::int64_t>(stream_id));
+      config_.obs.end(state.request_span);
+      return;
+    }
+    case http2::StreamEvent::kResponseBegan: {
+      const auto it = stack->stream_to_query.find(stream_id);
+      if (it == stack->stream_to_query.end()) return;
+      QueryState& state = states_[it->second];
+      if (state.done || state.span == 0) return;
+      state.response_span = config_.obs.tracer->begin(state.span, "response");
+      config_.obs.set_attr(state.response_span, "stream_id",
+                           static_cast<std::int64_t>(stream_id));
+      return;
+    }
+    case http2::StreamEvent::kStreamClosed: {
+      const auto it = stack->stream_to_query.find(stream_id);
+      if (it == stack->stream_to_query.end()) return;
+      QueryState& state = states_[it->second];
+      stack->stream_to_query.erase(it);
+      config_.obs.end(state.response_span);
+      state.response_span = 0;
+      return;
+    }
+  }
+}
+
+std::shared_ptr<DohClient::Stack> DohClient::stack_for_query(
+    obs::SpanId parent) {
+  if (!config_.persistent) return make_stack(parent);
   // Reuse the stack while it is connecting or open; replace it once the
   // transport failed, closed, or the server announced shutdown (GOAWAY).
   const bool usable = persistent_stack_ && !persistent_stack_->broken &&
@@ -75,14 +157,20 @@ std::shared_ptr<DohClient::Stack> DohClient::stack_for_query() {
                       !persistent_stack_->tls->closed() &&
                       !(persistent_stack_->h2 &&
                         persistent_stack_->h2->goaway_received());
-  if (!usable) persistent_stack_ = make_stack();
+  if (!usable) {
+    persistent_stack_ = make_stack(parent);
+  } else if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client." + metric_key_ + ".conn_reuse");
+  }
   return persistent_stack_;
 }
 
 std::uint64_t DohClient::resolve(const dns::Name& name, dns::RType type,
                                  ResolveCallback callback) {
   const std::uint64_t query_id = next_query_id_++;
-  auto stack = stack_for_query();
+  const obs::SpanId span =
+      obs_begin_resolution(config_.obs, metric_key_, name, type);
+  auto stack = stack_for_query(span);
 
   ResolutionResult result;
   result.sent_at = host_.loop().now();
@@ -96,6 +184,7 @@ std::uint64_t DohClient::resolve(const dns::Name& name, dns::RType type,
   state.stack = stack;
   state.start = stack->snapshot();
   state.fresh_stack = !config_.persistent;
+  state.span = span;
   states_.push_back(std::move(state));
 
   issue(stack, query_id, name, type);
@@ -141,6 +230,18 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
     }
   }
   results_[query_id].cost.dns_message_bytes += query_dns_bytes;
+
+  ++states_[query_id].attempt;
+  if (states_[query_id].span != 0) {
+    QueryState& qstate = states_[query_id];
+    qstate.request_span =
+        config_.obs.tracer->begin(qstate.span, "request");
+    config_.obs.set_attr(qstate.request_span, "attempt",
+                         static_cast<std::int64_t>(qstate.attempt));
+    // h2: the stream observer resolves this to a stream id once the
+    // HEADERS actually leaves (possibly after the handshake).
+    if (stack->h2) stack->awaiting_stream.push_back(query_id);
+  }
 
   stack->outstanding.push_back(query_id);
   if (config_.retry.query_timeout > 0) {
@@ -226,6 +327,12 @@ void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
   stack->broken = true;
   if (persistent_stack_ == stack) persistent_stack_.reset();
 
+  // Spans of a connection that died mid-handshake must not stay open.
+  config_.obs.end(stack->tcp_hs_span);
+  config_.obs.end(stack->tls_hs_span);
+  config_.obs.end(stack->connect_span);
+  stack->tcp_hs_span = stack->tls_hs_span = stack->connect_span = 0;
+
   std::vector<std::uint64_t> victims;
   victims.swap(stack->outstanding);
   if (victims.empty()) return;
@@ -239,6 +346,9 @@ void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
     QueryState& state = states_[query_id];
     if (state.done) continue;
     host_.loop().cancel(state.timeout_timer);
+    config_.obs.end(state.request_span);
+    config_.obs.end(state.response_span);
+    state.request_span = state.response_span = 0;
     // A connection failure charges every query's retry budget (their
     // attempts died with the transport); a timeout teardown charges only
     // the suspect -- the rest were merely queued behind it.
@@ -251,10 +361,27 @@ void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
     if (!scheduled_any) {
       delay = backoff_.next();
       ++retry_stats_.reconnects;
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->add("client." + metric_key_ + ".reconnects");
+      }
       scheduled_any = true;
     }
     if (charge) --state.retries_left;
     ++retry_stats_.retried_queries;
+    if (state.span != 0) {
+      const obs::SpanId retry =
+          config_.obs.tracer->begin(state.span, "retry");
+      config_.obs.set_attr(
+          retry, "reason",
+          std::string(timeout_teardown_ ? "timeout_teardown"
+                                        : "connection_loss"));
+      config_.obs.set_attr(retry, "attempt",
+                           static_cast<std::int64_t>(state.attempt));
+      config_.obs.end(retry);
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client." + metric_key_ + ".retries");
+    }
     host_.loop().schedule_in(delay,
                              [this, query_id]() { reissue(query_id); });
   }
@@ -264,6 +391,9 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
   QueryState& state = states_[query_id];
   if (state.done) return;
   ++retry_stats_.query_timeouts;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client." + metric_key_ + ".timeouts");
+  }
   const auto stack = state.stack;
   if (config_.retry.max_retries > 0 && state.retries_left > 0) {
     if (stack && stack->h1 && !stack->broken) {
@@ -292,6 +422,20 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
     }
     --state.retries_left;
     ++retry_stats_.retried_queries;
+    config_.obs.end(state.request_span);
+    config_.obs.end(state.response_span);
+    state.request_span = state.response_span = 0;
+    if (state.span != 0) {
+      const obs::SpanId retry =
+          config_.obs.tracer->begin(state.span, "retry");
+      config_.obs.set_attr(retry, "reason", std::string("timeout"));
+      config_.obs.set_attr(retry, "attempt",
+                           static_cast<std::int64_t>(state.attempt));
+      config_.obs.end(retry);
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client." + metric_key_ + ".retries");
+    }
     reissue(query_id);
     return;
   }
@@ -306,7 +450,7 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
 void DohClient::reissue(std::uint64_t query_id) {
   QueryState& state = states_[query_id];
   if (state.done) return;
-  auto stack = stack_for_query();
+  auto stack = stack_for_query(state.span);
   state.stack = stack;
   state.start = stack->snapshot();
   issue(stack, query_id, state.name, state.type);
@@ -347,6 +491,21 @@ void DohClient::complete(std::uint64_t query_id, bool success,
   }
   ++completed_;
 
+  config_.obs.end(state.request_span);
+  config_.obs.end(state.response_span);
+  state.request_span = state.response_span = 0;
+  if (state.stack && state.stack->h2 && config_.obs.metrics != nullptr) {
+    // HPACK dynamic-table hits are per-connection cumulative; export the
+    // delta since the last completion on this stack.
+    const std::uint64_t hits = state.stack->h2->encoder_stats().indexed_dynamic;
+    if (hits > state.stack->hpack_reported) {
+      config_.obs.metrics->add("client.doh.hpack_dyn_hits",
+                               hits - state.stack->hpack_reported);
+      state.stack->hpack_reported = hits;
+    }
+  }
+  obs_finish_resolution(config_.obs, state.span, metric_key_, result);
+
   if (!config_.persistent && state.stack) {
     // Tear the connection down; the remaining FIN/close-notify bytes are
     // captured when the cost is finalized in result().
@@ -371,6 +530,13 @@ const ResolutionResult& DohClient::result(std::uint64_t id) const {
         state.have_end ? state.end : state.stack->snapshot();
     result.cost = end - state.start;
     result.cost.dns_message_bytes = dns_bytes;
+    if (!state.cost_observed) {
+      // Attach the per-layer byte attributes the first time the finalized
+      // cost is read — by construction they match this CostReport exactly.
+      state.cost_observed = true;
+      obs_span_cost(config_.obs, state.span, result.cost);
+      obs_count_cost(config_.obs, result.cost);
+    }
   }
   return result;
 }

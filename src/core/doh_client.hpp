@@ -27,6 +27,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "core/retry.hpp"
 #include "http1/client.hpp"
 #include "http2/connection.hpp"
+#include "obs/span.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
 #include "tlssim/connection.hpp"
@@ -63,6 +65,7 @@ struct DohClientConfig {
   std::size_t pad_queries_to = 0;
   /// Reconnection + per-query retry behaviour; default is fail-fast.
   RetryPolicy retry;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 class DohClient final : public ResolverClient {
@@ -96,11 +99,23 @@ class DohClient final : public ResolverClient {
     std::vector<std::uint64_t> outstanding;  ///< query ids in flight here
     bool broken = false;  ///< transport failed; never reuse
 
+    // Observability state (all unused when tracing is off).
+    obs::SpanId connect_span = 0;
+    obs::SpanId tcp_hs_span = 0;
+    obs::SpanId tls_hs_span = 0;
+    /// Query ids whose h2 HEADERS has not left yet, in request() order —
+    /// the stream observer pops these to learn each stream's query.
+    std::deque<std::uint64_t> awaiting_stream;
+    std::map<std::uint32_t, std::uint64_t> stream_to_query;
+    std::uint64_t hpack_reported = 0;  ///< dyn-table hits already counted
+
     CostReport snapshot() const;
   };
 
-  std::shared_ptr<Stack> make_stack();
-  std::shared_ptr<Stack> stack_for_query();
+  std::shared_ptr<Stack> make_stack(obs::SpanId parent);
+  std::shared_ptr<Stack> stack_for_query(obs::SpanId parent);
+  void on_stream_event(const std::shared_ptr<Stack>& stack,
+                       std::uint32_t stream_id, http2::StreamEvent event);
   void issue(const std::shared_ptr<Stack>& stack, std::uint64_t query_id,
              const dns::Name& name, dns::RType type);
   void complete(std::uint64_t query_id, bool success, dns::Message response,
@@ -117,6 +132,7 @@ class DohClient final : public ResolverClient {
   DohClientConfig config_;
   Backoff backoff_;
   RetryStats retry_stats_;
+  std::string metric_key_;  ///< "doh_h2" or "doh_h1"
 
   /// Query whose timeout triggered the current connection teardown: the
   /// group-retry charges only its budget and re-issues it last.
@@ -139,6 +155,13 @@ class DohClient final : public ResolverClient {
     bool have_end = false;
     bool fresh_stack = false;      ///< cost = whole stack incl. teardown
     bool done = false;
+    obs::SpanId span = 0;           ///< the resolution span
+    obs::SpanId request_span = 0;   ///< current attempt
+    obs::SpanId response_span = 0;  ///< h2: kResponseBegan..kStreamClosed
+    int attempt = 0;
+    /// Span byte attrs / bytes.* counters recorded (result() is const and
+    /// may be called repeatedly; the first finalized read wins).
+    mutable bool cost_observed = false;
   };
   mutable std::vector<ResolutionResult> results_;
   std::vector<QueryState> states_;

@@ -1,18 +1,39 @@
 #include "core/doq_client.hpp"
 
+#include "core/obs_hooks.hpp"
+
 namespace dohperf::core {
 
 DoqClient::DoqClient(simnet::Host& host, simnet::Address server,
                      DoqClientConfig config)
     : host_(host), server_(server), config_(std::move(config)) {}
 
-void DoqClient::ensure_connection() {
-  if (endpoint_ && !endpoint_->connection().closed()) return;
+void DoqClient::ensure_connection(obs::SpanId parent) {
+  if (endpoint_ && !endpoint_->connection().closed()) {
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client.doq.conn_reuse");
+    }
+    return;
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client.doq.conn_open");
+  }
+  if (config_.obs.tracer != nullptr) {
+    connect_span_ = config_.obs.tracer->begin(parent, "connect");
+    quic_hs_span_ =
+        config_.obs.tracer->begin(connect_span_, "quic_handshake");
+  }
   tlssim::ClientConfig tls;
   tls.sni = config_.server_name;
   tls.alpn = {"doq"};
   endpoint_ = std::make_unique<quicsim::QuicClientEndpoint>(
       host_, server_, std::move(tls), config_.quic);
+  endpoint_->connection().set_on_established([this]() {
+    config_.obs.end(quic_hs_span_);
+    config_.obs.end(connect_span_);
+    quic_hs_span_ = 0;
+    connect_span_ = 0;
+  });
   endpoint_->connection().set_on_stream_data(
       [this](std::uint64_t stream_id, std::span<const std::uint8_t> data,
              bool fin) { on_stream_data(stream_id, data, fin); });
@@ -21,8 +42,10 @@ void DoqClient::ensure_connection() {
 
 std::uint64_t DoqClient::resolve(const dns::Name& name, dns::RType type,
                                  ResolveCallback callback) {
-  ensure_connection();
   const std::uint64_t query_id = next_query_id_++;
+  const obs::SpanId span =
+      obs_begin_resolution(config_.obs, "doq", name, type);
+  ensure_connection(span);
   ResolutionResult result;
   result.sent_at = host_.loop().now();
   results_.push_back(std::move(result));
@@ -38,7 +61,13 @@ std::uint64_t DoqClient::resolve(const dns::Name& name, dns::RType type,
 
   auto& conn = endpoint_->connection();
   const std::uint64_t stream_id = conn.open_stream();
-  pending_.emplace(stream_id, PendingQuery{query_id, std::move(callback), {}});
+  PendingQuery pq{query_id, std::move(callback), {}, span, 0};
+  if (span != 0) {
+    pq.request_span = config_.obs.tracer->begin(span, "request");
+    config_.obs.set_attr(pq.request_span, "stream_id",
+                         static_cast<std::int64_t>(stream_id));
+  }
+  pending_.emplace(stream_id, std::move(pq));
   conn.send_stream(stream_id, framed.take(), /*fin=*/true);
   return query_id;
 }
@@ -69,11 +98,18 @@ void DoqClient::on_stream_data(std::uint64_t stream_id,
   }
   ++completed_;
   auto callback = std::move(pq.callback);
+  config_.obs.end(pq.request_span);
+  obs_span_cost(config_.obs, pq.span, result.cost);
+  obs_count_cost(config_.obs, result.cost);
+  obs_finish_resolution(config_.obs, pq.span, "doq", result);
   pending_.erase(it);
   if (callback) callback(result);
 }
 
 void DoqClient::on_closed() {
+  config_.obs.end(quic_hs_span_);
+  config_.obs.end(connect_span_);
+  quic_hs_span_ = connect_span_ = 0;
   auto pending = std::move(pending_);
   pending_.clear();
   for (auto& [stream_id, pq] : pending) {
@@ -81,6 +117,8 @@ void DoqClient::on_closed() {
     result.success = false;
     result.completed_at = host_.loop().now();
     ++completed_;
+    config_.obs.end(pq.request_span);
+    obs_finish_resolution(config_.obs, pq.span, "doq", result);
     if (pq.callback) pq.callback(result);
   }
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "quicsim/endpoint.hpp"
 
 namespace dohperf::core {
@@ -17,6 +18,7 @@ namespace dohperf::core {
 struct DoqClientConfig {
   std::string server_name = "doq.example";
   quicsim::QuicConnectionConfig quic;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 class DoqClient final : public ResolverClient {
@@ -34,7 +36,7 @@ class DoqClient final : public ResolverClient {
   const quicsim::QuicCounters* quic_counters() const;
 
  private:
-  void ensure_connection();
+  void ensure_connection(obs::SpanId parent);
   void on_stream_data(std::uint64_t stream_id,
                       std::span<const std::uint8_t> data, bool fin);
   void on_closed();
@@ -43,11 +45,15 @@ class DoqClient final : public ResolverClient {
   simnet::Address server_;
   DoqClientConfig config_;
   std::unique_ptr<quicsim::QuicClientEndpoint> endpoint_;
+  obs::SpanId connect_span_ = 0;
+  obs::SpanId quic_hs_span_ = 0;
 
   struct PendingQuery {
     std::uint64_t query_id;
     ResolveCallback callback;
     dns::Bytes rx;
+    obs::SpanId span = 0;
+    obs::SpanId request_span = 0;
   };
   std::map<std::uint64_t, PendingQuery> pending_;  ///< keyed by stream id
   std::uint64_t next_query_id_ = 0;

@@ -1,5 +1,7 @@
 #include "core/dot_client.hpp"
 
+#include "core/obs_hooks.hpp"
+
 namespace dohperf::core {
 
 DotClient::DotClient(simnet::Host& host, simnet::Address server,
@@ -9,11 +11,23 @@ DotClient::DotClient(simnet::Host& host, simnet::Address server,
       config_(std::move(config)),
       backoff_(config_.retry) {}
 
-void DotClient::ensure_connection() {
+void DotClient::ensure_connection(obs::SpanId parent) {
   // A connection is reusable while it is open or still handshaking; one
   // that failed or whose transport closed (including RST mid-handshake)
   // must be replaced.
-  if (tls_ && !tls_->failed() && !tls_->closed()) return;
+  if (tls_ && !tls_->failed() && !tls_->closed()) {
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client.dot.conn_reuse");
+    }
+    return;
+  }
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client.dot.conn_open");
+  }
+  if (config_.obs.tracer != nullptr) {
+    connect_span_ = config_.obs.tracer->begin(parent, "connect");
+    tcp_hs_span_ = config_.obs.tracer->begin(connect_span_, "tcp_handshake");
+  }
   tcp_ = host_.tcp_connect(server_);
   tlssim::ClientConfig tls_config;
   tls_config.sni = config_.server_name;
@@ -23,8 +37,26 @@ void DotClient::ensure_connection() {
   // RFC 7858 defines no mandatory ALPN token; offer none.
   tls_ = std::make_unique<tlssim::TlsConnection>(
       std::make_unique<simnet::TcpByteStream>(tcp_), std::move(tls_config));
+  if (config_.obs.tracer != nullptr) {
+    tls_->set_transport_open_hook([this]() {
+      config_.obs.end(tcp_hs_span_);
+      tcp_hs_span_ = 0;
+      tls_hs_span_ =
+          config_.obs.tracer->begin(connect_span_, "tls_handshake");
+    });
+  }
   tlssim::TlsConnection::Handlers h;
-  h.on_open = []() {};
+  h.on_open = [this]() {
+    if (tls_hs_span_ != 0 && tls_) {
+      config_.obs.set_attr(tls_hs_span_, "tls_version",
+                           tlssim::to_string(tls_->version()));
+      config_.obs.set_attr(tls_hs_span_, "resumed", tls_->resumed());
+    }
+    config_.obs.end(tls_hs_span_);
+    config_.obs.end(connect_span_);
+    tls_hs_span_ = 0;
+    connect_span_ = 0;
+  };
   h.on_data = [this](std::span<const std::uint8_t> d) { on_data(d); };
   h.on_close = [this]() { on_close(); };
   tls_->set_handlers(std::move(h));
@@ -51,13 +83,21 @@ std::uint64_t DotClient::resolve(const dns::Name& name, dns::RType type,
   pending.name = name;
   pending.type = type;
   pending.retries_left = config_.retry.max_retries;
+  pending.span = obs_begin_resolution(config_.obs, "dot", name, type);
   send_query(allocate_dns_id(), std::move(pending));
   return query_id;
 }
 
 void DotClient::send_query(std::uint16_t dns_id, Pending pending) {
-  ensure_connection();
+  ensure_connection(pending.span);
   const std::uint64_t query_id = pending.query_id;
+  ++pending.attempt;
+  if (pending.span != 0) {
+    pending.request_span =
+        config_.obs.tracer->begin(pending.span, "request");
+    config_.obs.set_attr(pending.request_span, "attempt",
+                         static_cast<std::int64_t>(pending.attempt));
+  }
 
   const dns::Message query =
       dns::Message::make_query(dns_id, pending.name, pending.type);
@@ -105,11 +145,20 @@ void DotClient::on_data(std::span<const std::uint8_t> data) {
     result.cost.dns_message_bytes += wire.size();
     result.response = std::move(response);
     ++completed_;
+    config_.obs.end(pending.request_span);
+    obs_span_cost(config_.obs, pending.span, result.cost);
+    obs_count_cost(config_.obs, result.cost);
+    obs_finish_resolution(config_.obs, pending.span, "dot", result);
     if (pending.callback) pending.callback(result);
   }
 }
 
 void DotClient::on_close() {
+  // Spans of a connection that died mid-handshake must not stay open.
+  config_.obs.end(tcp_hs_span_);
+  config_.obs.end(tls_hs_span_);
+  config_.obs.end(connect_span_);
+  tcp_hs_span_ = tls_hs_span_ = connect_span_ = 0;
   auto pending = std::move(pending_);
   pending_.clear();
   const bool can_retry = !closing_ && config_.retry.max_retries > 0;
@@ -137,6 +186,8 @@ void DotClient::on_close() {
   for (auto& [is_suspect, entry] : order) {
     host_.loop().cancel(entry.timeout_timer);
     const bool charge = !timeout_teardown_ || is_suspect;
+    config_.obs.end(entry.request_span);
+    entry.request_span = 0;
     if (!can_retry || (charge && entry.retries_left <= 0)) {
       if (can_retry) ++retry_stats_.budget_exhausted;
       fail_query(std::move(entry));
@@ -145,10 +196,27 @@ void DotClient::on_close() {
     if (!scheduled_any) {
       delay = backoff_.next();
       ++retry_stats_.reconnects;
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->add("client.dot.reconnects");
+      }
       scheduled_any = true;
     }
     if (charge) --entry.retries_left;
     ++retry_stats_.retried_queries;
+    if (entry.span != 0) {
+      const obs::SpanId retry =
+          config_.obs.tracer->begin(entry.span, "retry");
+      config_.obs.set_attr(
+          retry, "reason",
+          std::string(timeout_teardown_ ? "timeout_teardown"
+                                        : "connection_loss"));
+      config_.obs.set_attr(retry, "attempt",
+                           static_cast<std::int64_t>(entry.attempt));
+      config_.obs.end(retry);
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client.dot.retries");
+    }
     host_.loop().schedule_in(
         delay, [this, p = std::move(entry)]() mutable {
           send_query(allocate_dns_id(), std::move(p));
@@ -160,6 +228,9 @@ void DotClient::on_query_timeout(std::uint16_t dns_id) {
   const auto it = pending_.find(dns_id);
   if (it == pending_.end()) return;
   ++retry_stats_.query_timeouts;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client.dot.timeouts");
+  }
   if (config_.retry.max_retries > 0 && it->second.retries_left > 0) {
     // DoT serializes responses on one TLS stream (the resolver answers in
     // order), so a stalled exchange at the head of the line blocks every
@@ -188,6 +259,10 @@ void DotClient::fail_query(Pending pending) {
   result.success = false;
   result.completed_at = host_.loop().now();
   ++completed_;
+  config_.obs.end(pending.request_span);
+  obs_span_cost(config_.obs, pending.span, result.cost);
+  obs_count_cost(config_.obs, result.cost);
+  obs_finish_resolution(config_.obs, pending.span, "dot", result);
   if (pending.callback) pending.callback(result);
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/client.hpp"
 #include "core/retry.hpp"
+#include "obs/span.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
 #include "tlssim/connection.hpp"
@@ -26,6 +27,7 @@ struct DotClientConfig {
   tlssim::SessionCache* session_cache = nullptr;
   /// Reconnection + per-query retry behaviour; default is fail-fast.
   RetryPolicy retry;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 class DotClient final : public ResolverClient {
@@ -57,9 +59,12 @@ class DotClient final : public ResolverClient {
     dns::RType type = dns::RType::kA;
     int retries_left = 0;
     simnet::EventId timeout_timer;
+    obs::SpanId span = 0;          ///< the resolution span
+    obs::SpanId request_span = 0;  ///< current attempt
+    int attempt = 0;
   };
 
-  void ensure_connection();
+  void ensure_connection(obs::SpanId parent);
   void send_query(std::uint16_t dns_id, Pending pending);
   void on_data(std::span<const std::uint8_t> data);
   void on_close();
@@ -76,6 +81,9 @@ class DotClient final : public ResolverClient {
   std::shared_ptr<simnet::TcpConnection> tcp_;
   std::unique_ptr<tlssim::TlsConnection> tls_;
   dns::Bytes rx_;
+  obs::SpanId connect_span_ = 0;
+  obs::SpanId tcp_hs_span_ = 0;
+  obs::SpanId tls_hs_span_ = 0;
   bool closing_ = false;  ///< disconnect() in progress: do not retry
   /// DNS ID of a query whose timeout triggered the current connection
   /// teardown. The reconnect path re-issues it after everything else so a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace dohperf::core {
 
 FallbackResolverClient::FallbackResolverClient(simnet::EventLoop& loop,
@@ -23,7 +25,7 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
   pending.name = name;
   pending.type = type;
   pending.deadline = loop_.schedule_in(config_.primary_deadline, [this, id]() {
-    start_fallback(id);
+    start_fallback(id, "deadline");
   });
   pending_.emplace(id, std::move(pending));
 
@@ -31,11 +33,16 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
     const auto it = pending_.find(id);
     if (it == pending_.end() || it->second.done) return;
     if (r.success) {
-      if (!it->second.fallback_started) ++stats_.primary_wins;
+      if (!it->second.fallback_started) {
+        ++stats_.primary_wins;
+        if (config_.obs.metrics != nullptr) {
+          config_.obs.metrics->add("fallback.primary_wins");
+        }
+      }
       finish(id, r, /*from_primary=*/true);
     } else if (!it->second.fallback_started) {
       // Hard failure before the deadline: fall back immediately.
-      start_fallback(id);
+      start_fallback(id, "primary_failure");
     } else {
       // Primary failed after the fallback started: wait for the fallback.
       ++stats_.primary_late_failures;
@@ -44,7 +51,8 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
   return id;
 }
 
-void FallbackResolverClient::start_fallback(std::uint64_t id) {
+void FallbackResolverClient::start_fallback(std::uint64_t id,
+                                            const char* reason) {
   const auto it = pending_.find(id);
   if (it == pending_.end() || it->second.done ||
       it->second.fallback_started) {
@@ -53,6 +61,9 @@ void FallbackResolverClient::start_fallback(std::uint64_t id) {
   it->second.fallback_started = true;
   loop_.cancel(it->second.deadline);
   ++stats_.fallback_started;
+  it->second.fallback_span = config_.obs.begin("fallback");
+  config_.obs.set_attr(it->second.fallback_span, "reason",
+                       std::string(reason));
   const simnet::TimeUs waited = loop_.now() - results_[id].sent_at;
   stats_.decision_latency_total += waited;
   stats_.decision_latency_max = std::max(stats_.decision_latency_max, waited);
@@ -62,8 +73,14 @@ void FallbackResolverClient::start_fallback(std::uint64_t id) {
                       if (p == pending_.end() || p->second.done) return;
                       if (r.success) {
                         ++stats_.fallback_used;
+                        if (config_.obs.metrics != nullptr) {
+                          config_.obs.metrics->add("fallback.used");
+                        }
                       } else {
                         ++stats_.both_failed;
+                        if (config_.obs.metrics != nullptr) {
+                          config_.obs.metrics->add("fallback.both_failed");
+                        }
                       }
                       finish(id, r, /*from_primary=*/false);
                     });
@@ -76,6 +93,7 @@ void FallbackResolverClient::finish(std::uint64_t id,
   if (it == pending_.end() || it->second.done) return;
   it->second.done = true;
   loop_.cancel(it->second.deadline);
+  config_.obs.end(it->second.fallback_span);
 
   ResolutionResult& out = results_[id];
   const auto sent_at = out.sent_at;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "simnet/event_loop.hpp"
 
 namespace dohperf::core {
@@ -16,6 +17,7 @@ namespace dohperf::core {
 struct FallbackConfig {
   /// How long to wait for the primary before also asking the fallback.
   simnet::TimeUs primary_deadline = simnet::ms(1500);
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 struct FallbackStats {
@@ -62,10 +64,11 @@ class FallbackResolverClient final : public ResolverClient {
     simnet::EventId deadline;
     bool fallback_started = false;
     bool done = false;
+    obs::SpanId fallback_span = 0;  ///< open while the fallback races
   };
 
   void finish(std::uint64_t id, const ResolutionResult& r, bool from_primary);
-  void start_fallback(std::uint64_t id);
+  void start_fallback(std::uint64_t id, const char* reason);
 
   simnet::EventLoop& loop_;
   ResolverClient& primary_;

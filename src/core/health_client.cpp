@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace dohperf::core {
 
 HealthTrackingClient::HealthTrackingClient(
@@ -58,6 +60,10 @@ void HealthTrackingClient::dispatch(std::uint64_t id, std::size_t resolver) {
   ResolverHealth& h = health_[resolver];
   if (h.state == BreakerState::kOpen && loop_.now() >= h.open_until) {
     h.state = BreakerState::kHalfOpen;  // this query is the probe
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("breaker.probes");
+    }
+    export_state(resolver);
   }
   ++h.queries;
   resolvers_[resolver]->resolve(
@@ -87,10 +93,16 @@ void HealthTrackingClient::on_result(std::uint64_t id, std::size_t resolver,
     const int next = pick(pending);
     if (next >= 0) {
       ++failovers_;
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics->add("health.failovers");
+      }
       dispatch(id, static_cast<std::size_t>(next));
       return;
     }
     ++exhausted_;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("health.exhausted");
+    }
   }
 
   pending.done = true;
@@ -108,7 +120,13 @@ void HealthTrackingClient::on_result(std::uint64_t id, std::size_t resolver,
 void HealthTrackingClient::record_success(std::size_t resolver) {
   ResolverHealth& h = health_[resolver];
   h.consecutive_failures = 0;
-  h.state = BreakerState::kClosed;  // probe success closes the breaker
+  if (h.state != BreakerState::kClosed) {
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("breaker.closes");
+    }
+    h.state = BreakerState::kClosed;  // probe success closes the breaker
+    export_state(resolver);
+  }
 }
 
 void HealthTrackingClient::record_failure(std::size_t resolver) {
@@ -122,7 +140,21 @@ void HealthTrackingClient::record_failure(std::size_t resolver) {
     h.open_until = loop_.now() + config_.open_duration;
     h.consecutive_failures = 0;
     ++h.breaker_trips;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("breaker.trips");
+    }
+    export_state(resolver);
   }
+}
+
+void HealthTrackingClient::export_state(std::size_t resolver) {
+  if (config_.obs.metrics == nullptr) return;
+  const ResolverHealth& h = health_[resolver];
+  std::int64_t value = 0;
+  if (h.state == BreakerState::kOpen) value = 1;
+  if (h.state == BreakerState::kHalfOpen) value = 2;
+  config_.obs.metrics->set_gauge(
+      "breaker.state." + std::to_string(resolver), value);
 }
 
 const ResolutionResult& HealthTrackingClient::result(std::uint64_t id) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "simnet/event_loop.hpp"
 
 namespace dohperf::core {
@@ -27,6 +28,7 @@ struct HealthConfig {
   /// Treat SERVFAIL/REFUSED answers as failures for breaker accounting
   /// (the transport worked, the service did not).
   bool rcode_failures = true;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
@@ -77,6 +79,9 @@ class HealthTrackingClient final : public ResolverClient {
                  const ResolutionResult& r);
   void record_success(std::size_t resolver);
   void record_failure(std::size_t resolver);
+  /// Mirror a breaker's state into the `breaker.state.<i>` gauge
+  /// (0 closed, 1 open, 2 half-open).
+  void export_state(std::size_t resolver);
 
   simnet::EventLoop& loop_;
   std::vector<ResolverClient*> resolvers_;

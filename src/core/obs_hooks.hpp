@@ -1,0 +1,91 @@
+// Shared observability glue for the resolver clients. The span and metric
+// naming conventions live here so every transport reports the same way; the
+// names are a stable contract documented in EXPERIMENTS.md ("Observability").
+//
+// All helpers are no-ops when the SpanContext carries no tracer/registry, so
+// uninstrumented runs pay only a null-pointer check.
+#pragma once
+
+#include <string>
+
+#include "core/client.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace dohperf::core {
+
+/// Open the root `resolution` span for one query and count it under
+/// `client.<transport>.queries`. Returns 0 when tracing is off.
+inline obs::SpanId obs_begin_resolution(const obs::SpanContext& obs,
+                                        const std::string& transport,
+                                        const dns::Name& name,
+                                        dns::RType type) {
+  if (obs.metrics != nullptr) {
+    obs.metrics->add("client." + transport + ".queries");
+  }
+  const obs::SpanId span = obs.begin("resolution");
+  if (span != 0) {
+    obs.set_attr(span, "transport", transport);
+    obs.set_attr(span, "query", name.to_string());
+    obs.set_attr(span, "qtype", dns::to_string(type));
+  }
+  return span;
+}
+
+/// Copy a CostReport onto a span as the per-layer byte attributes behind the
+/// fig5 breakdown. Safe on already-closed spans (attributes may arrive after
+/// the span ends, e.g. when costs are finalized lazily at result() time).
+inline void obs_span_cost(const obs::SpanContext& obs, obs::SpanId span,
+                          const CostReport& cost) {
+  if (span == 0) return;
+  const auto i64 = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  obs.set_attr(span, "bytes.wire", i64(cost.wire_bytes));
+  obs.set_attr(span, "bytes.dns", i64(cost.dns_message_bytes));
+  obs.set_attr(span, "bytes.tcp", i64(cost.tcp_overhead_bytes));
+  obs.set_attr(span, "bytes.tls", i64(cost.tls_overhead_bytes));
+  obs.set_attr(span, "bytes.http_hdr", i64(cost.http_header_bytes));
+  obs.set_attr(span, "bytes.http_body", i64(cost.http_body_bytes));
+  obs.set_attr(span, "bytes.http_mgmt", i64(cost.http_mgmt_bytes));
+  obs.set_attr(span, "packets", i64(cost.packets));
+}
+
+/// Accumulate a CostReport into the global bytes.* counters.
+inline void obs_count_cost(const obs::SpanContext& obs,
+                           const CostReport& cost) {
+  if (obs.metrics == nullptr) return;
+  auto& m = *obs.metrics;
+  m.add("bytes.wire", cost.wire_bytes);
+  m.add("bytes.dns", cost.dns_message_bytes);
+  m.add("bytes.tcp", cost.tcp_overhead_bytes);
+  m.add("bytes.tls", cost.tls_overhead_bytes);
+  m.add("bytes.http_hdr", cost.http_header_bytes);
+  m.add("bytes.http_body", cost.http_body_bytes);
+  m.add("bytes.http_mgmt", cost.http_mgmt_bytes);
+}
+
+/// Close the `resolution` span with its outcome and record the
+/// success/failure/servfail counters plus the resolution-time histogram.
+/// Byte attributes are NOT set here — clients with lazily finalized costs
+/// attach them later via obs_span_cost().
+inline void obs_finish_resolution(const obs::SpanContext& obs,
+                                  obs::SpanId span,
+                                  const std::string& transport,
+                                  const ResolutionResult& result) {
+  if (obs.metrics != nullptr) {
+    auto& m = *obs.metrics;
+    m.add("client." + transport +
+          (result.success ? ".success" : ".failures"));
+    if (result.success &&
+        result.response.flags.rcode == dns::Rcode::kServFail) {
+      m.add("client." + transport + ".servfail");
+    }
+    m.observe("client." + transport + ".resolution_ms",
+              static_cast<double>(result.resolution_time()) / 1000.0);
+  }
+  if (span != 0) {
+    obs.set_attr(span, "success", result.success);
+    obs.end(span);
+  }
+}
+
+}  // namespace dohperf::core

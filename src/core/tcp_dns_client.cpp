@@ -1,19 +1,36 @@
 #include "core/tcp_dns_client.hpp"
 
+#include "core/obs_hooks.hpp"
+
 namespace dohperf::core {
 
-TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server)
-    : host_(host), server_(server) {}
+TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server,
+                           obs::SpanContext obs)
+    : host_(host), server_(server), obs_(obs) {}
 
-void TcpDnsClient::ensure_connection() {
-  if (stream_ && stream_->is_open()) return;
+void TcpDnsClient::ensure_connection(obs::SpanId parent) {
+  if (stream_ && stream_->is_open()) {
+    if (obs_.metrics != nullptr) obs_.metrics->add("client.tcp.conn_reuse");
+    return;
+  }
   if (tcp_ && (tcp_->state() == simnet::TcpState::kSynSent ||
                tcp_->established())) {
     return;  // still connecting or usable
   }
+  if (obs_.metrics != nullptr) obs_.metrics->add("client.tcp.conn_open");
+  if (obs_.tracer != nullptr) {
+    connect_span_ = obs_.tracer->begin(parent, "connect");
+    tcp_hs_span_ = obs_.tracer->begin(connect_span_, "tcp_handshake");
+  }
   tcp_ = host_.tcp_connect(server_);
   stream_ = std::make_unique<simnet::TcpByteStream>(tcp_);
   simnet::ByteStream::Handlers h;
+  h.on_open = [this]() {
+    obs_.end(tcp_hs_span_);
+    obs_.end(connect_span_);
+    tcp_hs_span_ = 0;
+    connect_span_ = 0;
+  };
   h.on_data = [this](std::span<const std::uint8_t> d) { on_data(d); };
   h.on_close = [this]() { on_close(); };
   stream_->set_handlers(std::move(h));
@@ -22,7 +39,6 @@ void TcpDnsClient::ensure_connection() {
 
 std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
                                     ResolveCallback callback) {
-  ensure_connection();
   const std::uint64_t query_id = next_query_id_++;
   std::uint16_t dns_id = next_dns_id_++;
   while (pending_.count(dns_id) != 0 || dns_id == 0) dns_id = next_dns_id_++;
@@ -30,7 +46,13 @@ std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
   ResolutionResult result;
   result.sent_at = host_.loop().now();
   results_.push_back(std::move(result));
-  pending_.emplace(dns_id, std::make_pair(query_id, std::move(callback)));
+  Pending pending;
+  pending.query_id = query_id;
+  pending.callback = std::move(callback);
+  pending.span = obs_begin_resolution(obs_, "tcp", name, type);
+  ensure_connection(pending.span);
+  const obs::SpanId span = pending.span;
+  pending_.emplace(dns_id, std::move(pending));
 
   const dns::Message query = dns::Message::make_query(dns_id, name, type);
   const dns::Bytes wire = query.encode();
@@ -38,6 +60,10 @@ std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
   dns::ByteWriter framed;
   framed.u16(static_cast<std::uint16_t>(wire.size()));
   framed.bytes(wire);
+  if (obs_.tracer != nullptr) {
+    const obs::SpanId request = obs_.tracer->begin(span, "request");
+    obs_.end(request);  // framed write handed to TCP in one call
+  }
   stream_->send(framed.take());  // TCP queues until established
   return query_id;
 }
@@ -59,16 +85,19 @@ void TcpDnsClient::on_data(std::span<const std::uint8_t> data) {
     }
     const auto it = pending_.find(response.id);
     if (it == pending_.end()) continue;
-    auto [query_id, callback] = std::move(it->second);
+    Pending pending = std::move(it->second);
     pending_.erase(it);
 
-    ResolutionResult& result = results_[query_id];
+    ResolutionResult& result = results_[pending.query_id];
     result.success = true;
     result.completed_at = host_.loop().now();
     result.cost.dns_message_bytes += wire.size();
     result.response = std::move(response);
     ++completed_;
-    if (callback) callback(result);
+    obs_span_cost(obs_, pending.span, result.cost);
+    obs_count_cost(obs_, result.cost);
+    obs_finish_resolution(obs_, pending.span, "tcp", result);
+    if (pending.callback) pending.callback(result);
   }
 }
 
@@ -76,12 +105,12 @@ void TcpDnsClient::on_close() {
   auto pending = std::move(pending_);
   pending_.clear();
   for (auto& [dns_id, entry] : pending) {
-    auto& [query_id, callback] = entry;
-    ResolutionResult& result = results_[query_id];
+    ResolutionResult& result = results_[entry.query_id];
     result.success = false;
     result.completed_at = host_.loop().now();
     ++completed_;
-    if (callback) callback(result);
+    obs_finish_resolution(obs_, entry.span, "tcp", result);
+    if (entry.callback) entry.callback(result);
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
 
@@ -15,7 +16,8 @@ namespace dohperf::core {
 
 class TcpDnsClient final : public ResolverClient {
  public:
-  TcpDnsClient(simnet::Host& host, simnet::Address server);
+  TcpDnsClient(simnet::Host& host, simnet::Address server,
+               obs::SpanContext obs = {});
 
   std::uint64_t resolve(const dns::Name& name, dns::RType type,
                         ResolveCallback callback) override;
@@ -27,20 +29,29 @@ class TcpDnsClient final : public ResolverClient {
   const simnet::TcpCounters* tcp_counters() const;
 
  private:
-  void ensure_connection();
+  struct Pending {
+    std::uint64_t query_id;
+    ResolveCallback callback;
+    obs::SpanId span = 0;
+  };
+
+  void ensure_connection(obs::SpanId parent);
   void on_data(std::span<const std::uint8_t> data);
   void on_close();
 
   simnet::Host& host_;
   simnet::Address server_;
+  obs::SpanContext obs_;
   std::shared_ptr<simnet::TcpConnection> tcp_;
   std::unique_ptr<simnet::TcpByteStream> stream_;
   dns::Bytes rx_;
+  obs::SpanId connect_span_ = 0;
+  obs::SpanId tcp_hs_span_ = 0;
 
   std::uint16_t next_dns_id_ = 1;
   std::uint64_t next_query_id_ = 0;
   std::uint64_t completed_ = 0;
-  std::map<std::uint16_t, std::pair<std::uint64_t, ResolveCallback>> pending_;
+  std::map<std::uint16_t, Pending> pending_;
   std::vector<ResolutionResult> results_;
 };
 

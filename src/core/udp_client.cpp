@@ -1,5 +1,7 @@
 #include "core/udp_client.hpp"
 
+#include "core/obs_hooks.hpp"
+
 namespace dohperf::core {
 
 UdpResolverClient::UdpResolverClient(simnet::Host& host,
@@ -35,6 +37,7 @@ std::uint64_t UdpResolverClient::resolve(const dns::Name& name,
   pending.wire = query.encode();
   pending.callback = std::move(callback);
   pending.retries_left = config_.max_retries;
+  pending.span = obs_begin_resolution(config_.obs, "udp", name, type);
 
   ResolutionResult result;
   result.sent_at = host_.loop().now();
@@ -54,6 +57,13 @@ void UdpResolverClient::send_query(std::uint16_t dns_id) {
   result.cost.wire_bytes +=
       pending.wire.size() + simnet::kIpHeaderBytes + simnet::kUdpHeaderBytes;
   result.cost.packets += 1;
+  ++pending.attempt;
+  if (pending.span != 0) {
+    pending.request_span =
+        config_.obs.tracer->begin(pending.span, "request");
+    config_.obs.set_attr(pending.request_span, "attempt",
+                         static_cast<std::int64_t>(pending.attempt));
+  }
   socket_->send_to(server_, pending.wire);
   pending.timer = host_.loop().schedule_in(
       config_.timeout, [this, dns_id]() { on_timeout(dns_id); });
@@ -64,10 +74,27 @@ void UdpResolverClient::on_timeout(std::uint16_t dns_id) {
   if (it == pending_.end()) return;
   if (it->second.retries_left > 0) {
     --it->second.retries_left;
+    Pending& p = it->second;
+    config_.obs.end(p.request_span);
+    p.request_span = 0;
+    if (p.span != 0) {
+      const obs::SpanId retry =
+          config_.obs.tracer->begin(p.span, "retry");
+      config_.obs.set_attr(retry, "reason", std::string("timeout"));
+      config_.obs.set_attr(retry, "attempt",
+                           static_cast<std::int64_t>(p.attempt));
+      config_.obs.end(retry);
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("client.udp.retries");
+    }
     send_query(dns_id);
     return;
   }
   ++timeouts_;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add("client.udp.timeouts");
+  }
   finish(dns_id, false, {}, 0);
 }
 
@@ -101,6 +128,10 @@ void UdpResolverClient::finish(std::uint16_t dns_id, bool success,
     result.response = std::move(response);
   }
   ++completed_;
+  config_.obs.end(pending.request_span);
+  obs_span_cost(config_.obs, pending.span, result.cost);
+  obs_count_cost(config_.obs, result.cost);
+  obs_finish_resolution(config_.obs, pending.span, "udp", result);
   if (pending.callback) pending.callback(result);
 }
 

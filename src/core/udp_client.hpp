@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/span.hpp"
 #include "simnet/host.hpp"
 
 namespace dohperf::core {
@@ -14,6 +15,7 @@ struct UdpClientConfig {
   simnet::TimeUs timeout = simnet::seconds(5);
   int max_retries = 0;  ///< retransmissions after the first attempt
   bool edns = true;     ///< attach an EDNS0 OPT record to queries
+  obs::SpanContext obs; ///< tracing/metrics sink (default: off)
 };
 
 class UdpResolverClient final : public ResolverClient {
@@ -36,6 +38,9 @@ class UdpResolverClient final : public ResolverClient {
     ResolveCallback callback;
     simnet::EventId timer;
     int retries_left;
+    obs::SpanId span = 0;          ///< the resolution span
+    obs::SpanId request_span = 0;  ///< current attempt
+    int attempt = 0;
   };
 
   void on_datagram(const dns::Bytes& payload);

@@ -223,6 +223,7 @@ void Http2Connection::request(H2Message message,
   // stacks whose traffic the paper measured.
   send_headers(stream_id, message.headers, /*end_stream=*/!has_body);
   if (has_body) send_data(stream_id, std::move(message.body), true);
+  if (stream_observer_) stream_observer_(stream_id, StreamEvent::kRequestSent);
 }
 
 void Http2Connection::ping(std::function<void()> on_ack) {
@@ -326,6 +327,12 @@ void Http2Connection::handle_headers(const Frame& frame) {
   if (inserted) {
     if (role_ == Role::kClient) throw WireError("server-initiated stream");
     stream.send_window = peer_initial_window_;
+  }
+  if (role_ == Role::kClient && !stream.response_began) {
+    stream.response_began = true;
+    if (stream_observer_) {
+      stream_observer_(frame.stream_id, StreamEvent::kResponseBegan);
+    }
   }
 
   // A header block split across HEADERS + CONTINUATION frames is one HPACK
@@ -439,6 +446,9 @@ void Http2Connection::stream_complete(std::uint32_t stream_id) {
 
   if (role_ == Role::kClient) {
     ++counters_.responses;
+    if (stream_observer_) {
+      stream_observer_(stream_id, StreamEvent::kStreamClosed);
+    }
     if (stream.on_response) stream.on_response(message);
     return;
   }

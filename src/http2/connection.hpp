@@ -49,9 +49,19 @@ struct Http2Config {
   bool enable_hpack_dynamic_table = true;  ///< off for the fig5 ablation
 };
 
+/// Client-side stream lifecycle notifications, used by observability
+/// instrumentation to draw request/response spans with stream-id
+/// attributes. Events for one stream always arrive in this order.
+enum class StreamEvent {
+  kRequestSent,    ///< HEADERS (+DATA) for the request left this endpoint
+  kResponseBegan,  ///< first frame of the response arrived
+  kStreamClosed,   ///< response complete; the handler is about to run
+};
+
 class Http2Connection {
  public:
   using ResponseHandler = std::function<void(const H2Message&)>;
+  using StreamObserver = std::function<void(std::uint32_t, StreamEvent)>;
   /// Server side: respond may be called immediately or later; streams are
   /// independent so late responses do not block other streams.
   using Responder = std::function<void(H2Message)>;
@@ -79,6 +89,13 @@ class Http2Connection {
     on_error_ = std::move(handler);
   }
 
+  /// Client role only; pass a null observer to detach (zero cost when
+  /// unset). Queued requests report kRequestSent when they actually go out,
+  /// in request() call order.
+  void set_stream_observer(StreamObserver observer) {
+    stream_observer_ = std::move(observer);
+  }
+
   /// Send a PING (measures connection liveness/RTT); handler fires on ACK.
   void ping(std::function<void()> on_ack);
 
@@ -89,6 +106,10 @@ class Http2Connection {
   /// The peer announced shutdown; a client should not reuse the connection.
   bool goaway_received() const noexcept { return goaway_received_; }
   const H2Counters& counters() const noexcept { return counters_; }
+  /// HPACK dynamic-table hit counters of the send direction.
+  const HpackEncoderStats& encoder_stats() const noexcept {
+    return encoder_.stats();
+  }
   simnet::ByteStream& transport() noexcept { return *transport_; }
   std::size_t open_streams() const noexcept { return streams_.size(); }
 
@@ -103,6 +124,7 @@ class Http2Connection {
     ResponseHandler on_response;        ///< client side
     std::int64_t send_window = 65535;
     Bytes pending_body;                 ///< flow-control blocked DATA
+    bool response_began = false;        ///< kResponseBegan already reported
   };
 
   void on_transport_open();
@@ -141,6 +163,7 @@ class Http2Connection {
   H2Counters counters_;
   RequestHandler request_handler_;
   ErrorHandler on_error_;
+  StreamObserver stream_observer_;
 
   bool transport_open_ = false;
   bool preface_done_ = false;   ///< server: client preface consumed

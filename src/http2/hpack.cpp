@@ -406,6 +406,7 @@ void HpackEncoder::encode_string(Bytes& out, std::string_view text) {
 }
 
 void HpackEncoder::encode_field(Bytes& out, const HeaderField& field) {
+  ++stats_.fields;
   // 1. Full match in static table -> indexed.
   const auto& st = static_table();
   std::optional<std::size_t> static_name_match;
@@ -413,6 +414,7 @@ void HpackEncoder::encode_field(Bytes& out, const HeaderField& field) {
     if (st[i].name == field.name) {
       if (st[i].value == field.value) {
         encode_integer(out, 7, 0x80, i + 1);
+        ++stats_.indexed_static;
         return;
       }
       if (!static_name_match) static_name_match = i + 1;
@@ -423,9 +425,11 @@ void HpackEncoder::encode_field(Bytes& out, const HeaderField& field) {
   if (const auto idx = table_.find(field, &name_only)) {
     if (!name_only) {
       encode_integer(out, 7, 0x80, st.size() + *idx);
+      ++stats_.indexed_dynamic;
       return;
     }
   }
+  ++stats_.literals;
   // 3. Literal with incremental indexing.
   std::size_t name_index = 0;
   if (static_name_match) {
@@ -437,7 +441,10 @@ void HpackEncoder::encode_field(Bytes& out, const HeaderField& field) {
   encode_integer(out, 6, 0x40, name_index);
   if (name_index == 0) encode_string(out, field.name);
   encode_string(out, field.value);
-  if (table_.max_size() > 0) table_.insert(field);
+  if (table_.max_size() > 0) {
+    table_.insert(field);
+    ++stats_.table_inserts;
+  }
 }
 
 Bytes HpackEncoder::encode(const std::vector<HeaderField>& headers) {

@@ -80,6 +80,17 @@ std::string huffman_decode(std::span<const std::uint8_t> data);
 /// Encoded size without producing the bytes (for the shorter-of-two choice).
 std::size_t huffman_encoded_size(std::string_view text);
 
+/// How each encoded field was represented — the dynamic-table hit counters
+/// behind the paper's "differential headers" effect (Fig 5): on a
+/// persistent connection, repeated headers collapse to indexed_dynamic.
+struct HpackEncoderStats {
+  std::uint64_t fields = 0;           ///< header fields encoded in total
+  std::uint64_t indexed_static = 0;   ///< full match in the static table
+  std::uint64_t indexed_dynamic = 0;  ///< full match in the dynamic table
+  std::uint64_t literals = 0;         ///< literal representations
+  std::uint64_t table_inserts = 0;    ///< entries added to the dynamic table
+};
+
 class HpackEncoder {
  public:
   explicit HpackEncoder(std::size_t max_table_size = 4096)
@@ -93,12 +104,14 @@ class HpackEncoder {
   void disable_dynamic_table();
 
   const DynamicTable& table() const noexcept { return table_; }
+  const HpackEncoderStats& stats() const noexcept { return stats_; }
 
  private:
   void encode_field(Bytes& out, const HeaderField& field);
   void encode_string(Bytes& out, std::string_view text);
 
   DynamicTable table_;
+  HpackEncoderStats stats_;
   bool pending_table_update_ = false;
   std::size_t pending_table_size_ = 0;
 };

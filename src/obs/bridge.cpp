@@ -1,0 +1,20 @@
+#include "obs/bridge.hpp"
+
+namespace dohperf::obs {
+
+void NetMetricsBridge::on_packet(simnet::TimeUs /*when*/,
+                                 const simnet::Packet& packet, bool dropped) {
+  if (registry_ == nullptr) return;
+  const std::uint64_t wire = packet.wire_size();
+  if (dropped) {
+    registry_->add("net.dropped");
+    registry_->add("net.dropped_bytes", wire);
+    return;
+  }
+  registry_->add("net.packets");
+  registry_->add("net.bytes", wire);
+  registry_->add("net.header_bytes", packet.header_size());
+  registry_->add(packet.is_tcp() ? "net.tcp_bytes" : "net.udp_bytes", wire);
+}
+
+}  // namespace dohperf::obs

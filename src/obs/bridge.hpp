@@ -1,0 +1,34 @@
+// The simnet tap → metrics bridge: a PacketTap that folds every packet on
+// the fabric into registry counters, giving any run wire-level totals
+// (packets, bytes, drops by layer) next to its client-side accounting —
+// the cross-check the paper performed between tcpdump captures and
+// application logs.
+//
+// Counters written (see the metric-name contract in EXPERIMENTS.md):
+//   net.packets        packets put on the wire (delivered)
+//   net.bytes          wire bytes of delivered packets
+//   net.header_bytes   IP+transport header share of delivered bytes
+//   net.tcp_bytes      delivered bytes on TCP segments
+//   net.udp_bytes      delivered bytes on UDP datagrams
+//   net.dropped        packets discarded by the loss model
+//   net.dropped_bytes  wire bytes of those discarded packets
+#pragma once
+
+#include "obs/registry.hpp"
+#include "simnet/packet.hpp"
+
+namespace dohperf::obs {
+
+class NetMetricsBridge final : public simnet::PacketTap {
+ public:
+  /// `registry` must outlive the bridge; null disables (null-sink path).
+  explicit NetMetricsBridge(Registry* registry) : registry_(registry) {}
+
+  void on_packet(simnet::TimeUs when, const simnet::Packet& packet,
+                 bool dropped) override;
+
+ private:
+  Registry* registry_;
+};
+
+}  // namespace dohperf::obs

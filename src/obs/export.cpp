@@ -1,0 +1,116 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace dohperf::obs {
+
+namespace {
+
+std::string attr_to_text(const AttrValue& value) {
+  std::ostringstream os;
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    os << *i;
+  } else if (const auto* s = std::get_if<std::string>(&value)) {
+    os << *s;
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    os << (*b ? "true" : "false");
+  } else {
+    os << std::get<double>(value);
+  }
+  return os.str();
+}
+
+std::string format_ms(simnet::TimeUs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.3f", simnet::to_ms(t));
+  return std::string(buf);
+}
+
+}  // namespace
+
+dns::JsonValue attr_to_json(const AttrValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return dns::JsonValue(*i);
+  }
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return dns::JsonValue(*s);
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return dns::JsonValue(*b);
+  }
+  return dns::JsonValue(std::get<double>(value));
+}
+
+std::string render_timeline(const Tracer& tracer) {
+  const std::vector<Span>& spans = tracer.spans();
+  // children[p] = span ids whose parent is p (0 = roots), in begin order.
+  std::vector<std::vector<SpanId>> children(spans.size() + 1);
+  for (const Span& s : spans) {
+    const SpanId parent = s.parent <= spans.size() ? s.parent : 0;
+    children[parent].push_back(s.id);
+  }
+
+  std::ostringstream os;
+  const auto render = [&](const auto& self, SpanId id, int depth) -> void {
+    const Span& s = spans[id - 1];
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << '[' << format_ms(s.start) << "ms +";
+    if (s.open) {
+      os << "     open";
+    } else {
+      os << format_ms(s.duration()) << "ms";
+    }
+    os << "] " << s.name;
+    for (const Attr& a : s.attrs) {
+      os << ' ' << a.key << '=' << attr_to_text(a.value);
+    }
+    os << '\n';
+    for (const SpanId child : children[id]) self(self, child, depth + 1);
+  };
+  for (const SpanId root : children[0]) render(render, root, 0);
+  return os.str();
+}
+
+dns::JsonValue chrome_trace(const Tracer& tracer) {
+  const std::vector<Span>& spans = tracer.spans();
+  // Each subtree lands on the tid of its root span so concurrent
+  // resolutions occupy separate tracks in the viewer.
+  std::vector<SpanId> root_of(spans.size() + 1, 0);
+  for (const Span& s : spans) {
+    const bool has_parent = s.parent != 0 && s.parent <= spans.size();
+    root_of[s.id] = has_parent ? root_of[s.parent] : s.id;
+  }
+
+  dns::JsonArray events;
+  events.reserve(spans.size());
+  for (const Span& s : spans) {
+    dns::JsonObject e;
+    e["ph"] = dns::JsonValue("X");
+    e["name"] = dns::JsonValue(s.name);
+    e["cat"] = dns::JsonValue("dohperf");
+    e["ts"] = dns::JsonValue(static_cast<std::int64_t>(s.start));
+    e["dur"] = dns::JsonValue(static_cast<std::int64_t>(s.duration()));
+    e["pid"] = dns::JsonValue(std::int64_t{1});
+    e["tid"] = dns::JsonValue(static_cast<std::int64_t>(root_of[s.id]));
+    dns::JsonObject args;
+    for (const Attr& a : s.attrs) {
+      args[a.key] = attr_to_json(a.value);
+    }
+    if (s.open) args["open"] = dns::JsonValue(true);
+    e["args"] = dns::JsonValue(std::move(args));
+    events.push_back(dns::JsonValue(std::move(e)));
+  }
+
+  dns::JsonObject root;
+  root["displayTimeUnit"] = dns::JsonValue("ms");
+  root["traceEvents"] = dns::JsonValue(std::move(events));
+  return dns::JsonValue(std::move(root));
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  return chrome_trace(tracer).dump();
+}
+
+}  // namespace dohperf::obs

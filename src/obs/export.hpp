@@ -1,0 +1,38 @@
+// Trace exporters:
+//   * render_timeline() — a per-query flame-style indented text view
+//   * chrome_trace()    — Chrome trace_event JSON; load the file into
+//     chrome://tracing or https://ui.perfetto.dev to browse any run
+// Both walk spans in begin order and serialize attributes in insertion
+// order, so output is byte-identical across identically seeded runs.
+#pragma once
+
+#include <string>
+
+#include "dns/json_value.hpp"
+#include "obs/span.hpp"
+
+namespace dohperf::obs {
+
+/// Indented text timeline, roots in begin order:
+///   [   0.000ms +  42.318ms] resolution transport=doh-h2 query=example.com
+///     [   0.000ms +  31.002ms] connect
+///       [   0.000ms +  10.482ms] tcp_handshake
+/// Open spans render `+open` instead of a duration.
+std::string render_timeline(const Tracer& tracer);
+
+/// Chrome trace_event document:
+///   {"displayTimeUnit":"ms","traceEvents":[{"ph":"X","name":...,
+///    "cat":...,"ts":<us>,"dur":<us>,"pid":1,"tid":<root span id>,
+///    "args":{...}}, ...]}
+/// Complete ("X") events; spans still open at export time get dur 0 and
+/// args.open=true. Each root span (and its subtree) lands on its own tid
+/// so concurrent resolutions occupy separate tracks.
+dns::JsonValue chrome_trace(const Tracer& tracer);
+
+/// chrome_trace() serialized compactly (what --trace writes).
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Serialize one attribute value for JSON export.
+dns::JsonValue attr_to_json(const AttrValue& value);
+
+}  // namespace dohperf::obs

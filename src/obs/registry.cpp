@@ -1,0 +1,103 @@
+#include "obs/registry.hpp"
+
+#include <sstream>
+
+namespace dohperf::obs {
+
+void Registry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void Registry::set_gauge(const std::string& name, std::int64_t value) {
+  gauges_[name] = value;
+}
+
+void Registry::observe(const std::string& name, double value) {
+  histograms_[name].add(value);
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t Registry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const stats::Cdf* Registry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+HistogramSummary Registry::histogram_summary(const std::string& name) const {
+  HistogramSummary s;
+  const stats::Cdf* cdf = histogram(name);
+  if (cdf == nullptr || cdf->empty()) return s;
+  s.count = cdf->count();
+  s.min = cdf->sorted_values().front();
+  s.p25 = cdf->quantile(0.25);
+  s.p50 = cdf->quantile(0.50);
+  s.p75 = cdf->quantile(0.75);
+  s.p90 = cdf->quantile(0.90);
+  s.max = cdf->quantile(1.0);
+  return s;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+dns::JsonValue Registry::to_json() const {
+  dns::JsonObject root;
+  root["schema"] = dns::JsonValue("dohperf-metrics-v1");
+
+  dns::JsonObject counters;
+  for (const auto& [name, value] : counters_) {
+    counters[name] = dns::JsonValue(static_cast<std::int64_t>(value));
+  }
+  root["counters"] = dns::JsonValue(std::move(counters));
+
+  dns::JsonObject gauges;
+  for (const auto& [name, value] : gauges_) {
+    gauges[name] = dns::JsonValue(value);
+  }
+  root["gauges"] = dns::JsonValue(std::move(gauges));
+
+  dns::JsonObject histograms;
+  for (const auto& [name, cdf] : histograms_) {
+    const HistogramSummary s = histogram_summary(name);
+    dns::JsonObject h;
+    h["count"] = dns::JsonValue(static_cast<std::int64_t>(s.count));
+    h["min"] = dns::JsonValue(s.min);
+    h["p25"] = dns::JsonValue(s.p25);
+    h["p50"] = dns::JsonValue(s.p50);
+    h["p75"] = dns::JsonValue(s.p75);
+    h["p90"] = dns::JsonValue(s.p90);
+    h["max"] = dns::JsonValue(s.max);
+    histograms[name] = dns::JsonValue(std::move(h));
+  }
+  root["histograms"] = dns::JsonValue(std::move(histograms));
+  return dns::JsonValue(std::move(root));
+}
+
+std::string Registry::render() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges_) {
+    os << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, cdf] : histograms_) {
+    const HistogramSummary s = histogram_summary(name);
+    os << name << " n=" << s.count << " p50=" << s.p50 << " p90=" << s.p90
+       << " max=" << s.max << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dohperf::obs

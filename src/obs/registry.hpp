@@ -1,0 +1,75 @@
+// The metrics registry: named counters, gauges and histograms with
+// deterministic iteration order (ordered maps only — DET003-clean), so a
+// metrics snapshot serializes byte-identically across identically seeded
+// runs. Metric names form a stable contract documented in EXPERIMENTS.md
+// ("Observability" section); benches and tests key on them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dns/json_value.hpp"
+#include "stats/cdf.hpp"
+
+namespace dohperf::obs {
+
+/// Histogram snapshot: fixed quantiles over a stats::Cdf sample, the same
+/// presentation the paper's figures use.
+struct HistogramSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+class Registry {
+ public:
+  /// Increment a counter (created at 0 on first touch).
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Set a gauge to an absolute value (e.g. circuit-breaker state).
+  void set_gauge(const std::string& name, std::int64_t value);
+
+  /// Record one histogram observation (fixed-quantile export).
+  void observe(const std::string& name, double value);
+
+  /// Point reads; absent names read as 0 / empty.
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  const stats::Cdf* histogram(const std::string& name) const;
+  HistogramSummary histogram_summary(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, stats::Cdf>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Deterministic snapshot:
+  ///   {"schema":"dohperf-metrics-v1","counters":{...},"gauges":{...},
+  ///    "histograms":{name:{"count":..,"min":..,"p25":..,...}}}
+  dns::JsonValue to_json() const;
+
+  /// Human-readable listing, one `name value` row per line, sorted.
+  std::string render() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, stats::Cdf> histograms_;
+};
+
+}  // namespace dohperf::obs

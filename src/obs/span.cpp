@@ -1,0 +1,66 @@
+#include "obs/span.hpp"
+
+namespace dohperf::obs {
+
+const AttrValue* Span::attr(const std::string& key) const noexcept {
+  for (const Attr& a : attrs) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+SpanId Tracer::begin(SpanId parent, std::string name) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.start = now();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (!span.open) return;  // double close: first close wins
+  span.open = false;
+  span.end = now();
+}
+
+void Tracer::set_attr(SpanId id, const std::string& key, AttrValue value) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  for (Attr& a : span.attrs) {
+    if (a.key == key) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  span.attrs.push_back(Attr{key, std::move(value)});
+}
+
+void Tracer::add_attr(SpanId id, const std::string& key, std::int64_t delta) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  for (Attr& a : span.attrs) {
+    if (a.key == key) {
+      if (const auto* v = std::get_if<std::int64_t>(&a.value)) {
+        a.value = *v + delta;
+      } else {
+        a.value = delta;
+      }
+      return;
+    }
+  }
+  span.attrs.push_back(Attr{key, AttrValue{delta}});
+}
+
+std::size_t Tracer::open_spans() const noexcept {
+  std::size_t open = 0;
+  for (const Span& s : spans_) {
+    if (s.open) ++open;
+  }
+  return open;
+}
+
+}  // namespace dohperf::obs

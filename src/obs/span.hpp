@@ -1,0 +1,125 @@
+// Cross-layer span tracing on the virtual clock — the per-query timeline
+// behind the paper's attribution story (§3 resolution time, §4/Fig 5 layer
+// costs). A Tracer records hierarchical spans (resolution → connect →
+// tcp_handshake / tls_handshake / quic_handshake → request → response, plus
+// retry / fallback / cache_lookup children) with typed attributes; a
+// lightweight SpanContext threads the tracer (and metrics registry) through
+// transports, the resolver engine and the browser fetch scheduler.
+//
+// Determinism: spans are stored in begin order, attributes in insertion
+// order, and all timestamps come from the virtual clock — two identically
+// seeded runs export byte-identical traces. Instrumentation is zero-cost
+// when no tracer is attached: every SpanContext helper reduces to one
+// null-pointer test (the null-sink fast path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "simnet/event_loop.hpp"
+#include "simnet/time.hpp"
+
+namespace dohperf::obs {
+
+class Registry;
+
+/// 1-based index into the tracer's span table; 0 = "no span".
+using SpanId = std::uint64_t;
+
+/// Typed attribute values. Strings for enumerations (transport, reason),
+/// integers for counts and bytes, bool for flags, double for ratios.
+using AttrValue = std::variant<std::int64_t, std::string, bool, double>;
+
+struct Attr {
+  std::string key;
+  AttrValue value;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root span
+  std::string name;
+  simnet::TimeUs start = 0;
+  simnet::TimeUs end = 0;
+  bool open = true;              ///< end not yet recorded
+  std::vector<Attr> attrs;       ///< insertion order (deterministic)
+
+  simnet::TimeUs duration() const noexcept { return open ? 0 : end - start; }
+  /// Attribute lookup; returns nullptr when absent.
+  const AttrValue* attr(const std::string& key) const noexcept;
+};
+
+/// Records spans against a bindable virtual clock. One tracer can span
+/// several simulations (benches re-bind per scenario); span ids stay unique
+/// across bindings so one export holds the whole run.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(const simnet::EventLoop& loop) : clock_(&loop) {}
+
+  /// (Re-)attach the virtual clock the next spans read their times from.
+  void bind(const simnet::EventLoop& loop) noexcept { clock_ = &loop; }
+
+  /// Open a span under `parent` (0 = root). Never returns 0.
+  SpanId begin(SpanId parent, std::string name);
+
+  /// Close a span. Closing out of order, twice, or with id 0 is a no-op
+  /// for every span but the target — tolerated by design (timeout paths
+  /// close parents before children).
+  void end(SpanId id);
+
+  /// Set (or overwrite) a typed attribute; id 0 is a no-op. Attributes may
+  /// be set after the span has closed (lazy cost finalization does this).
+  void set_attr(SpanId id, const std::string& key, AttrValue value);
+
+  /// Accumulate into an integer attribute (missing key starts at 0).
+  void add_attr(SpanId id, const std::string& key, std::int64_t delta);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::size_t size() const noexcept { return spans_.size(); }
+  bool empty() const noexcept { return spans_.empty(); }
+  /// The span record for an id returned by begin().
+  const Span& span(SpanId id) const { return spans_.at(id - 1); }
+
+  /// Number of spans still open (test/diagnostic aid).
+  std::size_t open_spans() const noexcept;
+
+ private:
+  simnet::TimeUs now() const noexcept { return clock_ ? clock_->now() : 0; }
+
+  const simnet::EventLoop* clock_ = nullptr;
+  std::vector<Span> spans_;
+};
+
+/// The propagation handle threaded through client configs: a tracer, the
+/// parent span new spans hang under, and the metrics registry. Copyable,
+/// two pointers and an id; default-constructed = observability off.
+struct SpanContext {
+  Tracer* tracer = nullptr;
+  SpanId parent = 0;
+  Registry* metrics = nullptr;
+
+  explicit operator bool() const noexcept { return tracer != nullptr; }
+
+  /// Open a child span under this context's parent; 0 when no tracer.
+  SpanId begin(std::string name) const {
+    return tracer ? tracer->begin(parent, std::move(name)) : 0;
+  }
+  void end(SpanId id) const {
+    if (tracer) tracer->end(id);
+  }
+  void set_attr(SpanId id, const std::string& key, AttrValue value) const {
+    if (tracer) tracer->set_attr(id, key, std::move(value));
+  }
+  void add_attr(SpanId id, const std::string& key, std::int64_t delta) const {
+    if (tracer) tracer->add_attr(id, key, delta);
+  }
+  /// A context whose children hang under `span` (same tracer/registry).
+  SpanContext child(SpanId span) const {
+    return SpanContext{tracer, span, metrics};
+  }
+};
+
+}  // namespace dohperf::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace dohperf::resolver {
 
 Engine::Engine(simnet::EventLoop& loop, EngineConfig config)
@@ -55,6 +57,9 @@ simnet::TimeUs Engine::next_service_time() {
   if (config_.upstream.cache_hit_ratio < 1.0 &&
       cache_rng_.next_double() >= config_.upstream.cache_hit_ratio) {
     ++stats_.cache_misses;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add("engine.cache_misses");
+    }
     t += simnet::from_sec(upstream_latency_.sample() / 1e3);
   }
   return t;
@@ -62,10 +67,13 @@ simnet::TimeUs Engine::next_service_time() {
 
 void Engine::handle(const dns::Message& query, Continuation done) {
   ++stats_.queries;
+  obs::Registry* metrics = config_.obs.metrics;
+  if (metrics != nullptr) metrics->add("engine.queries");
   simnet::TimeUs service = next_service_time();
   const auto& dp = config_.delay_policy;
   if (dp.every_n > 0 && stats_.queries % dp.every_n == 0) {
     ++stats_.delayed;
+    if (metrics != nullptr) metrics->add("engine.delayed");
     service += dp.delay;
   }
 
@@ -77,10 +85,12 @@ void Engine::handle(const dns::Message& query, Continuation done) {
     const double u = fault_rng_.next_double();
     if (u < fp.stall_rate) {
       ++stats_.stalled;
+      if (metrics != nullptr) metrics->add("engine.stalled");
       return;  // accept-then-never-answer: the continuation is dropped
     }
     if (u < fp.stall_rate + fp.servfail_rate) {
       ++stats_.injected_servfail;
+      if (metrics != nullptr) metrics->add("engine.servfail_injected");
       dns::Message error = dns::Message::make_error(query, dns::Rcode::kServFail);
       loop_.schedule_in(service, [done = std::move(done),
                                   error = std::move(error)]() mutable {
@@ -90,6 +100,7 @@ void Engine::handle(const dns::Message& query, Continuation done) {
     }
     if (u < fp.stall_rate + fp.servfail_rate + fp.refused_rate) {
       ++stats_.injected_refused;
+      if (metrics != nullptr) metrics->add("engine.refused_injected");
       dns::Message error = dns::Message::make_error(query, dns::Rcode::kRefused);
       loop_.schedule_in(service, [done = std::move(done),
                                   error = std::move(error)]() mutable {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "dns/message.hpp"
+#include "obs/span.hpp"
 #include "simnet/event_loop.hpp"
 #include "stats/rng.hpp"
 
@@ -55,6 +56,7 @@ struct EngineConfig {
   FaultPolicy faults;
   UpstreamModel upstream;
   std::uint64_t seed = 42;
+  obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
 struct EngineStats {

@@ -34,8 +34,19 @@ class RecordingTap final : public PacketTap {
   ///   12.345ms client:49152 > resolver:853 TCP SA seq=1 ack=2 len=0 (60B)
   std::string render(const Network& net) const;
 
+  /// Machine-readable form of the same listing: a JSON array of entries
+  ///   {"ts_us":..,"src":"client","src_port":..,"dst":..,"dst_port":..,
+  ///    "proto":"tcp"|"udp","len":..,"wire":..,"dropped":bool,
+  ///    "flags":"SA" (TCP only)}
+  /// in capture order, deterministic across identically seeded runs.
+  std::string to_json(const Network& net) const;
+
   /// Total wire bytes recorded (excluding dropped packets).
   std::uint64_t total_bytes() const noexcept;
+
+  /// Wire bytes of packets the loss model discarded — kept separate so
+  /// accounting summaries can report drops instead of silently losing them.
+  std::uint64_t dropped_bytes() const noexcept;
 
  private:
   bool filtered_ = false;

@@ -97,6 +97,7 @@ void TlsConnection::send_change_cipher_spec() {
 }
 
 void TlsConnection::on_transport_open() {
+  if (transport_open_hook_) transport_open_hook_();
   if (role_ == TlsRole::kClient) send_client_hello();
 }
 
@@ -416,6 +417,7 @@ void TlsConnection::handle_handshake_message(const HandshakeMessage& msg) {
 void TlsConnection::finish_handshake() {
   if (established_) return;
   established_ = true;
+  if (established_hook_) established_hook_();
   // Copy before invoking: the handler may replace our handlers (e.g. an
   // HTTP layer attaching itself on open), which would otherwise destroy
   // the std::function we are executing.

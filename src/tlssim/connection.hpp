@@ -73,6 +73,22 @@ class TlsConnection final : public ByteStream {
 
   const TlsCounters& counters() const noexcept { return counters_; }
 
+  /// Fires when the underlying transport opens — the instant the TCP
+  /// handshake finished and the first TLS flight departs. Observability
+  /// instrumentation uses it to split connection setup into a
+  /// tcp_handshake and a tls_handshake span.
+  void set_transport_open_hook(std::function<void()> hook) {
+    transport_open_hook_ = std::move(hook);
+  }
+
+  /// Fires the instant the handshake completes, before the on_open handler.
+  /// Unlike Handlers (which an HTTP layer takes over), this hook stays with
+  /// whoever installed it — observability uses it to close the
+  /// tls_handshake span.
+  void set_established_hook(std::function<void()> hook) {
+    established_hook_ = std::move(hook);
+  }
+
   /// The underlying transport (e.g. to reach TCP counters).
   ByteStream& transport() noexcept { return *transport_; }
 
@@ -106,6 +122,8 @@ class TlsConnection final : public ByteStream {
   const ServerConfig* server_config_ = nullptr;
   Handlers handlers_;
   TlsCounters counters_;
+  std::function<void()> transport_open_hook_;
+  std::function<void()> established_hook_;
 
   Bytes rx_buffer_;
   std::deque<Bytes> pending_app_data_;

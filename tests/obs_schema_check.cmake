@@ -1,0 +1,40 @@
+# ctest driver for the `obs_schema_check` gate: emit fresh JSON from two
+# bench harnesses (--json on both, --trace on fig5), then validate every
+# file against the documented schemas with tools/obs_schema_check. Invoked
+# as a -P script so one test covers the emit + validate round trip.
+#
+# Expects: -DBENCH_FIG5=... -DBENCH_TABLE1=... -DCHECKER=... -DOUT_DIR=...
+foreach(var BENCH_FIG5 BENCH_TABLE1 CHECKER OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "obs_schema_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(fig5_json "${OUT_DIR}/fig5.json")
+set(fig5_trace "${OUT_DIR}/fig5_trace.json")
+set(table1_json "${OUT_DIR}/table1.json")
+
+execute_process(
+  COMMAND "${BENCH_FIG5}" --names=10
+          --json=${fig5_json} --trace=${fig5_trace}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig5_overhead_breakdown failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_TABLE1}" --json=${table1_json}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "table1_landscape failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" "${fig5_json}" "${fig5_trace}" "${table1_json}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_schema_check found schema violations (exit ${rc})")
+endif()

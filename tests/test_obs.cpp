@@ -1,0 +1,243 @@
+// Unit tests for the observability layer: span lifecycle edge cases
+// (out-of-order close, idempotent end, attributes after close), the
+// null-sink fast path, metrics-registry determinism, and exporter output.
+#include <gtest/gtest.h>
+
+#include "dns/json_value.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "simnet/event_loop.hpp"
+
+namespace dohperf::obs {
+namespace {
+
+// --- Tracer lifecycle -------------------------------------------------------
+
+TEST(Tracer, BeginNeverReturnsZeroAndIdsAreSequential) {
+  Tracer tracer;
+  const SpanId a = tracer.begin(0, "resolution");
+  const SpanId b = tracer.begin(a, "connect");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.span(b).parent, a);
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(Tracer, TimestampsComeFromTheVirtualClock) {
+  simnet::EventLoop loop;
+  Tracer tracer(loop);
+  SpanId span = 0;
+  loop.schedule_at(simnet::ms(3), [&]() { span = tracer.begin(0, "s"); });
+  loop.schedule_at(simnet::ms(8), [&]() { tracer.end(span); });
+  loop.run();
+  EXPECT_EQ(tracer.span(span).start, simnet::ms(3));
+  EXPECT_EQ(tracer.span(span).end, simnet::ms(8));
+  EXPECT_EQ(tracer.span(span).duration(), simnet::ms(5));
+}
+
+// Timeout teardown closes the resolution span before its children; the
+// children must still close cleanly afterwards (out-of-order close).
+TEST(Tracer, OutOfOrderCloseIsTolerated) {
+  Tracer tracer;
+  const SpanId parent = tracer.begin(0, "resolution");
+  const SpanId child = tracer.begin(parent, "request");
+  tracer.end(parent);  // parent first, child still open
+  EXPECT_FALSE(tracer.span(parent).open);
+  EXPECT_TRUE(tracer.span(child).open);
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  tracer.end(child);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, EndIsIdempotentAndIgnoresZero) {
+  simnet::EventLoop loop;
+  Tracer tracer(loop);
+  SpanId span = 0;
+  loop.schedule_at(simnet::ms(1), [&]() { span = tracer.begin(0, "s"); });
+  loop.schedule_at(simnet::ms(2), [&]() { tracer.end(span); });
+  loop.schedule_at(simnet::ms(9), [&]() {
+    tracer.end(span);  // second end must not move the timestamp
+    tracer.end(0);     // id 0 is always a no-op
+  });
+  loop.run();
+  EXPECT_EQ(tracer.span(span).end, simnet::ms(2));
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, AttributesAfterCloseAndAccumulation) {
+  Tracer tracer;
+  const SpanId span = tracer.begin(0, "resolution");
+  tracer.end(span);
+  tracer.set_attr(span, "bytes.wire", std::int64_t{100});  // lazy cost
+  tracer.set_attr(span, "bytes.wire", std::int64_t{250});  // overwrite
+  tracer.add_attr(span, "retries", 1);
+  tracer.add_attr(span, "retries", 2);
+  const AttrValue* wire = tracer.span(span).attr("bytes.wire");
+  const AttrValue* retries = tracer.span(span).attr("retries");
+  ASSERT_NE(wire, nullptr);
+  ASSERT_NE(retries, nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*wire), 250);
+  EXPECT_EQ(std::get<std::int64_t>(*retries), 3);
+  EXPECT_EQ(tracer.span(span).attr("absent"), nullptr);
+}
+
+TEST(Tracer, RebindKeepsIdsUniqueAcrossLoops) {
+  Tracer tracer;
+  simnet::EventLoop first;
+  tracer.bind(first);
+  const SpanId a = tracer.begin(0, "scenario_one");
+  tracer.end(a);
+  simnet::EventLoop second;
+  tracer.bind(second);
+  const SpanId b = tracer.begin(0, "scenario_two");
+  tracer.end(b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+// --- SpanContext null-sink fast path ---------------------------------------
+
+TEST(SpanContext, DefaultContextIsANoOp) {
+  const SpanContext off;
+  EXPECT_FALSE(static_cast<bool>(off));
+  const SpanId span = off.begin("resolution");
+  EXPECT_EQ(span, 0u);
+  // None of these may crash with no tracer attached.
+  off.end(span);
+  off.set_attr(span, "k", std::string("v"));
+  off.add_attr(span, "k", 1);
+  EXPECT_EQ(off.child(7).tracer, nullptr);
+}
+
+TEST(SpanContext, ChildContextParentsUnderTheGivenSpan) {
+  Tracer tracer;
+  Registry registry;
+  const SpanContext root{&tracer, 0, &registry};
+  const SpanId page = root.begin("page_load");
+  const SpanContext under_page = root.child(page);
+  const SpanId fetch = under_page.begin("fetch");
+  EXPECT_EQ(tracer.span(fetch).parent, page);
+  EXPECT_EQ(under_page.metrics, &registry);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry registry;
+  registry.add("client.udp.queries");
+  registry.add("client.udp.queries", 4);
+  registry.set_gauge("breaker.state.0", 2);
+  registry.observe("client.udp.resolution_ms", 10.0);
+  registry.observe("client.udp.resolution_ms", 30.0);
+  EXPECT_EQ(registry.counter("client.udp.queries"), 5u);
+  EXPECT_EQ(registry.gauge("breaker.state.0"), 2);
+  EXPECT_EQ(registry.counter("absent"), 0u);
+  EXPECT_EQ(registry.gauge("absent"), 0);
+  EXPECT_EQ(registry.histogram("absent"), nullptr);
+  const HistogramSummary h =
+      registry.histogram_summary("client.udp.resolution_ms");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.min, 10.0);
+  EXPECT_EQ(h.max, 30.0);
+}
+
+// Two registries populated in different orders must serialize identically:
+// the export is keyed on sorted names, not insertion history.
+TEST(Registry, ExportIsOrderIndependent) {
+  Registry first;
+  first.add("a.counter", 1);
+  first.add("z.counter", 2);
+  first.set_gauge("m.gauge", -3);
+  first.observe("h.hist", 1.5);
+
+  Registry second;
+  second.observe("h.hist", 1.5);
+  second.set_gauge("m.gauge", -3);
+  second.add("z.counter", 2);
+  second.add("a.counter", 1);
+
+  EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
+  EXPECT_EQ(first.render(), second.render());
+}
+
+TEST(Registry, JsonSchemaAndClear) {
+  Registry registry;
+  registry.add("bytes.wire", 123);
+  const auto snapshot = dns::JsonValue::parse(registry.to_json().dump());
+  const auto& object = snapshot.as_object();
+  EXPECT_EQ(object.at("schema").as_string(), "dohperf-metrics-v1");
+  EXPECT_EQ(object.at("counters").as_object().at("bytes.wire").as_int(), 123);
+  ASSERT_TRUE(object.contains("gauges"));
+  ASSERT_TRUE(object.contains("histograms"));
+  registry.clear();
+  EXPECT_TRUE(registry.empty());
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+Tracer sample_trace() {
+  simnet::EventLoop loop;
+  Tracer tracer(loop);
+  SpanId resolution = 0;
+  SpanId request = 0;
+  loop.schedule_at(simnet::ms(0), [&]() {
+    resolution = tracer.begin(0, "resolution");
+    tracer.set_attr(resolution, "transport", std::string("doh-h2"));
+    request = tracer.begin(resolution, "request");
+  });
+  loop.schedule_at(simnet::ms(4), [&]() { tracer.end(request); });
+  loop.schedule_at(simnet::ms(9), [&]() {
+    tracer.set_attr(resolution, "success", true);
+    tracer.end(resolution);
+  });
+  loop.run();
+  return tracer;
+}
+
+TEST(Exporters, ChromeTraceRoundTripsThroughTheJsonParser) {
+  const Tracer tracer = sample_trace();
+  const auto doc = dns::JsonValue::parse(chrome_trace_json(tracer));
+  const auto& object = doc.as_object();
+  EXPECT_EQ(object.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = object.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& resolution = events.at(0).as_object();
+  EXPECT_EQ(resolution.at("ph").as_string(), "X");
+  EXPECT_EQ(resolution.at("name").as_string(), "resolution");
+  EXPECT_EQ(resolution.at("dur").as_int(), 9000);  // µs
+  EXPECT_EQ(resolution.at("args").as_object().at("transport").as_string(),
+            "doh-h2");
+  // The child rides on its root's track.
+  EXPECT_EQ(events.at(1).as_object().at("tid").as_int(),
+            resolution.at("tid").as_int());
+}
+
+TEST(Exporters, OpenSpansExportWithOpenMarker) {
+  Tracer tracer;
+  tracer.begin(0, "resolution");  // never closed (e.g. still in flight)
+  const auto doc = dns::JsonValue::parse(chrome_trace_json(tracer));
+  const auto& event =
+      doc.as_object().at("traceEvents").as_array().at(0).as_object();
+  EXPECT_EQ(event.at("dur").as_int(), 0);
+  EXPECT_TRUE(event.at("args").as_object().at("open").as_bool());
+  EXPECT_NE(render_timeline(tracer).find("open] "), std::string::npos);
+}
+
+TEST(Exporters, TimelineIndentsChildrenUnderRoots) {
+  const Tracer tracer = sample_trace();
+  const std::string timeline = render_timeline(tracer);
+  EXPECT_NE(timeline.find("resolution"), std::string::npos);
+  EXPECT_NE(timeline.find("  ["), std::string::npos);  // indented child
+  EXPECT_NE(timeline.find("request"), std::string::npos);
+}
+
+TEST(Exporters, AttrValuesSerializeByType) {
+  EXPECT_EQ(attr_to_json(AttrValue{std::int64_t{42}}).dump(), "42");
+  EXPECT_EQ(attr_to_json(AttrValue{std::string("doh")}).dump(), "\"doh\"");
+  EXPECT_EQ(attr_to_json(AttrValue{true}).dump(), "true");
+}
+
+}  // namespace
+}  // namespace dohperf::obs

@@ -1,0 +1,215 @@
+// obs_schema_check — validates the JSON files the bench harnesses emit
+// against the documented schemas:
+//
+//   * dohperf-bench-v1    (--json):  {"schema","bench","params","scenarios",
+//                                     "metrics"?}
+//   * dohperf-metrics-v1  (nested or standalone): {"schema","counters",
+//                                     "gauges","histograms"}
+//   * Chrome trace_event  (--trace): {"displayTimeUnit","traceEvents":[...]}
+//
+// Usage: obs_schema_check FILE...
+// The document kind is auto-detected per file. Exits 0 when every file
+// validates, 1 otherwise, printing one line per violation. CI runs this over
+// freshly emitted bench output (see tests/obs_schema_check.cmake) so schema
+// drift fails the build instead of silently breaking downstream consumers.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dns/json_value.hpp"
+
+namespace {
+
+using dohperf::dns::JsonValue;
+
+using Errors = std::vector<std::string>;
+
+void require(Errors& errors, bool ok, const std::string& message) {
+  if (!ok) errors.push_back(message);
+}
+
+// --- dohperf-metrics-v1 ------------------------------------------------------
+
+void validate_metrics(const JsonValue& doc, Errors& errors,
+                      const std::string& where) {
+  if (!doc.is_object()) {
+    errors.push_back(where + ": metrics snapshot is not an object");
+    return;
+  }
+  require(errors,
+          doc.contains("schema") && doc.at("schema").is_string() &&
+              doc.at("schema").as_string() == "dohperf-metrics-v1",
+          where + ": schema != \"dohperf-metrics-v1\"");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!doc.contains(section) || !doc.at(section).is_object()) {
+      errors.push_back(where + ": missing object \"" + section + "\"");
+    }
+  }
+  if (doc.contains("counters") && doc.at("counters").is_object()) {
+    for (const auto& [name, value] : doc.at("counters").as_object()) {
+      require(errors, value.is_number() && value.as_int() >= 0,
+              where + ": counter " + name + " is not a non-negative number");
+    }
+  }
+  if (doc.contains("gauges") && doc.at("gauges").is_object()) {
+    for (const auto& [name, value] : doc.at("gauges").as_object()) {
+      require(errors, value.is_number(),
+              where + ": gauge " + name + " is not a number");
+    }
+  }
+  if (doc.contains("histograms") && doc.at("histograms").is_object()) {
+    for (const auto& [name, value] : doc.at("histograms").as_object()) {
+      if (!value.is_object()) {
+        errors.push_back(where + ": histogram " + name + " is not an object");
+        continue;
+      }
+      for (const char* field :
+           {"count", "min", "p25", "p50", "p75", "p90", "max"}) {
+        require(errors, value.contains(field) && value.at(field).is_number(),
+                where + ": histogram " + name + " lacks numeric \"" + field +
+                    "\"");
+      }
+    }
+  }
+}
+
+// --- dohperf-bench-v1 --------------------------------------------------------
+
+void validate_bench(const JsonValue& doc, Errors& errors,
+                    const std::string& where) {
+  require(errors,
+          doc.contains("schema") && doc.at("schema").is_string() &&
+              doc.at("schema").as_string() == "dohperf-bench-v1",
+          where + ": schema != \"dohperf-bench-v1\"");
+  require(errors,
+          doc.contains("bench") && doc.at("bench").is_string() &&
+              !doc.at("bench").as_string().empty(),
+          where + ": missing non-empty string \"bench\"");
+  require(errors, doc.contains("params") && doc.at("params").is_object(),
+          where + ": missing object \"params\"");
+  if (!doc.contains("scenarios") || !doc.at("scenarios").is_object()) {
+    errors.push_back(where + ": missing object \"scenarios\"");
+    return;
+  }
+  for (const auto& [label, metrics] : doc.at("scenarios").as_object()) {
+    if (!metrics.is_object()) {
+      errors.push_back(where + ": scenario " + label + " is not an object");
+      continue;
+    }
+    require(errors, !metrics.as_object().empty(),
+            where + ": scenario " + label + " has no metrics");
+    for (const auto& [metric, value] : metrics.as_object()) {
+      require(errors, !value.is_null(),
+              where + ": scenario " + label + " metric " + metric +
+                  " is null");
+    }
+  }
+  if (doc.contains("metrics")) {
+    validate_metrics(doc.at("metrics"), errors, where + " metrics");
+  }
+}
+
+// --- Chrome trace_event ------------------------------------------------------
+
+void validate_trace(const JsonValue& doc, Errors& errors,
+                    const std::string& where) {
+  require(errors,
+          doc.contains("displayTimeUnit") &&
+              doc.at("displayTimeUnit").is_string(),
+          where + ": missing string \"displayTimeUnit\"");
+  if (!doc.contains("traceEvents") || !doc.at("traceEvents").is_array()) {
+    errors.push_back(where + ": missing array \"traceEvents\"");
+    return;
+  }
+  std::size_t index = 0;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    const std::string at = where + ": traceEvents[" + std::to_string(index) +
+                           "]";
+    ++index;
+    if (!event.is_object()) {
+      errors.push_back(at + " is not an object");
+      continue;
+    }
+    require(errors,
+            event.contains("ph") && event.at("ph").is_string() &&
+                event.at("ph").as_string() == "X",
+            at + ": ph != \"X\"");
+    require(errors,
+            event.contains("name") && event.at("name").is_string() &&
+                !event.at("name").as_string().empty(),
+            at + ": missing non-empty string \"name\"");
+    require(errors,
+            event.contains("cat") && event.at("cat").is_string(),
+            at + ": missing string \"cat\"");
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      require(errors,
+              event.contains(field) && event.at(field).is_number() &&
+                  event.at(field).as_int() >= 0,
+              at + ": missing non-negative number \"" + field + "\"");
+    }
+    require(errors, event.contains("args") && event.at("args").is_object(),
+            at + ": missing object \"args\"");
+  }
+}
+
+// --- driver ------------------------------------------------------------------
+
+Errors validate_file(const std::string& path) {
+  Errors errors;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    errors.push_back(path + ": cannot open");
+    return errors;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(buffer.str());
+  } catch (const dohperf::dns::JsonError& e) {
+    errors.push_back(path + ": JSON parse error: " + e.what());
+    return errors;
+  }
+  if (!doc.is_object()) {
+    errors.push_back(path + ": top-level value is not an object");
+    return errors;
+  }
+
+  if (doc.contains("traceEvents")) {
+    validate_trace(doc, errors, path);
+  } else if (doc.contains("schema") && doc.at("schema").is_string() &&
+             doc.at("schema").as_string() == "dohperf-metrics-v1") {
+    validate_metrics(doc, errors, path);
+  } else {
+    validate_bench(doc, errors, path);
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: obs_schema_check FILE...\n"
+                 "validates dohperf-bench-v1 / dohperf-metrics-v1 / Chrome "
+                 "trace JSON\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const Errors errors = validate_file(argv[i]);
+    if (errors.empty()) {
+      std::printf("%s: OK\n", argv[i]);
+      continue;
+    }
+    ++failures;
+    for (const auto& error : errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
