@@ -17,12 +17,16 @@
 // from seeded generators over virtual time, so the whole table is a pure
 // function of --seed: the harness runs the grid twice and verifies the two
 // renderings are byte-identical before printing.
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "shard_runner.hpp"
 #include "core/doh_client.hpp"
 #include "core/dot_client.hpp"
 #include "core/udp_client.hpp"
@@ -216,18 +220,42 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
   return m;
 }
 
-std::string render_matrix(std::uint64_t seed, std::size_t queries,
-                          double rate_qps,
-                          bench::BenchReport* json_report = nullptr,
-                          obs::Registry* registry = nullptr) {
+constexpr std::array<const char*, 4> kTransports = {"udp", "dot", "h1", "h2"};
+
+/// One cell of the grid plus its private metrics registry (merged into the
+/// global registry in cell order, so the merged result is --jobs-invariant).
+struct Cell {
+  RunMetrics metrics;
+  obs::Registry registry;
+};
+
+/// Run the full scenario x transport grid, one shard per cell. Every cell
+/// builds an isolated simulation seeded only by (seed, scenario, transport),
+/// so cells parallelize without sharing any mutable state.
+std::vector<Cell> run_grid(std::uint64_t seed, std::size_t queries,
+                           double rate_qps, std::size_t jobs,
+                           bool with_registry) {
+  const auto grid = scenarios();
+  return bench::run_sharded<Cell>(
+      grid.size() * kTransports.size(), jobs, [&](std::size_t i) {
+        Cell cell;
+        cell.metrics = run(grid[i / kTransports.size()],
+                           kTransports[i % kTransports.size()], seed, queries,
+                           rate_qps, with_registry ? &cell.registry : nullptr);
+        return cell;
+      });
+}
+
+std::string render_matrix(const std::vector<Cell>& cells,
+                          bench::BenchReport* json_report = nullptr) {
   stats::TextTable table;
   table.add_row({"scenario", "transport", "ok", "rcode-fail", "success%",
                  "med(ms)", "p95(ms)", "max(ms)", "retries", "reconnects",
                  "timeouts", "exhausted"});
+  std::size_t cell_index = 0;
   for (const auto& scenario : scenarios()) {
-    for (const char* transport : {"udp", "dot", "h1", "h2"}) {
-      const RunMetrics m =
-          run(scenario, transport, seed, queries, rate_qps, registry);
+    for (const char* transport : kTransports) {
+      const RunMetrics& m = cells[cell_index++].metrics;
       const double pct =
           m.queries == 0 ? 0.0
                          : 100.0 * static_cast<double>(m.ok) /
@@ -276,6 +304,7 @@ std::string render_matrix(std::uint64_t seed, std::size_t queries,
 int main(int argc, char** argv) {
   const std::size_t queries = bench::flag(argc, argv, "queries", 100);
   const std::uint64_t seed = bench::flag(argc, argv, "seed", 5);
+  const std::size_t jobs = bench::jobs_flag(argc, argv, 1);
   const double rate_qps = 10.0;
 
   std::printf("=== Chaos matrix: fault scenarios x DNS transports ===\n");
@@ -289,21 +318,32 @@ int main(int argc, char** argv) {
   json_report.params["queries"] = static_cast<std::int64_t>(queries);
   json_report.params["seed"] = static_cast<std::int64_t>(seed);
 
-  const std::string first =
-      render_matrix(seed, queries, rate_qps, &json_report, &registry);
-  const std::string second = render_matrix(seed, queries, rate_qps);
+  const auto cells = run_grid(seed, queries, rate_qps, jobs, true);
+  for (const auto& cell : cells) registry.merge_from(cell.registry);
+  const std::string first = render_matrix(cells, &json_report);
+  // Second full grid run for the determinism check (no registry: metric
+  // collection must not influence results).
+  const std::string second =
+      render_matrix(run_grid(seed, queries, rate_qps, jobs, false));
   std::fputs(first.c_str(), stdout);
   std::printf("\ndeterminism check (two full grid runs, same seed): %s\n",
               first == second ? "PASS - byte-identical" : "FAIL");
 
   // The headline robustness claim: through a 2s resolver outage the
   // reconnecting connection-oriented clients still answer everything
-  // eventually, without blowing any per-query retry budget.
+  // eventually, without blowing any per-query retry budget. The grid cells
+  // already hold these runs; index back into them.
   bool recovered = true;
-  for (const auto& scenario : scenarios()) {
+  const auto grid = scenarios();
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    const auto& scenario = grid[s];
     if (scenario.restart_at == 0) continue;
     for (const char* transport : {"dot", "h1", "h2"}) {
-      const RunMetrics m = run(scenario, transport, seed, queries, rate_qps);
+      const std::size_t t = static_cast<std::size_t>(
+          std::find(kTransports.begin(), kTransports.end(),
+                    std::string_view(transport)) -
+          kTransports.begin());
+      const RunMetrics& m = cells[s * kTransports.size() + t].metrics;
       const double pct =
           m.queries == 0 ? 100.0
                          : 100.0 * static_cast<double>(m.ok) /

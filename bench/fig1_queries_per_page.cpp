@@ -4,20 +4,36 @@
 // Paper reference points: ~50% of sites require at least 20 queries; the
 // tail extends past 150. Corpus-wide (§4): 2,178,235 queries / 281,414
 // unique names over 100k pages; the top-15 names draw ~25% of queries.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "shard_runner.hpp"
 #include "workload/alexa.hpp"
 
 int main(int argc, char** argv) {
   using namespace dohperf;
   const std::size_t pages = bench::flag(argc, argv, "pages", 100000);
+  const std::size_t jobs = bench::jobs_flag(argc, argv, bench::default_jobs());
 
   std::printf("=== Figure 1: DNS queries per page (Alexa top %zu) ===\n\n",
               pages);
 
-  workload::AlexaPageModel model;
-  const auto stats = model.corpus_stats(pages);
+  // Pages are a pure function of rank, so the corpus scan shards into
+  // disjoint rank ranges; merging shards in rank order reproduces the
+  // serial corpus_stats() byte for byte at any --jobs value.
+  constexpr std::size_t kRanksPerShard = 4096;
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, (pages + kRanksPerShard - 1) / kRanksPerShard);
+  auto shards = bench::run_sharded<workload::AlexaPageModel::CorpusShard>(
+      shard_count, jobs, [&](std::size_t i) {
+        workload::AlexaPageModel shard_model;  // each shard owns its model
+        const std::size_t lo = 1 + i * kRanksPerShard;
+        const std::size_t hi = std::min(pages, lo + kRanksPerShard - 1);
+        return shard_model.corpus_shard(lo, hi);
+      });
+  const auto stats =
+      workload::AlexaPageModel::merge_corpus_shards(std::move(shards));
 
   stats::Cdf cdf;
   for (const auto q : stats.queries_per_page) {

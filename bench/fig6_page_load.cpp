@@ -11,10 +11,12 @@
 // Expected shape (paper): cloud UDP resolves faster than the local
 // resolver; DoH resolves slower than UDP to the same cloud; onload times
 // are nearly indistinguishable across all five configurations.
+#include <array>
 #include <cstdio>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "shard_runner.hpp"
 #include "browser/page_load.hpp"
 #include "browser/vantage.hpp"
 #include "browser/web_farm.hpp"
@@ -34,22 +36,36 @@ struct ConfigResult {
   std::size_t failures = 0;
 };
 
-/// Run all five resolver configurations from one vantage.
-std::map<std::string, ConfigResult> run_vantage(
-    const browser::Vantage& vantage, std::size_t pages, int loads_per_page,
-    std::uint64_t seed, obs::Tracer* tracer = nullptr,
-    obs::Registry* registry = nullptr) {
-  std::map<std::string, ConfigResult> results;
+/// The five resolver configurations, in the paper's presentation order.
+/// This is also the shard order within a vantage, so the merged registry
+/// matches what the old serial config loop produced.
+constexpr std::array<const char*, 5> kConfigs = {"U/LO", "U/CF", "U/GO",
+                                                "H/CF", "H/GO"};
 
-  for (const std::string config_name :
-       {"U/LO", "U/CF", "U/GO", "H/CF", "H/GO"}) {
+/// One shard's output: the per-config CDFs plus a private metrics registry
+/// (merged into the global one by shard index — see Registry::merge_from).
+struct ConfigShard {
+  ConfigResult result;
+  obs::Registry registry;
+};
+
+/// Run ONE resolver configuration from one vantage. Each call builds a
+/// fully independent simulation (own loop, network, hosts, RNG seeds), so
+/// vantage x config cells can run as parallel shards; `seed` alone
+/// determines every byte of the result.
+ConfigShard run_config(const browser::Vantage& vantage,
+                       const std::string& config_name, std::size_t pages,
+                       int loads_per_page, std::uint64_t seed,
+                       obs::Tracer* tracer = nullptr) {
+  ConfigShard shard;
+  {
     simnet::EventLoop loop;
     simnet::Network net(loop, seed);
     simnet::Host browser_host(net, "browser");
     simnet::Host resolver_host(net, "resolver");
 
     if (tracer != nullptr) tracer->bind(loop);
-    const obs::SpanContext obs{tracer, 0, registry};
+    const obs::SpanContext obs{tracer, 0, &shard.registry};
 
     const bool local = config_name == "U/LO";
     const bool cloudflare = config_name.find("CF") != std::string::npos;
@@ -98,7 +114,7 @@ std::map<std::string, ConfigResult> run_vantage(
     browser::WebFarm farm(net, browser_host, farm_config);
 
     workload::AlexaPageModel model;
-    ConfigResult& result = results[config_name];
+    ConfigResult& result = shard.result;
     for (std::size_t rank = 1; rank <= pages; ++rank) {
       const auto page = model.page(rank);
       for (int load = 0; load < loads_per_page; ++load) {
@@ -122,7 +138,7 @@ std::map<std::string, ConfigResult> run_vantage(
       }
     }
   }
-  return results;
+  return shard;
 }
 
 void report(const std::string& title, const std::string& key_prefix,
@@ -151,7 +167,7 @@ void report(const std::string& title, const std::string& key_prefix,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t pages = bench::flag(argc, argv, "pages", 150);
+  const std::size_t pages = bench::flag(argc, argv, "pages", 500);
   const std::size_t loads = bench::flag(argc, argv, "loads", 3);
   const std::size_t planetlab_nodes =
       bench::flag(argc, argv, "planetlab-nodes", 39);
@@ -159,12 +175,18 @@ int main(int argc, char** argv) {
       bench::flag(argc, argv, "planetlab-pages", 8);
 
   const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
+  std::size_t jobs = bench::jobs_flag(argc, argv, bench::default_jobs());
+  if (want_trace && jobs > 1) {
+    // The tracer binds to one shard's event loop; tracing forces serial so
+    // the trace covers the same spans it always has.
+    jobs = 1;
+  }
 
   std::printf("=== Figure 6: DNS resolution & page load times by resolver "
               "configuration ===\n");
   std::printf("(university vantage: %zu pages x %zu loads; PlanetLab: %zu "
-              "nodes x %zu pages)\n\n",
-              pages, loads, planetlab_nodes, planetlab_pages);
+              "nodes x %zu pages; %zu jobs)\n\n",
+              pages, loads, planetlab_nodes, planetlab_pages, jobs);
 
   obs::Tracer tracer;
   obs::Registry registry;
@@ -176,24 +198,38 @@ int main(int argc, char** argv) {
   json_report.params["planetlab_pages"] =
       static_cast<std::int64_t>(planetlab_pages);
 
-  const auto university =
-      run_vantage(browser::Vantage::university(), pages,
-                  static_cast<int>(loads), 1001,
-                  want_trace ? &tracer : nullptr, &registry);
+  // University vantage: one shard per resolver configuration, all seeded
+  // identically (seed 1001) as the serial config loop was.
+  auto university_shards = bench::run_sharded<ConfigShard>(
+      kConfigs.size(), jobs, [&](std::size_t i) {
+        return run_config(browser::Vantage::university(), kConfigs[i], pages,
+                          static_cast<int>(loads), 1001,
+                          want_trace ? &tracer : nullptr);
+      });
+  std::map<std::string, ConfigResult> university;
+  for (std::size_t i = 0; i < university_shards.size(); ++i) {
+    university[kConfigs[i]] = std::move(university_shards[i].result);
+    registry.merge_from(university_shards[i].registry);
+  }
   report("University vantage", "university", university, json_report);
 
-  // PlanetLab: aggregate across heterogeneous nodes, fewer pages per node.
+  // PlanetLab: one shard per node x config cell (node-major, config-minor,
+  // matching the old nested loops), aggregated across heterogeneous nodes.
+  auto planetlab_shards = bench::run_sharded<ConfigShard>(
+      planetlab_nodes * kConfigs.size(), jobs, [&](std::size_t i) {
+        const std::size_t node = i / kConfigs.size();
+        const std::size_t config = i % kConfigs.size();
+        return run_config(browser::Vantage::planetlab(static_cast<int>(node)),
+                          kConfigs[config], planetlab_pages, 1, 2000 + node);
+      });
   std::map<std::string, ConfigResult> planetlab;
-  for (std::size_t node = 0; node < planetlab_nodes; ++node) {
-    const auto node_results =
-        run_vantage(browser::Vantage::planetlab(static_cast<int>(node)),
-                    planetlab_pages, 1, 2000 + node, nullptr, &registry);
-    for (const auto& [name, r] : node_results) {
-      auto& agg = planetlab[name];
-      agg.dns_ms.add_all(r.dns_ms.sorted_values());
-      agg.onload_ms.add_all(r.onload_ms.sorted_values());
-      agg.failures += r.failures;
-    }
+  for (std::size_t i = 0; i < planetlab_shards.size(); ++i) {
+    auto& shard = planetlab_shards[i];
+    auto& agg = planetlab[kConfigs[i % kConfigs.size()]];
+    agg.dns_ms.add_all(shard.result.dns_ms.sorted_values());
+    agg.onload_ms.add_all(shard.result.onload_ms.sorted_values());
+    agg.failures += shard.result.failures;
+    registry.merge_from(shard.registry);
   }
   report("PlanetLab vantage (39 nodes)", "planetlab", planetlab, json_report);
 

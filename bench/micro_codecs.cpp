@@ -139,7 +139,7 @@ void BM_H2FrameRoundTrip(benchmark::State& state) {
   http2::Frame frame;
   frame.type = http2::FrameType::kData;
   frame.stream_id = 1;
-  frame.payload.assign(128, 7);
+  frame.payload = dohperf::http2::Bytes(128, 7);
   for (auto _ : state) {
     http2::FrameReader reader;
     reader.feed(http2::encode_frame(frame));

@@ -1,0 +1,330 @@
+// Microbenchmark for the simulation core itself: raw event-loop
+// schedule/fire and schedule/cancel throughput, bytes/sec through a full
+// tcp -> tls -> h2 echo path, and fig6-style page-load shard throughput at
+// several --jobs values.
+//
+// Unlike the figure harnesses, the numbers here are wall-clock derived and
+// therefore machine-dependent: micro_simcore (like micro_codecs) is exempt
+// from the byte-identical-JSON rule. The shard scenarios additionally emit
+// a virtual-time digest of the merged results, which MUST be identical
+// across --jobs values — the runner merges by shard index, so parallelism
+// may never change results, only wall-clock.
+//
+// This file seeds the BENCH_*.json perf trajectory: run with
+//   micro_simcore --json=BENCH_simcore.json
+// and diff two snapshots with tools/perf_compare.
+#include <chrono>  // detlint: allow(DET001) wall-clock timing is the measurement here
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "browser/page_load.hpp"
+#include "browser/vantage.hpp"
+#include "browser/web_farm.hpp"
+#include "core/udp_client.hpp"
+#include "http2/connection.hpp"
+#include "resolver/udp_server.hpp"
+#include "shard_runner.hpp"
+#include "simnet/event_loop.hpp"
+#include "simnet/host.hpp"
+#include "simnet/network.hpp"
+#include "stats/rng.hpp"
+#include "tlssim/connection.hpp"
+#include "workload/alexa.hpp"
+
+namespace {
+
+using namespace dohperf;
+
+/// Seconds of real time since an arbitrary epoch.
+double now_sec() {
+  // detlint: allow(DET001) microbenchmark measures real elapsed time
+  using clock = std::chrono::steady_clock;
+  // detlint: allow(DET001) microbenchmark measures real elapsed time
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// --- event-loop schedule/fire -----------------------------------------------
+
+/// A self-rescheduling timer chain, the shape of RTO/delayed-ack timers and
+/// packet-delivery events that dominate real simulations.
+struct TimerChain {
+  simnet::EventLoop* loop;
+  stats::SplitMix64* rng;
+  std::uint64_t remaining;
+
+  void fire() {
+    if (remaining == 0) return;
+    --remaining;
+    loop->schedule_in(1 + (rng->next() % 997), [this]() { fire(); });
+  }
+};
+
+double bench_schedule_fire(std::uint64_t events) {
+  simnet::EventLoop loop;
+  stats::SplitMix64 rng(42);
+  constexpr std::size_t kChains = 64;  // events interleave across timers
+  std::vector<TimerChain> chains;
+  chains.reserve(kChains);
+  for (std::size_t i = 0; i < kChains; ++i) {
+    chains.push_back(TimerChain{&loop, &rng, events / kChains});
+  }
+  const double t0 = now_sec();
+  for (auto& c : chains) c.fire();
+  loop.run();
+  const double elapsed = now_sec() - t0;
+  const auto fired = static_cast<double>(loop.executed());
+  return fired / elapsed;
+}
+
+/// Schedule two, cancel one — the arm/disarm churn of RTO and delayed-ACK
+/// timers. Throughput counts scheduled events (fired + cancelled).
+double bench_schedule_cancel(std::uint64_t events) {
+  simnet::EventLoop loop;
+  stats::SplitMix64 rng(43);
+  std::uint64_t scheduled = 0;
+  struct Churn {
+    simnet::EventLoop* loop;
+    stats::SplitMix64* rng;
+    std::uint64_t* scheduled;
+    std::uint64_t remaining;
+    simnet::EventId shadow;
+
+    void fire() {
+      loop->cancel(shadow);
+      if (remaining == 0) return;
+      --remaining;
+      *scheduled += 2;
+      loop->schedule_in(1 + (rng->next() % 499), [this]() { fire(); });
+      // The shadow timer never fires: it is re-cancelled on the next tick,
+      // like an RTO disarmed by an ACK.
+      shadow = loop->schedule_in(100000 + (rng->next() % 499),
+                                 []() {});
+    }
+  };
+  constexpr std::size_t kChains = 64;
+  std::vector<Churn> chains;
+  chains.reserve(kChains);
+  for (std::size_t i = 0; i < kChains; ++i) {
+    chains.push_back(Churn{&loop, &rng, &scheduled, events / kChains / 2,
+                           simnet::EventId{}});
+  }
+  const double t0 = now_sec();
+  for (auto& c : chains) c.fire();
+  loop.run();
+  const double elapsed = now_sec() - t0;
+  return static_cast<double>(scheduled) / elapsed;
+}
+
+// --- tcp -> tls -> h2 echo path ---------------------------------------------
+
+struct EchoResult {
+  std::uint64_t app_bytes = 0;
+  double wall_sec = 0.0;
+};
+
+/// Sequential POSTs over one h2-over-TLS-over-TCP connection; the server
+/// answers each with `body_bytes` of payload. Exercises the whole layered
+/// send/receive path the figures depend on.
+EchoResult bench_echo_path(std::size_t requests, std::size_t body_bytes) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, 7);
+  simnet::Host client(net, "client");
+  simnet::Host server(net, "server");
+  simnet::LinkConfig link;
+  link.latency = simnet::ms(5);
+  net.connect(client.id(), server.id(), link);
+
+  tlssim::ServerConfig tls_server_config;
+  tls_server_config.alpn_preference = {"h2"};
+
+  std::unique_ptr<http2::Http2Connection> server_conn;
+  server.tcp_listen(443, [&](std::shared_ptr<simnet::TcpConnection> c) {
+    auto tls = std::make_unique<tlssim::TlsConnection>(
+        std::make_unique<simnet::TcpByteStream>(std::move(c)),
+        &tls_server_config);
+    server_conn = std::make_unique<http2::Http2Connection>(
+        std::move(tls), http2::Http2Connection::Role::kServer);
+    server_conn->set_request_handler(
+        [body_bytes](const http2::H2Message&,
+                     http2::Http2Connection::Responder respond) {
+          http2::H2Message response;
+          response.headers.push_back({":status", "200"});
+          response.body = dns::Bytes(body_bytes, 0x5a);
+          respond(std::move(response));
+        });
+  });
+
+  tlssim::ClientConfig tls_client_config;
+  tls_client_config.sni = "echo.example";
+  tls_client_config.alpn = {"h2"};
+  auto client_conn = std::make_unique<http2::Http2Connection>(
+      std::make_unique<tlssim::TlsConnection>(
+          std::make_unique<simnet::TcpByteStream>(
+              client.tcp_connect({server.id(), 443})),
+          tls_client_config),
+      http2::Http2Connection::Role::kClient);
+
+  EchoResult result;
+  std::size_t outstanding = requests;
+  std::function<void()> issue = [&]() {
+    http2::H2Message request;
+    request.headers = {{":method", "POST"},
+                       {":scheme", "https"},
+                       {":authority", "echo.example"},
+                       {":path", "/echo"}};
+    request.body = dns::Bytes(100, 0x42);
+    client_conn->request(std::move(request),
+                         [&](const http2::H2Message& response) {
+                           result.app_bytes += response.body.size();
+                           if (--outstanding > 0) issue();
+                         });
+  };
+
+  const double t0 = now_sec();
+  issue();
+  loop.run();
+  result.wall_sec = now_sec() - t0;
+  return result;
+}
+
+// --- fig6-style page-load shards --------------------------------------------
+
+struct ShardOutput {
+  std::int64_t digest_us = 0;  ///< virtual-time digest; --jobs invariant
+  std::uint64_t loads = 0;
+};
+
+/// One shard: a fig6-style UDP-resolver page-load run from one PlanetLab
+/// vantage, self-contained and seeded by shard index alone.
+ShardOutput run_page_shard(std::size_t shard_index, std::size_t pages) {
+  const auto vantage =
+      browser::Vantage::planetlab(static_cast<int>(shard_index));
+  const std::uint64_t seed = 9000 + shard_index;
+
+  simnet::EventLoop loop;
+  simnet::Network net(loop, seed);
+  simnet::Host browser_host(net, "browser");
+  simnet::Host resolver_host(net, "resolver");
+  simnet::LinkConfig resolver_link;
+  resolver_link.latency = vantage.cloudflare_latency;
+  net.connect(browser_host.id(), resolver_host.id(), resolver_link);
+
+  resolver::EngineConfig engine_config;
+  engine_config.upstream = vantage.cloud_resolver;
+  engine_config.seed = seed ^ 0xabcd;
+  resolver::Engine engine(loop, engine_config);
+  resolver::UdpServer udp_server(resolver_host, engine, 53);
+
+  core::UdpClientConfig client_config;
+  core::UdpResolverClient resolver_client(
+      browser_host, simnet::Address{resolver_host.id(), 53}, client_config);
+
+  browser::WebFarmConfig farm_config;
+  farm_config.base_latency = vantage.origin_base_latency;
+  farm_config.latency_jitter = vantage.origin_latency_jitter;
+  farm_config.bandwidth_bps = vantage.access_bandwidth_bps;
+  farm_config.seed = seed;
+  browser::WebFarm farm(net, browser_host, farm_config);
+
+  workload::AlexaPageModel model;
+  ShardOutput out;
+  for (std::size_t rank = 1; rank <= pages; ++rank) {
+    const auto page = model.page(rank);
+    browser::PageLoader loader(browser_host, farm, resolver_client, {});
+    bool finished = false;
+    browser::PageLoadResult page_result;
+    loader.load(page, [&](const browser::PageLoadResult& r) {
+      page_result = r;
+      finished = true;
+    });
+    loop.run();
+    if (finished && page_result.success) {
+      out.digest_us += static_cast<std::int64_t>(page_result.cumulative_dns) +
+                       static_cast<std::int64_t>(page_result.onload_time());
+      ++out.loads;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t events = bench::flag(argc, argv, "events", 2000000);
+  const std::size_t echo_requests =
+      bench::flag(argc, argv, "echo-requests", 50);
+  const std::size_t echo_bytes =
+      bench::flag(argc, argv, "echo-bytes", 262144);
+  const std::size_t shards = bench::flag(argc, argv, "shards", 12);
+  const std::size_t shard_pages = bench::flag(argc, argv, "shard-pages", 3);
+
+  std::printf("=== micro_simcore: simulation-core throughput ===\n\n");
+
+  bench::BenchReport report("micro_simcore");
+  report.params["events"] = static_cast<std::int64_t>(events);
+  report.params["echo_requests"] = static_cast<std::int64_t>(echo_requests);
+  report.params["echo_bytes"] = static_cast<std::int64_t>(echo_bytes);
+  report.params["shards"] = static_cast<std::int64_t>(shards);
+  report.params["shard_pages"] = static_cast<std::int64_t>(shard_pages);
+
+  const double fire_rate = bench_schedule_fire(events);
+  std::printf("event_loop schedule/fire   : %12.0f events/sec\n", fire_rate);
+  report.set("event_loop", "schedule_fire_events_per_sec", fire_rate);
+
+  const double cancel_rate = bench_schedule_cancel(events);
+  std::printf("event_loop schedule/cancel : %12.0f events/sec\n",
+              cancel_rate);
+  report.set("event_loop", "schedule_cancel_events_per_sec", cancel_rate);
+
+  const EchoResult echo = bench_echo_path(echo_requests, echo_bytes);
+  const double echo_rate =
+      static_cast<double>(echo.app_bytes) / echo.wall_sec;
+  std::printf("tcp->tls->h2 echo path     : %12.0f bytes/sec "
+              "(%llu app bytes)\n",
+              echo_rate, static_cast<unsigned long long>(echo.app_bytes));
+  report.set("byte_path", "echo_bytes_per_sec", echo_rate);
+  report.set("byte_path", "app_bytes",
+             static_cast<std::int64_t>(echo.app_bytes));
+
+  // Shard throughput at several --jobs values. The digest is derived from
+  // virtual time only and must be identical at every jobs value.
+  std::int64_t reference_digest = 0;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
+                                 std::size_t{8}}) {
+    const double t0 = now_sec();
+    const auto outputs = bench::run_sharded<ShardOutput>(
+        shards, jobs,
+        [shard_pages](std::size_t i) { return run_page_shard(i, shard_pages); });
+    const double elapsed = now_sec() - t0;
+    std::int64_t digest = 0;
+    std::uint64_t loads = 0;
+    for (const auto& o : outputs) {
+      digest += o.digest_us;
+      loads += o.loads;
+    }
+    if (jobs == 1) {
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      std::fprintf(stderr,
+                   "FATAL: shard digest changed at --jobs %zu "
+                   "(%lld != %lld): parallelism leaked into results\n",
+                   jobs, static_cast<long long>(digest),
+                   static_cast<long long>(reference_digest));
+      return 1;
+    }
+    const double rate = static_cast<double>(shards) / elapsed;
+    std::printf("page-load shards (jobs=%zu) : %12.2f shards/sec "
+                "(%llu loads, digest %lld us)\n",
+                jobs, rate, static_cast<unsigned long long>(loads),
+                static_cast<long long>(digest));
+    const std::string scenario = "shards/jobs" + std::to_string(jobs);
+    report.set(scenario, "shards_per_sec", rate);
+    report.set(scenario, "digest_us", digest);
+  }
+
+  std::printf("\nshard digests identical across jobs values: OK\n");
+  bench::finish(argc, argv, report);
+  return 0;
+}

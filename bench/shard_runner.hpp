@@ -1,0 +1,103 @@
+// Deterministic shard runner: fans independent simulations across a small
+// thread pool and merges results in shard-index order.
+//
+// Each shard must be self-contained — its own EventLoop, Network, hosts and
+// RNGs, seeded exactly as the serial code would seed them — so shards share
+// no mutable state and the per-shard results are a pure function of the
+// shard index. Because results are merged by index (never by completion
+// order), a bench's output is byte-identical at any --jobs value; the knob
+// affects wall-clock only. Serial execution (jobs <= 1) stays the default
+// and runs the shard functor inline on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>  // detlint: allow(DET004) shard fan-out; shards share no mutable state
+#include <utility>
+#include <vector>
+
+namespace dohperf::bench {
+
+/// All hardware threads, for benches whose default workload is sized for
+/// parallel execution (fig6). Affects wall-clock only — results are merged
+/// by shard index, so output is identical at any jobs value.
+inline std::size_t default_jobs() {
+  // detlint: allow(DET004) thread count changes speed, never results
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Parse the standard `--jobs=N` / `--jobs N` flag (default: serial).
+inline std::size_t jobs_flag(int argc, char** argv,
+                             std::size_t fallback = 1) {
+  const std::string prefix = "--jobs=";
+  const std::string bare = "--jobs";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+    if (arg == bare && i + 1 < argc) {
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+/// Run `shard_count` independent shards, `jobs` at a time, and return their
+/// results ordered by shard index. `shard_fn(index)` must not touch state
+/// shared with other shards. With jobs <= 1 everything runs inline on the
+/// calling thread; results (and therefore any JSON derived from them) are
+/// identical either way. If shards throw, the exception from the
+/// lowest-indexed failing shard is rethrown after all workers finish.
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t shard_count, std::size_t jobs,
+                                Fn&& shard_fn) {
+  std::vector<Result> results(shard_count);
+  if (shard_count == 0) return results;
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      results[i] = shard_fn(i);
+    }
+    return results;
+  }
+
+  if (jobs > shard_count) jobs = shard_count;
+  std::vector<std::exception_ptr> errors(shard_count);
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shard_count) return;
+      try {
+        results[i] = shard_fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  // detlint: allow(DET004) worker pool over independent shards (see header comment)
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) {
+    // detlint: allow(DET004) worker pool over independent shards
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) t.join();
+
+  // Deterministic error propagation: lowest shard index wins.
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace dohperf::bench

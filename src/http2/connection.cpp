@@ -44,7 +44,7 @@ void Http2Connection::send_preface_and_settings() {
     Bytes preface(kConnectionPreface.begin(), kConnectionPreface.end());
     counters_.mgmt_bytes_sent += preface.size();
     cork();
-    cork_buffer_ = std::move(preface);
+    cork_chain_.emplace_back(std::move(preface));
     send_settings(/*ack=*/false);
     uncork();
     return;
@@ -71,11 +71,16 @@ void Http2Connection::send_frame(Frame frame) {
       counters_.mgmt_bytes_sent += frame.wire_size();
       break;
   }
-  Bytes wire = encode_frame(frame);
+  // {9-byte header, payload slice}: the payload (for DATA frames, a view of
+  // the response body) crosses into the transport without being copied.
+  BufferSlice header{encode_frame_header(frame)};
   if (corked_) {
-    cork_buffer_.insert(cork_buffer_.end(), wire.begin(), wire.end());
+    cork_chain_.push_back(std::move(header));
+    if (!frame.payload.empty()) cork_chain_.push_back(std::move(frame.payload));
   } else {
-    transport_->send(std::move(wire));
+    const BufferSlice pieces[2] = {std::move(header), std::move(frame.payload)};
+    transport_->send_chain(std::span<const BufferSlice>(
+        pieces, pieces[1].empty() ? 1 : 2));
   }
 }
 
@@ -83,10 +88,10 @@ void Http2Connection::cork() { corked_ = true; }
 
 void Http2Connection::uncork() {
   corked_ = false;
-  if (!cork_buffer_.empty()) {
-    Bytes wire = std::move(cork_buffer_);
-    cork_buffer_.clear();
-    if (transport_->is_open()) transport_->send(std::move(wire));
+  if (!cork_chain_.empty()) {
+    const std::vector<BufferSlice> chain = std::move(cork_chain_);
+    cork_chain_.clear();
+    if (transport_->is_open()) transport_->send_chain(chain);
   }
 }
 
@@ -127,7 +132,7 @@ void Http2Connection::send_window_update(std::uint32_t stream_id,
 void Http2Connection::send_headers(std::uint32_t stream_id,
                                    const std::vector<HeaderField>& headers,
                                    bool end_stream) {
-  Bytes block = encoder_.encode(headers);
+  const BufferSlice block{encoder_.encode(headers)};
   // Split into HEADERS + CONTINUATION if the block exceeds the frame limit.
   std::size_t offset = 0;
   bool first = true;
@@ -137,9 +142,7 @@ void Http2Connection::send_headers(std::uint32_t stream_id,
     Frame frame;
     frame.type = first ? FrameType::kHeaders : FrameType::kContinuation;
     frame.stream_id = stream_id;
-    frame.payload.assign(
-        block.begin() + static_cast<std::ptrdiff_t>(offset),
-        block.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    frame.payload = block.subslice(offset, chunk);
     offset += chunk;
     const bool last = offset >= block.size();
     if (last) frame.flags |= kFlagEndHeaders;
@@ -149,7 +152,7 @@ void Http2Connection::send_headers(std::uint32_t stream_id,
   } while (offset < block.size());
 }
 
-void Http2Connection::send_data(std::uint32_t stream_id, Bytes body,
+void Http2Connection::send_data(std::uint32_t stream_id, BufferSlice body,
                                 bool end_stream) {
   auto& stream = streams_.at(stream_id);
   std::size_t offset = 0;
@@ -163,9 +166,7 @@ void Http2Connection::send_data(std::uint32_t stream_id, Bytes body,
     Frame frame;
     frame.type = FrameType::kData;
     frame.stream_id = stream_id;
-    frame.payload.assign(
-        body.begin() + static_cast<std::ptrdiff_t>(offset),
-        body.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    frame.payload = body.subslice(offset, chunk);
     offset += chunk;
     connection_send_window_ -= static_cast<std::int64_t>(chunk);
     stream.send_window -= static_cast<std::int64_t>(chunk);
@@ -177,10 +178,8 @@ void Http2Connection::send_data(std::uint32_t stream_id, Bytes body,
     send_frame(std::move(frame));
   }
   if (offset < body.size()) {
-    // Flow-control blocked: stash the remainder.
-    stream.pending_body.insert(
-        stream.pending_body.end(),
-        body.begin() + static_cast<std::ptrdiff_t>(offset), body.end());
+    // Flow-control blocked: stash the remainder as a view, no copy.
+    stream.pending_body.push_back(body.subslice(offset));
   } else if (body.empty() && end_stream && !stream.local_end) {
     // Zero-length END_STREAM DATA frame.
     Frame frame;
@@ -195,8 +194,14 @@ void Http2Connection::send_data(std::uint32_t stream_id, Bytes body,
 void Http2Connection::try_flush_blocked() {
   for (auto& [id, stream] : streams_) {
     if (!stream.pending_body.empty()) {
-      Bytes body = std::move(stream.pending_body);
+      std::vector<BufferSlice> chunks = std::move(stream.pending_body);
       stream.pending_body.clear();
+      // A single stashed slice (the common case) goes back out zero-copy;
+      // multiple stashes are flattened so re-chunking at window boundaries
+      // matches the historical contiguous-buffer behaviour exactly.
+      BufferSlice body = chunks.size() == 1
+                             ? std::move(chunks.front())
+                             : BufferSlice{simnet::coalesce(chunks)};
       send_data(id, std::move(body), /*end_stream=*/true);
     }
   }
@@ -235,7 +240,7 @@ void Http2Connection::ping(std::function<void()> on_ack) {
   ping_handlers_.push_back(std::move(on_ack));
   Frame frame;
   frame.type = FrameType::kPing;
-  frame.payload.assign(8, 0);
+  frame.payload = Bytes(8, 0);
   send_frame(std::move(frame));
 }
 

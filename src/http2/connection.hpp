@@ -123,7 +123,9 @@ class Http2Connection {
     bool headers_done = false;
     ResponseHandler on_response;        ///< client side
     std::int64_t send_window = 65535;
-    Bytes pending_body;                 ///< flow-control blocked DATA
+    /// Flow-control blocked DATA: slices of the response body awaiting
+    /// window, referenced (not copied) until they can go out.
+    std::vector<BufferSlice> pending_body;
     bool response_began = false;        ///< kResponseBegan already reported
   };
 
@@ -142,7 +144,7 @@ class Http2Connection {
   void send_window_update(std::uint32_t stream_id, std::uint32_t increment);
   void send_headers(std::uint32_t stream_id,
                     const std::vector<HeaderField>& headers, bool end_stream);
-  void send_data(std::uint32_t stream_id, Bytes body, bool end_stream);
+  void send_data(std::uint32_t stream_id, BufferSlice body, bool end_stream);
   void try_flush_blocked();
 
   void handle_frame(const Frame& frame);
@@ -188,7 +190,10 @@ class Http2Connection {
   std::map<std::uint32_t, std::uint64_t> stream_consumed_;
 
   bool corked_ = false;
-  Bytes cork_buffer_;
+  /// Frames batched while corked, flushed as ONE logical transport write
+  /// (so a HEADERS + DATA pair shares one TLS record, like real stacks);
+  /// payload slices are referenced, never concatenated.
+  std::vector<BufferSlice> cork_chain_;
 };
 
 }  // namespace dohperf::http2

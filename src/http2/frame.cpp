@@ -18,7 +18,7 @@ std::string to_string(FrameType t) {
   return "UNKNOWN";
 }
 
-Bytes encode_frame(const Frame& frame) {
+Bytes encode_frame_header(const Frame& frame) {
   if (frame.payload.size() > 0xffffff) throw WireError("frame too large");
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>((frame.payload.size() >> 16) & 0xff));
@@ -26,6 +26,12 @@ Bytes encode_frame(const Frame& frame) {
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.u8(frame.flags);
   w.u32(frame.stream_id & 0x7fffffff);
+  return w.take();
+}
+
+Bytes encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.bytes(encode_frame_header(frame));
   w.bytes(frame.payload);
   return w.take();
 }
@@ -35,42 +41,48 @@ void FrameReader::feed(std::span<const std::uint8_t> data) {
 }
 
 bool FrameReader::consume_preface() {
-  if (buffer_.size() < kConnectionPreface.size()) return false;
+  if (buffered() < kConnectionPreface.size()) return false;
   for (std::size_t i = 0; i < kConnectionPreface.size(); ++i) {
-    if (buffer_[i] != static_cast<std::uint8_t>(kConnectionPreface[i])) {
+    if (buffer_[offset_ + i] !=
+        static_cast<std::uint8_t>(kConnectionPreface[i])) {
       throw WireError("bad HTTP/2 connection preface");
     }
   }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() +
-                    static_cast<std::ptrdiff_t>(kConnectionPreface.size()));
+  offset_ += kConnectionPreface.size();
   return true;
 }
 
 std::optional<Frame> FrameReader::next(std::size_t max_frame_size) {
-  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
-  const std::size_t length = (static_cast<std::size_t>(buffer_[0]) << 16) |
-                             (static_cast<std::size_t>(buffer_[1]) << 8) |
-                             buffer_[2];
+  if (buffered() < kFrameHeaderBytes) return std::nullopt;
+  const auto frame_at = buffer_.begin() + static_cast<std::ptrdiff_t>(offset_);
+  const std::size_t length = (static_cast<std::size_t>(frame_at[0]) << 16) |
+                             (static_cast<std::size_t>(frame_at[1]) << 8) |
+                             frame_at[2];
   if (length > max_frame_size) {
     throw WireError("frame exceeds SETTINGS_MAX_FRAME_SIZE");
   }
-  if (buffer_.size() < kFrameHeaderBytes + length) return std::nullopt;
+  if (buffered() < kFrameHeaderBytes + length) return std::nullopt;
 
   Frame frame;
-  frame.type = static_cast<FrameType>(buffer_[3]);
-  frame.flags = buffer_[4];
-  frame.stream_id = ((static_cast<std::uint32_t>(buffer_[5]) << 24) |
-                     (static_cast<std::uint32_t>(buffer_[6]) << 16) |
-                     (static_cast<std::uint32_t>(buffer_[7]) << 8) |
-                     buffer_[8]) &
+  frame.type = static_cast<FrameType>(frame_at[3]);
+  frame.flags = frame_at[4];
+  frame.stream_id = ((static_cast<std::uint32_t>(frame_at[5]) << 24) |
+                     (static_cast<std::uint32_t>(frame_at[6]) << 16) |
+                     (static_cast<std::uint32_t>(frame_at[7]) << 8) |
+                     frame_at[8]) &
                     0x7fffffff;
-  frame.payload.assign(
-      buffer_.begin() + kFrameHeaderBytes,
-      buffer_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + length));
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() +
-                    static_cast<std::ptrdiff_t>(kFrameHeaderBytes + length));
+  frame.payload = Bytes(
+      frame_at + kFrameHeaderBytes,
+      frame_at + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + length));
+  offset_ += kFrameHeaderBytes + length;
+  if (offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  } else if (offset_ >= 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
   return frame;
 }
 

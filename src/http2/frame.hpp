@@ -7,6 +7,7 @@
 #include <string>
 
 #include "dns/wire.hpp"
+#include "simnet/buffer.hpp"
 
 namespace dohperf::http2 {
 
@@ -14,6 +15,7 @@ using dns::ByteReader;
 using dns::ByteWriter;
 using dns::Bytes;
 using dns::WireError;
+using simnet::BufferSlice;
 
 enum class FrameType : std::uint8_t {
   kData = 0x0,
@@ -65,7 +67,9 @@ struct Frame {
   FrameType type = FrameType::kData;
   std::uint8_t flags = 0;
   std::uint32_t stream_id = 0;
-  Bytes payload;
+  /// DATA payloads are zero-copy views of the response body; control frame
+  /// payloads are small owned buffers wrapped in a slice.
+  BufferSlice payload;
 
   bool has_flag(std::uint8_t flag) const noexcept {
     return (flags & flag) != 0;
@@ -75,8 +79,12 @@ struct Frame {
   }
 };
 
-/// Serialize one frame (header + payload).
+/// Serialize one frame (header + payload) into one contiguous buffer.
 Bytes encode_frame(const Frame& frame);
+
+/// Serialize just the 9-byte frame header; the payload travels as its own
+/// slice so the connection layer can send {header, payload} without copying.
+Bytes encode_frame_header(const Frame& frame);
 
 /// Incremental frame reader over a byte stream.
 class FrameReader {
@@ -91,10 +99,13 @@ class FrameReader {
   /// Returns false until enough bytes have arrived; throws on mismatch.
   bool consume_preface();
 
-  std::size_t buffered() const noexcept { return buffer_.size(); }
+  std::size_t buffered() const noexcept { return buffer_.size() - offset_; }
 
  private:
   Bytes buffer_;
+  /// Consumed prefix of buffer_, reclaimed lazily instead of a per-frame
+  /// front-erase.
+  std::size_t offset_ = 0;
 };
 
 }  // namespace dohperf::http2

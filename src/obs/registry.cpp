@@ -51,6 +51,18 @@ void Registry::clear() {
   histograms_.clear();
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, cdf] : other.histograms_) {
+    histograms_[name].add_all(cdf.sorted_values());
+  }
+}
+
 dns::JsonValue Registry::to_json() const {
   dns::JsonObject root;
   root["schema"] = dns::JsonValue("dohperf-metrics-v1");

@@ -58,6 +58,12 @@ class Registry {
   }
   void clear();
 
+  /// Fold another registry into this one: counters add, gauges take the
+  /// other's (later) value, histogram samples concatenate. Sharded benches
+  /// give every shard a private registry and merge them in shard-index
+  /// order, so the combined registry is identical at any --jobs value.
+  void merge_from(const Registry& other);
+
   /// Deterministic snapshot:
   ///   {"schema":"dohperf-metrics-v1","counters":{...},"gauges":{...},
   ///    "histograms":{name:{"count":..,"min":..,"p25":..,...}}}

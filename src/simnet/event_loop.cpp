@@ -4,41 +4,34 @@
 
 namespace dohperf::simnet {
 
-EventId EventLoop::schedule_at(TimeUs when, std::function<void()> fn) {
-  when = std::max(when, now_);
-  const Key key{when, next_seq_++};
-  queue_.emplace(key, std::move(fn));
-  return EventId{key.first, key.second, true};
-}
-
-EventId EventLoop::schedule_in(TimeUs delay, std::function<void()> fn) {
-  return schedule_at(now_ + std::max<TimeUs>(delay, 0), std::move(fn));
-}
-
-void EventLoop::cancel(const EventId& id) {
-  if (!id.valid) return;
-  queue_.erase(Key{id.when, id.seq});
-}
-
-bool EventLoop::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  now_ = it->first.first;
-  auto fn = std::move(it->second);
-  queue_.erase(it);
-  ++executed_;
-  fn();
-  return true;
-}
-
-TimeUs EventLoop::run() {
-  while (step()) {
+void EventLoop::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               const Slot& slot = slots_[e.slot];
+                               return !slot.live || slot.gen != e.gen;
+                             }),
+              heap_.end());
+  // Floyd heapify: sift every internal node down, deepest first.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 2 + 1; i-- > 0;) {
+      sift_down(i, heap_[i]);
+    }
   }
-  return now_;
+}
+
+void EventLoop::prune() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.gen == top.gen) return;
+    pop_root();
+  }
 }
 
 void EventLoop::run_until(TimeUs deadline) {
-  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+  for (;;) {
+    prune();
+    if (heap_.empty() || heap_.front().when > deadline) break;
     step();
   }
   now_ = std::max(now_, deadline);

@@ -3,21 +3,41 @@
 // Events scheduled for the same instant fire in schedule order (a strictly
 // increasing sequence number breaks ties), which keeps multi-party protocol
 // exchanges deterministic.
+//
+// Internally the queue is a binary min-heap of POD entries keyed by
+// (when, seq), with callbacks held in a side slot table using SmallFn
+// inline storage — the common timer/packet-delivery event allocates
+// nothing. cancel() is O(1): it releases the slot and bumps its
+// generation, leaving a tombstone in the heap that dispatch skips lazily;
+// when tombstones outnumber live events the heap is compacted in one O(n)
+// pass so cancel-heavy workloads (RTO/delayed-ACK churn) never inflate
+// sift depth. The pop order is the total order (when, seq) — unique
+// because seq never repeats — so neither lazy deletion nor compaction can
+// reorder events, and seeded runs stay byte-identical to the previous
+// std::map implementation.
+//
+// The hot path (schedule/cancel/step) is defined inline in this header
+// with hand-rolled hole-insertion sifts: the comparator and the sift loops
+// fold into the caller, which is worth ~2x on the schedule/fire
+// microbench (see bench/micro_simcore.cpp) over out-of-line
+// std::push_heap with a function-pointer comparator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <utility>
+#include <vector>
 
+#include "simnet/small_fn.hpp"
 #include "simnet/time.hpp"
 
 namespace dohperf::simnet {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Identifies a slot in the
+/// loop's callback table plus the generation it was issued for, so a
+/// handle kept past its event firing (or past a cancel) can never cancel
+/// an unrelated later event that reuses the slot.
 struct EventId {
-  TimeUs when = 0;
-  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
   bool valid = false;
 
   explicit operator bool() const noexcept { return valid; }
@@ -28,38 +48,169 @@ class EventLoop {
   TimeUs now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute virtual time `when` (clamped to now()).
-  EventId schedule_at(TimeUs when, std::function<void()> fn);
+  EventId schedule_at(TimeUs when, SmallFn fn) {
+    if (when < now_) when = now_;
+    const std::uint32_t slot = acquire_slot(std::move(fn));
+    sift_up(HeapEntry{when, next_seq_++, slot, slots_[slot].gen});
+    return EventId{slot, slots_[slot].gen, true};
+  }
 
   /// Schedule `fn` after `delay` microseconds.
-  EventId schedule_in(TimeUs delay, std::function<void()> fn);
+  EventId schedule_in(TimeUs delay, SmallFn fn) {
+    return schedule_at(delay > 0 ? now_ + delay : now_, std::move(fn));
+  }
 
-  /// Cancel a pending event; cancelling an already-fired or invalid id is a
-  /// harmless no-op.
-  void cancel(const EventId& id);
+  /// Cancel a pending event; cancelling an already-fired or invalid id is
+  /// a harmless no-op. O(1): the heap entry stays behind as a tombstone.
+  void cancel(const EventId& id) {
+    if (!id.valid || id.slot >= slots_.size()) return;
+    const Slot& slot = slots_[id.slot];
+    if (!slot.live || slot.gen != id.gen) return;  // already fired/cancelled
+    release_slot(id.slot);
+    // Lazy deletion keeps cancel O(1), but unfired far-future tombstones
+    // (a cancelled RTO is typically rescheduled long before it fires)
+    // would otherwise pile up and deepen every sift. Compact once they
+    // outnumber live events.
+    if (heap_.size() > 64 && heap_.size() - live_ > live_) compact();
+  }
 
   /// Run until no events remain. Returns the final virtual time.
-  TimeUs run();
+  TimeUs run() {
+    while (step()) {
+    }
+    return now_;
+  }
 
   /// Run events with time <= deadline; leaves later events pending.
   /// Virtual time advances to `deadline` even if the queue drains early.
   void run_until(TimeUs deadline);
 
   /// Execute exactly one event if any is pending; returns false when idle.
-  bool step();
+  bool step() {
+    for (;;) {
+      if (heap_.empty()) return false;
+      const HeapEntry top = heap_[0];
+      pop_root();
+      Slot& slot = slots_[top.slot];
+      if (!slot.live || slot.gen != top.gen) continue;  // tombstone
+      now_ = top.when;
+      // Move the callback out and release the slot *before* invoking: the
+      // callback may schedule new events (growing slots_) or cancel others.
+      SmallFn fn = std::move(slot.fn);
+      release_slot(top.slot);
+      ++executed_;
+      fn();
+      return true;
+    }
+  }
 
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Number of live (scheduled and not yet fired or cancelled) events.
+  /// Cancelled-but-unpopped tombstones are not counted.
+  std::size_t pending() const noexcept { return live_; }
 
   /// Total number of events executed (useful for test assertions and for
   /// detecting runaway protocol loops).
   std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  using Key = std::pair<TimeUs, std::uint64_t>;
+  /// Heap node: POD, ordered by (when, seq). `slot`/`gen` locate the
+  /// callback; a stale `gen` marks a tombstone.
+  struct HeapEntry {
+    TimeUs when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  /// Append `entry` and restore the heap property (hole insertion: parents
+  /// slide down into the hole, one store each, no swaps).
+  void sift_up(HeapEntry entry) {
+    std::size_t hole = heap_.size();
+    heap_.push_back(entry);  // reserve the space; overwritten below
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!before(entry, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = entry;
+  }
+
+  /// Sink `entry` from `hole` to its place (hole insertion, as above).
+  void sift_down(std::size_t hole, HeapEntry entry) {
+    const std::size_t size = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= size) break;
+      if (child + 1 < size && before(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!before(heap_[child], entry)) break;
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = entry;
+  }
+
+  /// Remove heap_[0], refilling the hole with the last entry sifted down.
+  void pop_root() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, last);
+  }
+
+  std::uint32_t acquire_slot(SmallFn&& fn) {
+    std::uint32_t index;
+    if (free_head_ != kNoSlot) {
+      index = free_head_;
+      Slot& slot = slots_[index];
+      free_head_ = slot.next_free;
+      slot.next_free = kNoSlot;
+      slot.fn = std::move(fn);
+      slot.live = true;
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{std::move(fn), 0, kNoSlot, true});
+    }
+    ++live_;
+    return index;
+  }
+
+  void release_slot(std::uint32_t index) {
+    Slot& slot = slots_[index];
+    slot.fn = SmallFn{};
+    slot.live = false;
+    ++slot.gen;  // invalidate outstanding EventIds and heap tombstones
+    slot.next_free = free_head_;
+    free_head_ = index;
+    --live_;
+  }
+
+  /// Drop every tombstone and rebuild the heap in one O(n) pass.
+  void compact();
+  /// Pop tombstones so heap_.front() (if any) is a live event.
+  void prune();
 
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::map<Key, std::function<void()>> queue_;
+  std::size_t live_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace dohperf::simnet

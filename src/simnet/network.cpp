@@ -111,12 +111,17 @@ void Network::send(Packet packet) {
   const TimeUs arrival = departure + latency;
 
   const NodeId dst = packet.dst_node;
-  loop_.schedule_at(arrival, [this, dst, p = std::move(packet)]() {
+  auto deliver = [this, dst, p = std::move(packet)]() {
     auto& handler = handlers_.at(dst);
     if (handler) handler(p);
     // Packets to nodes without a handler are silently discarded, like a
     // host with no listener (no ICMP in this simulator).
-  });
+  };
+  // The simulator's hottest event: one per packet on the wire. It must fit
+  // SmallFn's inline storage, or every delivery costs a heap allocation.
+  static_assert(sizeof(deliver) <= SmallFn::kInlineSize,
+                "packet delivery closure must not spill to the heap");
+  loop_.schedule_at(arrival, std::move(deliver));
 }
 
 void Network::add_tap(PacketTap* tap) { taps_.push_back(tap); }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dns/wire.hpp"  // Bytes
+#include "simnet/buffer.hpp"
 #include "simnet/time.hpp"
 
 namespace dohperf::simnet {
@@ -56,7 +57,9 @@ struct TcpSegment {
   std::uint32_t window = 0;
   /// TCP option bytes (MSS/SACK/wscale on SYN, timestamps on data segments).
   std::uint8_t options_len = 0;
-  Bytes payload;
+  /// Zero-copy view of the sender's stream data: the same shared buffer the
+  /// application materialized, never a per-segment copy.
+  BufferSlice payload;
 
   std::size_t header_size() const noexcept {
     return kIpHeaderBytes + kTcpHeaderBytes + options_len;

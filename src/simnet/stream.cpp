@@ -41,7 +41,19 @@ void TcpByteStream::set_handlers(Handlers handlers) {
   }
 }
 
-void TcpByteStream::send(Bytes data) { connection_->send(std::move(data)); }
+void ByteStream::send_chain(std::span<const BufferSlice> chain) {
+  // Generic fallback: flatten to one buffer so the logical-write contract
+  // holds for any transport. Transports that can do better override this.
+  send(BufferSlice{coalesce(chain)});
+}
+
+void TcpByteStream::send(BufferSlice data) {
+  connection_->send(std::move(data));
+}
+
+void TcpByteStream::send_chain(std::span<const BufferSlice> chain) {
+  connection_->send_chain(chain);
+}
 
 void TcpByteStream::close() {
   if (connection_->state() != TcpState::kClosed) connection_->close();

@@ -23,7 +23,13 @@ class ByteStream {
   virtual ~ByteStream() = default;
 
   virtual void set_handlers(Handlers handlers) = 0;
-  virtual void send(Bytes data) = 0;
+  /// Send one logical write. The slice is referenced, not copied; a Bytes
+  /// argument converts implicitly (materializing the shared buffer once).
+  virtual void send(BufferSlice data) = 0;
+  /// Send several slices as ONE logical write: framing/segmentation below
+  /// must be identical to sending the concatenated bytes in one send().
+  /// The default coalesces (copies); transports override for zero-copy.
+  virtual void send_chain(std::span<const BufferSlice> chain);
   virtual void close() = 0;
   virtual bool is_open() const = 0;
 };
@@ -37,7 +43,8 @@ class TcpByteStream final : public ByteStream {
   ~TcpByteStream() override;
 
   void set_handlers(Handlers handlers) override;
-  void send(Bytes data) override;
+  void send(BufferSlice data) override;
+  void send_chain(std::span<const BufferSlice> chain) override;
   void close() override;
   bool is_open() const override;
 

@@ -92,11 +92,30 @@ void TcpConnection::handle_syn(const TcpSegment& seg) {
   arm_rto();
 }
 
-void TcpConnection::send(Bytes data) {
+void TcpConnection::send(BufferSlice data) {
   if (state_ == TcpState::kClosed || fin_pending_ || fin_sent_) {
     throw std::logic_error("send on closed/closing TCP connection");
   }
-  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
+  if (!data.empty()) {
+    send_buffer_bytes_ += data.size();
+    send_buffer_.push_back(std::move(data));
+  }
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    try_send_data();
+  }
+}
+
+void TcpConnection::send_chain(std::span<const BufferSlice> chain) {
+  if (state_ == TcpState::kClosed || fin_pending_ || fin_sent_) {
+    throw std::logic_error("send on closed/closing TCP connection");
+  }
+  // Append the whole chain before pumping: segmentation then sees exactly
+  // the byte stream a single contiguous send() would have produced.
+  for (const auto& slice : chain) {
+    if (slice.empty()) continue;
+    send_buffer_bytes_ += slice.size();
+    send_buffer_.push_back(slice);
+  }
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
     try_send_data();
   }
@@ -132,7 +151,7 @@ void TcpConnection::abort() {
 }
 
 void TcpConnection::send_segment(bool syn, bool fin, bool force_ack,
-                                 Bytes payload, std::uint32_t seq) {
+                                 BufferSlice payload, std::uint32_t seq) {
   TcpSegment seg;
   seg.src_port = local_port_;
   seg.dst_port = remote_.port;
@@ -182,12 +201,9 @@ void TcpConnection::try_send_data() {
     if (in_flight >= window) break;
     const std::size_t usable = window - in_flight;
     const std::size_t chunk =
-        std::min({config_.mss, send_buffer_.size(), usable});
+        std::min({config_.mss, send_buffer_bytes_, usable});
     if (chunk == 0) break;
-    Bytes payload(send_buffer_.begin(),
-                  send_buffer_.begin() + static_cast<std::ptrdiff_t>(chunk));
-    send_buffer_.erase(send_buffer_.begin(),
-                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(chunk));
+    BufferSlice payload = take_send_bytes(chunk);
     const std::uint32_t seq = snd_nxt_;
     inflight_.emplace(seq, payload);
     send_times_.emplace(seq, host_.loop().now());
@@ -197,6 +213,39 @@ void TcpConnection::try_send_data() {
   }
   if (!inflight_.empty() || fin_sent_) ensure_rto();
   maybe_send_fin();
+}
+
+BufferSlice TcpConnection::take_send_bytes(std::size_t chunk) {
+  send_buffer_bytes_ -= chunk;
+  BufferSlice& front = send_buffer_.front();
+  if (front.size() > chunk) {
+    // MSS boundary inside one queued slice: zero-copy split.
+    BufferSlice out = front.subslice(0, chunk);
+    front = front.subslice(chunk);
+    return out;
+  }
+  if (front.size() == chunk) {
+    BufferSlice out = std::move(front);
+    send_buffer_.pop_front();
+    return out;
+  }
+  // Segment spans queued slices (e.g. a TLS record boundary inside an MSS):
+  // coalesce just these bytes so the segment payload stays contiguous.
+  Bytes merged;
+  merged.reserve(chunk);
+  std::size_t needed = chunk;
+  while (needed > 0) {
+    BufferSlice& head = send_buffer_.front();
+    const std::size_t take = std::min(head.size(), needed);
+    merged.insert(merged.end(), head.begin(), head.begin() + take);
+    needed -= take;
+    if (take == head.size()) {
+      send_buffer_.pop_front();
+    } else {
+      head = head.subslice(take);
+    }
+  }
+  return BufferSlice{std::move(merged)};
 }
 
 void TcpConnection::maybe_send_fin() {
@@ -273,7 +322,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
         const auto first = inflight_.begin();
         send_times_.erase(first->first);  // Karn's rule
         ++counters_.retransmits;
-        Bytes copy = first->second;
+        BufferSlice copy = first->second;  // refcount bump, no byte copy
         send_segment(false, false, true, std::move(copy), first->first);
       } else {
         in_rto_recovery_ = false;
@@ -319,7 +368,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
       cwnd_ = ssthresh_;
       ++counters_.retransmits;
       send_times_.erase(first->first);
-      Bytes copy = first->second;
+      BufferSlice copy = first->second;  // refcount bump, no byte copy
       send_segment(false, false, true, std::move(copy), first->first);
       arm_rto();
     }
@@ -458,7 +507,7 @@ void TcpConnection::on_rto() {
   } else if (!inflight_.empty()) {
     const auto first = inflight_.begin();
     send_times_.erase(first->first);  // Karn's rule
-    Bytes copy = first->second;
+    BufferSlice copy = first->second;  // refcount bump, no byte copy
     send_segment(false, false, true, std::move(copy), first->first);
   } else if (fin_sent_ && seq_le(snd_una_, fin_seq_)) {
     send_segment(false, true, true, {}, fin_seq_);
@@ -538,6 +587,7 @@ void TcpConnection::enter_closed() {
   host_.loop().cancel(delayed_ack_timer_);
   delayed_ack_timer_ = EventId{};
   send_buffer_.clear();
+  send_buffer_bytes_ = 0;
   inflight_.clear();
   send_times_.clear();
   out_of_order_.clear();

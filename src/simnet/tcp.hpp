@@ -96,8 +96,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   }
 
   /// Queue stream data for transmission. Valid from SYN_SENT onwards
-  /// (data is held until the handshake completes).
-  void send(Bytes data);
+  /// (data is held until the handshake completes). The slice is referenced,
+  /// not copied: segmentation sends subslices of the caller's buffer.
+  void send(BufferSlice data);
+
+  /// Queue several slices as one logical write: all slices are appended to
+  /// the send buffer before segmentation runs, so the wire segmentation is
+  /// identical to sending one contiguous buffer with the same bytes.
+  void send_chain(std::span<const BufferSlice> chain);
 
   /// Half-close: send FIN once all queued data has been transmitted.
   void close();
@@ -114,7 +120,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   const TcpConfig& config() const noexcept { return config_; }
 
   /// Bytes currently queued but not yet sent (flow/congestion limited).
-  std::size_t unsent() const noexcept { return send_buffer_.size(); }
+  std::size_t unsent() const noexcept { return send_buffer_bytes_; }
 
  private:
   friend class Host;
@@ -123,10 +129,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void handle_syn(const TcpSegment&);   ///< server: got SYN while LISTEN
   void on_segment(const TcpSegment& seg);
 
-  void send_segment(bool syn, bool fin, bool force_ack, Bytes payload,
+  void send_segment(bool syn, bool fin, bool force_ack, BufferSlice payload,
                     std::uint32_t seq);
   void send_ack();
   void try_send_data();
+  /// Detach the next `chunk` bytes of the send buffer as one slice. A chunk
+  /// inside a single queued slice is a zero-copy subslice; a chunk spanning
+  /// queued slices is coalesced (copy) so segment payloads stay contiguous.
+  BufferSlice take_send_bytes(std::size_t chunk);
   void maybe_send_fin();
   void process_ack(const TcpSegment& seg);
   void process_payload(const TcpSegment& seg);
@@ -157,9 +167,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint32_t snd_una_ = 0;   ///< oldest unacknowledged
   std::uint32_t snd_nxt_ = 0;   ///< next to send
   std::uint32_t snd_wnd_ = 65535;
-  std::deque<std::uint8_t> send_buffer_;   ///< not yet segmented
+  std::deque<BufferSlice> send_buffer_;    ///< not yet segmented
+  std::size_t send_buffer_bytes_ = 0;      ///< total bytes across slices
   /// Sent-but-unacked payload keyed by starting seq, for retransmission.
-  std::map<std::uint32_t, Bytes> inflight_;
+  /// Slices alias the sender's buffers, so a retransmit is a refcount bump.
+  std::map<std::uint32_t, BufferSlice> inflight_;
   bool fin_pending_ = false;    ///< close() called, FIN not yet sent
   bool fin_sent_ = false;
   std::uint32_t fin_seq_ = 0;
@@ -186,7 +198,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // --- receive side ----------------------------------------------------------
   std::uint32_t irs_ = 0;       ///< initial receive sequence
   std::uint32_t rcv_nxt_ = 0;
-  std::map<std::uint32_t, Bytes> out_of_order_;
+  std::map<std::uint32_t, BufferSlice> out_of_order_;
   std::uint32_t segs_since_ack_ = 0;
   EventId delayed_ack_timer_;
   bool fin_received_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace dohperf::stats {
@@ -15,8 +16,27 @@ void Cdf::add(double x) {
 }
 
 void Cdf::add_all(std::span<const double> xs) {
+  if (xs.empty()) return;
+  if (values_.empty()) {
+    values_.assign(xs.begin(), xs.end());
+    sorted_ = std::is_sorted(values_.begin(), values_.end());
+    return;
+  }
+  // Shard merges feed this with already-sorted samples (sorted_values() of
+  // per-shard CDFs); a linear merge keeps the result sorted and spares the
+  // O(n log n) re-sort the next quantile query would otherwise pay.
+  if (sorted_ && std::is_sorted(xs.begin(), xs.end())) {
+    std::vector<double> merged;
+    merged.reserve(values_.size() + xs.size());
+    std::merge(values_.begin(), values_.end(), xs.begin(), xs.end(),
+               std::back_inserter(merged));
+    values_ = std::move(merged);
+    sorted_ = true;
+    return;
+  }
+  values_.reserve(values_.size() + xs.size());
   values_.insert(values_.end(), xs.begin(), xs.end());
-  sorted_ = values_.size() <= 1;
+  sorted_ = false;
 }
 
 void Cdf::ensure_sorted() const {

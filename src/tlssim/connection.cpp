@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace dohperf::tlssim {
 
@@ -9,6 +10,13 @@ namespace {
 
 bool version_le(TlsVersion a, TlsVersion b) noexcept {
   return static_cast<std::uint16_t>(a) <= static_cast<std::uint16_t>(b);
+}
+
+/// Shared all-zero buffer for the synthetic AEAD expansion; every record's
+/// tag is a subslice of this, so encryption overhead never allocates.
+const BufferSlice& zero_tag_bytes() {
+  static const BufferSlice zeros{Bytes(kTls12RecordOverhead, 0)};
+  return zeros;
 }
 
 }  // namespace
@@ -61,28 +69,45 @@ Bytes TlsConnection::expected_ticket() const {
 }
 
 void TlsConnection::send_record(ContentType type, Bytes body) {
+  const BufferSlice slice{std::move(body)};
+  send_record_chain(type, std::span<const BufferSlice>(&slice, 1),
+                    slice.size());
+}
+
+void TlsConnection::send_record_chain(ContentType type,
+                                      std::span<const BufferSlice> body,
+                                      std::size_t body_len) {
   // CCS records are never encrypted (middlebox-compatibility framing).
   const std::size_t tag =
       type == ContentType::kChangeCipherSpec ? 0 : send_tag_bytes();
-  const std::size_t record_len = body.size() + tag;
+  const std::size_t record_len = body_len + tag;
   if (record_len > kMaxFragment + 256) throw WireError("record too large");
 
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u16(0x0303);  // legacy record version
-  w.u16(static_cast<std::uint16_t>(record_len));
-  w.bytes(body);
-  for (std::size_t i = 0; i < tag; ++i) w.u8(0);  // synthetic AEAD expansion
+  ByteWriter header;
+  header.u8(static_cast<std::uint8_t>(type));
+  header.u16(0x0303);  // legacy record version
+  header.u16(static_cast<std::uint16_t>(record_len));
 
   ++counters_.records_sent;
   const std::size_t wire = kRecordHeaderBytes + record_len;
   if (type == ContentType::kApplicationData) {
-    counters_.app_bytes_sent += body.size();
+    counters_.app_bytes_sent += body_len;
     counters_.record_overhead_sent += kRecordHeaderBytes + tag;
   } else {
     counters_.handshake_bytes_sent += wire;
   }
-  transport_->send(w.take());
+
+  // One logical write per record: {header, plaintext slices, synthetic tag}.
+  // The transport appends all pieces before segmenting, so the wire is
+  // byte-identical to the old single contiguous record buffer.
+  std::vector<BufferSlice> record;
+  record.reserve(body.size() + 2);
+  record.emplace_back(header.take());
+  for (const auto& slice : body) {
+    if (!slice.empty()) record.push_back(slice);
+  }
+  if (tag > 0) record.push_back(zero_tag_bytes().subslice(0, tag));
+  transport_->send_chain(record);
 }
 
 void TlsConnection::send_alert(AlertDescription desc, bool fatal) {
@@ -125,13 +150,16 @@ void TlsConnection::on_transport_data(std::span<const std::uint8_t> data) {
 
 void TlsConnection::process_rx_buffer() {
   for (;;) {
-    if (closed_ || failed_) return;
-    if (rx_buffer_.size() < kRecordHeaderBytes) return;
+    if (closed_ || failed_) break;
+    const std::size_t avail = rx_buffer_.size() - rx_offset_;
+    if (avail < kRecordHeaderBytes) break;
+    const auto record_at = rx_buffer_.begin() +
+                           static_cast<std::ptrdiff_t>(rx_offset_);
     const std::size_t record_len =
-        (static_cast<std::size_t>(rx_buffer_[3]) << 8) | rx_buffer_[4];
-    if (rx_buffer_.size() < kRecordHeaderBytes + record_len) return;
+        (static_cast<std::size_t>(record_at[3]) << 8) | record_at[4];
+    if (avail < kRecordHeaderBytes + record_len) break;
 
-    const auto type = static_cast<ContentType>(rx_buffer_[0]);
+    const auto type = static_cast<ContentType>(record_at[0]);
     ++counters_.records_received;
 
     // Strip the synthetic AEAD expansion for encrypted record types.
@@ -149,16 +177,23 @@ void TlsConnection::process_rx_buffer() {
       counters_.handshake_bytes_received += wire;
     }
 
-    // Copy out the body, then drop the record from the buffer before
-    // dispatching (handlers may re-enter by sending data).
-    Bytes body(rx_buffer_.begin() + kRecordHeaderBytes,
-               rx_buffer_.begin() +
+    // Copy out the body and advance the cursor before dispatching (handlers
+    // may re-enter by sending data). The consumed prefix is reclaimed below
+    // instead of front-erasing per record.
+    Bytes body(record_at + kRecordHeaderBytes,
+               record_at +
                    static_cast<std::ptrdiff_t>(kRecordHeaderBytes + body_len));
+    rx_offset_ += kRecordHeaderBytes + record_len;
+    handle_record(type, body);
+  }
+  if (rx_offset_ == rx_buffer_.size()) {
+    rx_buffer_.clear();
+    rx_offset_ = 0;
+  } else if (rx_offset_ >= 4096) {
     rx_buffer_.erase(rx_buffer_.begin(),
                      rx_buffer_.begin() +
-                         static_cast<std::ptrdiff_t>(kRecordHeaderBytes +
-                                                     record_len));
-    handle_record(type, body);
+                         static_cast<std::ptrdiff_t>(rx_offset_));
+    rx_offset_ = 0;
   }
 }
 
@@ -433,7 +468,7 @@ void TlsConnection::fail(AlertDescription desc) {
   if (handlers_.on_close) handlers_.on_close();
 }
 
-void TlsConnection::send(Bytes data) {
+void TlsConnection::send(BufferSlice data) {
   if (failed_ || closed_) {
     throw std::logic_error("send on failed/closed TLS connection");
   }
@@ -441,20 +476,59 @@ void TlsConnection::send(Bytes data) {
     pending_app_data_.push_back(std::move(data));
     return;
   }
-  // Fragment into records.
+  // Fragment into records; each fragment is a zero-copy subslice of the
+  // application's buffer.
   std::size_t offset = 0;
   while (offset < data.size()) {
     const std::size_t chunk = std::min(kMaxFragment, data.size() - offset);
-    Bytes fragment(data.begin() + static_cast<std::ptrdiff_t>(offset),
-                   data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
-    send_record(ContentType::kApplicationData, std::move(fragment));
+    const BufferSlice fragment = data.subslice(offset, chunk);
+    send_record_chain(ContentType::kApplicationData,
+                      std::span<const BufferSlice>(&fragment, 1),
+                      fragment.size());
     offset += chunk;
+  }
+}
+
+void TlsConnection::send_chain(std::span<const BufferSlice> chain) {
+  if (failed_ || closed_) {
+    throw std::logic_error("send on failed/closed TLS connection");
+  }
+  if (!established_) {
+    // Pre-handshake sends must flush later exactly like one contiguous
+    // buffer, so coalesce the chain into a single queued slice.
+    pending_app_data_.emplace_back(simnet::coalesce(chain));
+    return;
+  }
+  // One logical write: pack records up to kMaxFragment across slice
+  // boundaries, exactly where a contiguous buffer would fragment.
+  std::vector<BufferSlice> record;
+  std::size_t record_len = 0;
+  for (std::size_t idx = 0, offset = 0; idx < chain.size();) {
+    const BufferSlice& slice = chain[idx];
+    if (offset >= slice.size()) {
+      ++idx;
+      offset = 0;
+      continue;
+    }
+    const std::size_t take =
+        std::min(kMaxFragment - record_len, slice.size() - offset);
+    record.push_back(slice.subslice(offset, take));
+    record_len += take;
+    offset += take;
+    if (record_len == kMaxFragment) {
+      send_record_chain(ContentType::kApplicationData, record, record_len);
+      record.clear();
+      record_len = 0;
+    }
+  }
+  if (record_len > 0) {
+    send_record_chain(ContentType::kApplicationData, record, record_len);
   }
 }
 
 void TlsConnection::flush_pending_app_data() {
   while (!pending_app_data_.empty()) {
-    Bytes data = std::move(pending_app_data_.front());
+    BufferSlice data = std::move(pending_app_data_.front());
     pending_app_data_.pop_front();
     send(std::move(data));
   }

@@ -21,6 +21,7 @@
 
 namespace dohperf::tlssim {
 
+using simnet::BufferSlice;
 using simnet::ByteStream;
 
 struct ClientConfig {
@@ -52,7 +53,8 @@ class TlsConnection final : public ByteStream {
   // ByteStream interface. on_open fires when the handshake completes;
   // send() before that queues plaintext.
   void set_handlers(Handlers handlers) override;
-  void send(Bytes data) override;
+  void send(BufferSlice data) override;
+  void send_chain(std::span<const BufferSlice> chain) override;
   void close() override;  ///< close_notify then transport close
   bool is_open() const override;
 
@@ -107,6 +109,11 @@ class TlsConnection final : public ByteStream {
   /// Wrap and transmit one record. `body` is the plaintext; AEAD expansion
   /// is appended when the connection's send direction is encrypted.
   void send_record(ContentType type, Bytes body);
+  /// Chain form: the record body is the concatenation of `body` (totalling
+  /// `body_len` bytes). Application payload slices are referenced, not
+  /// copied — the record goes to the transport as {header, body..., tag}.
+  void send_record_chain(ContentType type, std::span<const BufferSlice> body,
+                         std::size_t body_len);
   void send_alert(AlertDescription desc, bool fatal);
   void send_change_cipher_spec();
   void finish_handshake();
@@ -126,7 +133,10 @@ class TlsConnection final : public ByteStream {
   std::function<void()> established_hook_;
 
   Bytes rx_buffer_;
-  std::deque<Bytes> pending_app_data_;
+  /// Consumed prefix of rx_buffer_: records are parsed at this cursor and
+  /// the prefix reclaimed lazily, instead of an O(n) front-erase per record.
+  std::size_t rx_offset_ = 0;
+  std::deque<BufferSlice> pending_app_data_;
 
   TlsVersion version_ = TlsVersion::kTls13;
   std::string alpn_;

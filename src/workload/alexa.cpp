@@ -109,15 +109,37 @@ Page AlexaPageModel::page(std::size_t rank) {
   return page;
 }
 
-AlexaPageModel::CorpusStats AlexaPageModel::corpus_stats(std::size_t n) {
-  CorpusStats stats;
-  std::map<dns::Name, std::uint64_t> query_counts;
-  for (std::size_t rank = 1; rank <= n; ++rank) {
+AlexaPageModel::CorpusShard AlexaPageModel::corpus_shard(std::size_t lo,
+                                                         std::size_t hi) {
+  CorpusShard shard;
+  if (lo == 0) lo = 1;
+  if (hi >= lo) shard.queries_per_page.reserve(hi - lo + 1);
+  for (std::size_t rank = lo; rank <= hi; ++rank) {
     const Page p = page(rank);
     const auto domains = p.unique_domains();
-    stats.queries_per_page.push_back(domains.size());
-    stats.total_queries += domains.size();
-    for (const auto& d : domains) ++query_counts[d];
+    shard.queries_per_page.push_back(domains.size());
+    shard.total_queries += domains.size();
+    for (const auto& d : domains) ++shard.query_counts[d];
+  }
+  return shard;
+}
+
+AlexaPageModel::CorpusStats AlexaPageModel::merge_corpus_shards(
+    std::vector<CorpusShard> shards) {
+  CorpusStats stats;
+  std::map<dns::Name, std::uint64_t> query_counts;
+  for (auto& shard : shards) {
+    stats.total_queries += shard.total_queries;
+    stats.queries_per_page.insert(stats.queries_per_page.end(),
+                                  shard.queries_per_page.begin(),
+                                  shard.queries_per_page.end());
+    if (query_counts.empty()) {
+      query_counts = std::move(shard.query_counts);
+    } else {
+      for (const auto& [name, c] : shard.query_counts) {
+        query_counts[name] += c;
+      }
+    }
   }
   stats.unique_domains = query_counts.size();
 
@@ -135,6 +157,12 @@ AlexaPageModel::CorpusStats AlexaPageModel::corpus_stats(std::size_t n) {
           : static_cast<double>(top15) /
                 static_cast<double>(stats.total_queries);
   return stats;
+}
+
+AlexaPageModel::CorpusStats AlexaPageModel::corpus_stats(std::size_t n) {
+  std::vector<CorpusShard> one;
+  one.push_back(corpus_shard(1, n));
+  return merge_corpus_shards(std::move(one));
 }
 
 }  // namespace dohperf::workload

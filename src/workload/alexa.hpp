@@ -11,6 +11,7 @@
 // (Figure 6) can replay them.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,22 @@ class AlexaPageModel {
     double top15_query_share = 0.0;
   };
   CorpusStats corpus_stats(std::size_t n);
+
+  /// Partial corpus statistics over the inclusive rank range [lo, hi]:
+  /// the mergeable intermediate form behind corpus_stats(). Because pages
+  /// are a pure function of rank, disjoint ranges computed by different
+  /// shards (each with its own model instance) merge into exactly the
+  /// serial result.
+  struct CorpusShard {
+    std::uint64_t total_queries = 0;
+    std::vector<std::size_t> queries_per_page;  ///< ranks lo..hi, in order
+    std::map<dns::Name, std::uint64_t> query_counts;
+  };
+  CorpusShard corpus_shard(std::size_t lo, std::size_t hi);
+
+  /// Fold rank-ordered shards into final corpus statistics. Shards must be
+  /// passed in ascending rank order and cover disjoint ranges.
+  static CorpusStats merge_corpus_shards(std::vector<CorpusShard> shards);
 
   const AlexaModelConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,124 @@
+// BufferSlice: the zero-copy invariants the byte path depends on —
+// subslices alias (never copy), slices keep the storage alive, and
+// equality is by content like the Bytes it replaced.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "simnet/buffer.hpp"
+
+namespace dohperf::simnet {
+namespace {
+
+using Bytes = dns::Bytes;
+
+Bytes iota_bytes(std::size_t n) {
+  Bytes b(n);
+  std::iota(b.begin(), b.end(), std::uint8_t{0});
+  return b;
+}
+
+TEST(BufferSlice, WrapsBytesWithoutChangingContent) {
+  const Bytes original = iota_bytes(64);
+  const BufferSlice slice{Bytes(original)};
+  ASSERT_EQ(slice.size(), 64u);
+  EXPECT_TRUE(slice == original);
+  EXPECT_EQ(slice[0], 0);
+  EXPECT_EQ(slice[63], 63);
+}
+
+TEST(BufferSlice, SubsliceAliasesSameStorage) {
+  const BufferSlice whole{iota_bytes(100)};
+  const BufferSlice mid = whole.subslice(10, 20);
+  ASSERT_EQ(mid.size(), 20u);
+  // Aliasing, not copying: the subslice points into the parent's storage.
+  EXPECT_EQ(mid.data(), whole.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  EXPECT_EQ(mid[19], 29);
+
+  // Subslice of a subslice composes offsets against the same storage.
+  const BufferSlice inner = mid.subslice(5, 5);
+  EXPECT_EQ(inner.data(), whole.data() + 15);
+  EXPECT_EQ(inner[0], 15);
+}
+
+TEST(BufferSlice, SubsliceClampsToBounds) {
+  const BufferSlice whole{iota_bytes(10)};
+  EXPECT_EQ(whole.subslice(4).size(), 6u);         // open-ended tail
+  EXPECT_EQ(whole.subslice(4, 100).size(), 6u);    // length clamped
+  EXPECT_EQ(whole.subslice(10).size(), 0u);        // at the end
+  EXPECT_EQ(whole.subslice(100, 5).size(), 0u);    // past the end
+}
+
+TEST(BufferSlice, SlicesKeepStorageAliveAfterParentDies) {
+  BufferSlice tail;
+  {
+    BufferSlice whole{iota_bytes(32)};
+    tail = whole.subslice(16);
+    EXPECT_EQ(whole.use_count(), 2);
+  }  // parent slice destroyed; storage must survive via tail's reference
+  EXPECT_EQ(tail.use_count(), 1);
+  ASSERT_EQ(tail.size(), 16u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], 16 + i);
+  }
+}
+
+TEST(BufferSlice, CopyBumpsRefcountInsteadOfCopyingBytes) {
+  const BufferSlice a{iota_bytes(1024)};
+  const BufferSlice b = a;  // slice copy: refcount bump, no byte copy
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.data(), a.data());
+}
+
+TEST(BufferSlice, EqualityIsByContentNotIdentity) {
+  const BufferSlice a{Bytes{1, 2, 3}};
+  const BufferSlice b{Bytes{1, 2, 3}};  // different storage, same bytes
+  const BufferSlice c{Bytes{1, 2, 4}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+
+  // Windows with the same content compare equal wherever they live.
+  const BufferSlice whole{Bytes{9, 1, 2, 3, 9}};
+  EXPECT_TRUE(whole.subslice(1, 3) == a);
+  EXPECT_TRUE(whole.subslice(1, 3) == Bytes({1, 2, 3}));
+}
+
+TEST(BufferSlice, EmptyAndDefaultSlices) {
+  const BufferSlice def;
+  EXPECT_TRUE(def.empty());
+  EXPECT_EQ(def.size(), 0u);
+  EXPECT_EQ(def.use_count(), 0);
+  EXPECT_TRUE(def == BufferSlice{Bytes{}});
+}
+
+TEST(BufferSlice, SpanViewCoversExactWindow) {
+  const BufferSlice whole{iota_bytes(16)};
+  const std::span<const std::uint8_t> view = whole.subslice(4, 8);
+  ASSERT_EQ(view.size(), 8u);
+  EXPECT_EQ(view.data(), whole.data() + 4);
+  EXPECT_EQ(view[0], 4);
+}
+
+TEST(BufferSlice, ToBytesIsTheOneDeliberateCopy) {
+  const BufferSlice whole{iota_bytes(8)};
+  const Bytes copy = whole.subslice(2, 4).to_bytes();
+  EXPECT_EQ(copy, Bytes({2, 3, 4, 5}));
+}
+
+TEST(BufferSlice, CoalesceConcatenatesChainInOrder) {
+  const BufferSlice body{iota_bytes(10)};
+  const std::vector<BufferSlice> chain = {
+      body.subslice(0, 3), body.subslice(3, 4), body.subslice(7)};
+  EXPECT_EQ(coalesce(chain), iota_bytes(10));
+
+  const std::vector<BufferSlice> with_empty = {BufferSlice{},
+                                               body.subslice(0, 2)};
+  EXPECT_EQ(coalesce(with_empty), Bytes({0, 1}));
+}
+
+}  // namespace
+}  // namespace dohperf::simnet

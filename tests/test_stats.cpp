@@ -161,6 +161,50 @@ TEST(Cdf, QuantileEmptyThrows) {
   EXPECT_THROW(cdf.quantile(0.5), std::domain_error);
 }
 
+// Shard merges build CDFs by add_all()-ing the sorted samples of per-shard
+// CDFs (which takes the sorted-merge fast path). Every quantile must be
+// identical to the serial CDF built by add()-ing the same values one at a
+// time, whatever the shard split.
+TEST(Cdf, ShardMergeQuantileIdentity) {
+  SplitMix64 rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.next_double() * 1e3);
+
+  Cdf serial;
+  for (const double v : values) serial.add(v);
+
+  for (const std::size_t shards : {1u, 3u, 7u, 16u}) {
+    std::vector<Cdf> parts(shards);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      parts[i % shards].add(values[i]);
+    }
+    Cdf merged;
+    for (const Cdf& part : parts) merged.add_all(part.sorted_values());
+
+    ASSERT_EQ(merged.count(), serial.count());
+    for (const double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(merged.quantile(q), serial.quantile(q))
+          << "shards=" << shards << " q=" << q;
+    }
+    EXPECT_EQ(merged.sorted_values(), serial.sorted_values());
+  }
+}
+
+// The sorted-merge fast path must not engage when either side is unsorted;
+// interleaving add() and add_all() stays correct.
+TEST(Cdf, MixedAddAndMergeStaysCorrect) {
+  Cdf cdf;
+  cdf.add(5.0);
+  cdf.add(1.0);  // now unsorted
+  const std::vector<double> sorted_batch = {2.0, 3.0, 4.0};
+  cdf.add_all(sorted_batch);
+  const std::vector<double> unsorted_batch = {9.0, 0.0};
+  cdf.add_all(unsorted_batch);
+  const std::vector<double> expect = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 9.0};
+  EXPECT_EQ(cdf.sorted_values(), expect);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 9.0);
+}
+
 TEST(Cdf, CurveIsMonotone) {
   Cdf cdf;
   SplitMix64 rng(3);

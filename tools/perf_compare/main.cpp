@@ -1,0 +1,175 @@
+// perf_compare — diff two dohperf-bench-v1 JSON reports.
+//
+// Usage:
+//   perf_compare BASELINE.json CANDIDATE.json \
+//       [--require=scenarios.event_loop.schedule_fire_events_per_sec>=2.0]...
+//
+// Prints every numeric leaf the two reports share (dotted path, baseline,
+// candidate, candidate/baseline ratio) plus any leaves present on only one
+// side. Each --require asserts a minimum candidate/baseline ratio at one
+// dotted path; the tool exits 1 if any gate fails (or the files are not
+// bench reports), 0 otherwise. CI's perf-smoke job uses the gates to catch
+// large regressions while tolerating machine noise.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dns/json_value.hpp"
+
+namespace {
+
+using dohperf::dns::JsonValue;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Collect `path -> value` for every numeric leaf under `node`.
+void flatten(const JsonValue& node, const std::string& path,
+             std::map<std::string, double>& out) {
+  if (node.is_number()) {
+    out[path] = node.as_double();
+    return;
+  }
+  if (node.is_object()) {
+    for (const auto& [key, child] : node.as_object()) {
+      flatten(child, path.empty() ? key : path + "." + key, out);
+    }
+  } else if (node.is_array()) {
+    const auto& items = node.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      flatten(items[i], path + "[" + std::to_string(i) + "]", out);
+    }
+  }
+}
+
+struct Gate {
+  std::string path;
+  double min_ratio = 0.0;
+};
+
+bool parse_gate(const std::string& spec, Gate& gate) {
+  const auto pos = spec.find(">=");
+  if (pos == std::string::npos || pos == 0) return false;
+  gate.path = spec.substr(0, pos);
+  char* end = nullptr;
+  gate.min_ratio = std::strtod(spec.c_str() + pos + 2, &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<Gate> gates;
+  const std::string require_prefix = "--require=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(require_prefix, 0) == 0) {
+      Gate gate;
+      if (!parse_gate(arg.substr(require_prefix.size()), gate)) {
+        std::fprintf(stderr, "perf_compare: bad gate %s (want PATH>=RATIO)\n",
+                     arg.c_str());
+        return 1;
+      }
+      gates.push_back(std::move(gate));
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: perf_compare BASELINE.json CANDIDATE.json "
+                 "[--require=PATH>=RATIO]...\n");
+    return 1;
+  }
+
+  JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(files[i], text)) {
+      std::fprintf(stderr, "perf_compare: cannot read %s\n",
+                   files[i].c_str());
+      return 1;
+    }
+    try {
+      docs[i] = JsonValue::parse(text);
+    } catch (const dohperf::dns::JsonError& e) {
+      std::fprintf(stderr, "perf_compare: %s: %s\n", files[i].c_str(),
+                   e.what());
+      return 1;
+    }
+    if (!docs[i].is_object() || !docs[i].contains("schema") ||
+        docs[i].at("schema").as_string() != "dohperf-bench-v1") {
+      std::fprintf(stderr, "perf_compare: %s is not a dohperf-bench-v1 report\n",
+                   files[i].c_str());
+      return 1;
+    }
+  }
+  if (docs[0].at("bench").as_string() != docs[1].at("bench").as_string()) {
+    std::fprintf(stderr, "perf_compare: different benches: %s vs %s\n",
+                 docs[0].at("bench").as_string().c_str(),
+                 docs[1].at("bench").as_string().c_str());
+    return 1;
+  }
+
+  std::map<std::string, double> base, cand;
+  if (docs[0].contains("scenarios")) {
+    flatten(docs[0].at("scenarios"), "scenarios", base);
+  }
+  if (docs[1].contains("scenarios")) {
+    flatten(docs[1].at("scenarios"), "scenarios", cand);
+  }
+
+  std::printf("%-64s %14s %14s %8s\n", "path", "baseline", "candidate",
+              "ratio");
+  std::map<std::string, double> ratios;
+  for (const auto& [path, b] : base) {
+    const auto it = cand.find(path);
+    if (it == cand.end()) {
+      std::printf("%-64s %14.6g %14s %8s\n", path.c_str(), b, "-", "gone");
+      continue;
+    }
+    if (b == 0.0) {
+      std::printf("%-64s %14.6g %14.6g %8s\n", path.c_str(), b, it->second,
+                  it->second == 0.0 ? "=" : "n/a");
+      if (it->second == 0.0) ratios[path] = 1.0;
+      continue;
+    }
+    const double ratio = it->second / b;
+    ratios[path] = ratio;
+    std::printf("%-64s %14.6g %14.6g %8.3f\n", path.c_str(), b, it->second,
+                ratio);
+  }
+  for (const auto& [path, c] : cand) {
+    if (base.find(path) == base.end()) {
+      std::printf("%-64s %14s %14.6g %8s\n", path.c_str(), "-", c, "new");
+    }
+  }
+
+  bool ok = true;
+  for (const auto& gate : gates) {
+    const auto it = ratios.find(gate.path);
+    if (it == ratios.end()) {
+      std::printf("GATE FAIL %s: path missing from one report\n",
+                  gate.path.c_str());
+      ok = false;
+      continue;
+    }
+    const bool pass = it->second >= gate.min_ratio;
+    std::printf("GATE %s %s: ratio %.3f (need >= %.3f)\n",
+                pass ? "PASS" : "FAIL", gate.path.c_str(), it->second,
+                gate.min_ratio);
+    ok = ok && pass;
+  }
+  return ok ? 0 : 1;
+}
