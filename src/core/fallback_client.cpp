@@ -31,7 +31,20 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
 
   primary_.resolve(name, type, [this, id](const ResolutionResult& r) {
     const auto it = pending_.find(id);
-    if (it == pending_.end() || it->second.done) return;
+    if (it == pending_.end()) return;
+    it->second.primary_done = true;
+    if (it->second.done) {
+      // The fallback already won: tear the late primary resolution down.
+      // A late success is wasted work — count it rather than drop it.
+      if (r.success) {
+        ++stats_.primary_wasted;
+        if (config_.obs.metrics != nullptr) {
+          config_.obs.metrics->add("fallback.primary_wasted");
+        }
+      }
+      maybe_erase(id);
+      return;
+    }
     if (r.success) {
       if (!it->second.fallback_started) {
         ++stats_.primary_wins;
@@ -95,15 +108,22 @@ void FallbackResolverClient::finish(std::uint64_t id,
   loop_.cancel(it->second.deadline);
   config_.obs.end(it->second.fallback_span);
 
-  ResolutionResult& out = results_[id];
-  const auto sent_at = out.sent_at;
-  out = r;
-  out.sent_at = sent_at;  // measure from when *we* were asked
-  out.completed_at = loop_.now();
-  ++completed_;
   auto callback = std::move(it->second.callback);
-  pending_.erase(it);
+  ResolutionResult out = r;
+  out.sent_at = results_[id].sent_at;  // measure from when *we* were asked
+  out.completed_at = loop_.now();
+  results_[id] = out;
+  ++completed_;
+  maybe_erase(id);
   if (callback) callback(out);
+}
+
+void FallbackResolverClient::maybe_erase(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || !it->second.done) return;
+  // Retain finished entries until the primary reports so its late answer
+  // lands in primary_wasted (see the double-completion regression test).
+  if (it->second.primary_done) pending_.erase(it);
 }
 
 const ResolutionResult& FallbackResolverClient::result(

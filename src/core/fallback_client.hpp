@@ -28,6 +28,10 @@ struct FallbackStats {
   /// Primary reported failure only after the fallback was already racing —
   /// the slow-failure path where the deadline, not the error, decided.
   std::uint64_t primary_late_failures = 0;
+  /// Primary answered successfully after the fallback had already won: the
+  /// late resolution is torn down and accounted here (never surfaced), so
+  /// wasted primary work is visible instead of silently dropped.
+  std::uint64_t primary_wasted = 0;
   /// Time from resolve() to the decision to start the fallback, summed /
   /// maxed over fallback_started decisions. The mean bounds how much a
   /// misbehaving primary delays the user before the rescue begins.
@@ -64,11 +68,16 @@ class FallbackResolverClient final : public ResolverClient {
     simnet::EventId deadline;
     bool fallback_started = false;
     bool done = false;
+    bool primary_done = false;  ///< primary callback has fired
     obs::SpanId fallback_span = 0;  ///< open while the fallback races
   };
 
   void finish(std::uint64_t id, const ResolutionResult& r, bool from_primary);
   void start_fallback(std::uint64_t id, const char* reason);
+  /// Drop the pending entry once it is finished *and* the primary has
+  /// reported — the retention that lets a late primary answer be charged
+  /// to primary_wasted instead of vanishing.
+  void maybe_erase(std::uint64_t id);
 
   simnet::EventLoop& loop_;
   ResolverClient& primary_;

@@ -17,14 +17,44 @@ void Engine::add_record(const dns::Name& name, const std::string& address) {
   zone_[name] = address;
 }
 
+void Engine::add_nxdomain(const dns::Name& name) {
+  nxdomain_[name] = true;
+}
+
+dns::ResourceRecord Engine::soa_record(const dns::Name& qname) const {
+  dns::SoaRdata soa;
+  const dns::Name zone =
+      qname.label_count() > 1 ? qname.parent() : qname;
+  soa.mname = zone.child("ns1");
+  soa.rname = zone.child("hostmaster");
+  soa.serial = 1;
+  soa.refresh = 3600;
+  soa.retry = 600;
+  soa.expire = 86400;
+  soa.minimum = config_.soa_minimum;
+  return dns::ResourceRecord{zone, dns::RType::kSOA, dns::RClass::kIN,
+                             config_.ttl, soa};
+}
+
 dns::Message Engine::answer(const dns::Message& query) const {
   if (query.questions.empty()) {
     return dns::Message::make_error(query, dns::Rcode::kFormErr);
   }
   const auto& q = query.questions.front();
+  if (nxdomain_.find(q.qname) != nxdomain_.end()) {
+    // RFC 2308: negative responses carry the zone SOA in the authority
+    // section so resolvers can derive a negative-cache TTL.
+    dns::Message response =
+        dns::Message::make_error(query, dns::Rcode::kNxDomain);
+    response.authorities.push_back(soa_record(q.qname));
+    return response;
+  }
   if (q.qtype != dns::RType::kA) {
-    // Only A queries are exercised by the experiments; others NOERROR/empty.
-    return dns::Message::make_response(query, {});
+    // Only A queries are exercised by the experiments; others answer
+    // NODATA (NOERROR, no answers) with the SOA negative caching needs.
+    dns::Message response = dns::Message::make_response(query, {});
+    response.authorities.push_back(soa_record(q.qname));
+    return response;
   }
   const auto it = zone_.find(q.qname);
   const std::string& address =
@@ -111,6 +141,12 @@ void Engine::handle(const dns::Message& query, Continuation done) {
   }
 
   dns::Message response = answer(query);
+  if (response.flags.rcode == dns::Rcode::kNxDomain ||
+      (response.flags.rcode == dns::Rcode::kNoError &&
+       response.answers.empty() && !response.questions.empty())) {
+    ++stats_.negative_answers;
+    if (metrics != nullptr) metrics->add("engine.negative_answers");
+  }
   loop_.schedule_in(service, [done = std::move(done),
                               response = std::move(response)]() mutable {
     done(std::move(response));

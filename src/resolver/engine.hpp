@@ -45,6 +45,9 @@ struct UpstreamModel {
 struct EngineConfig {
   std::string fixed_address = "192.0.2.1";  ///< answer for every A query
   std::uint32_t ttl = 300;
+  /// SOA MINIMUM advertised in negative responses (RFC 2308): clients
+  /// derive their negative-cache TTL as min(SOA TTL, SOA MINIMUM).
+  std::uint32_t soa_minimum = 60;
   /// Number of A records per answer. Google's resolver typically returns
   /// several addresses where Cloudflare returns fewer, which is part of
   /// why Google's DoH bodies run larger (§4).
@@ -66,6 +69,7 @@ struct EngineStats {
   std::uint64_t injected_servfail = 0;
   std::uint64_t injected_refused = 0;
   std::uint64_t stalled = 0;
+  std::uint64_t negative_answers = 0;  ///< NXDOMAIN/NODATA (SOA attached)
 };
 
 /// Asynchronous query handler; the continuation runs on the event loop
@@ -85,11 +89,18 @@ class Engine {
   /// distinct server node).
   void add_record(const dns::Name& name, const std::string& address);
 
+  /// Zone override: answer `name` with NXDOMAIN plus the SOA authority
+  /// record negative caching derives its TTL from (RFC 2308).
+  void add_nxdomain(const dns::Name& name);
+
   const EngineStats& stats() const noexcept { return stats_; }
   const EngineConfig& config() const noexcept { return config_; }
 
  private:
   dns::Message answer(const dns::Message& query) const;
+  /// The SOA record negative responses carry (RFC 2308): owner is the
+  /// query name's parent zone, MINIMUM comes from config.soa_minimum.
+  dns::ResourceRecord soa_record(const dns::Name& qname) const;
   simnet::TimeUs next_service_time();
 
   simnet::EventLoop& loop_;
@@ -99,6 +110,7 @@ class Engine {
   stats::SplitMix64 cache_rng_;
   stats::SplitMix64 fault_rng_;
   std::map<dns::Name, std::string> zone_;
+  std::map<dns::Name, bool> nxdomain_;  ///< names answered NXDOMAIN
 };
 
 }  // namespace dohperf::resolver

@@ -4,6 +4,7 @@
 #include "core/caching_client.hpp"
 #include "core/doh_client.hpp"
 #include "core/fallback_client.hpp"
+#include "core/hedging_client.hpp"
 #include "core/udp_client.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
@@ -76,10 +77,12 @@ TEST_F(CacheTest, DistinctTypesAreDistinctEntries) {
   EXPECT_EQ(cache->size(), 2u);
 }
 
-TEST_F(CacheTest, CapacityEvictionIsFifo) {
+TEST_F(CacheTest, CapacityEvictsEarliestExpiry) {
   CacheConfig config;
   config.max_entries = 3;
   start(config);
+  // Same TTL, strictly increasing insert times: the earliest-expiry victim
+  // is the oldest entry.
   for (int i = 0; i < 4; ++i) {
     cache->resolve(name("n" + std::to_string(i) + ".example.com"),
                    dns::RType::kA, {});
@@ -94,6 +97,246 @@ TEST_F(CacheTest, CapacityEvictionIsFifo) {
   // n3 is still cached.
   cache->resolve(name("n3.example.com"), dns::RType::kA, {});
   EXPECT_EQ(cache->stats().hits, 1u);
+}
+
+TEST_F(CacheTest, EvictionLruBreaksExpiryTies) {
+  CacheConfig config;
+  config.max_entries = 3;
+  start(config);
+  // Issue n0..n2 back-to-back: all three complete at the same virtual
+  // instant and share an expiry, so only recency can pick the victim.
+  for (int i = 0; i < 3; ++i) {
+    cache->resolve(name("n" + std::to_string(i) + ".example.com"),
+                   dns::RType::kA, {});
+  }
+  loop.run();
+  EXPECT_EQ(cache->size(), 3u);
+  // Touch n0 (a fresh hit), leaving n1 the least recently used.
+  cache->resolve(name("n0.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, 1u);
+
+  cache->resolve(name("n3.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().evictions, 1u);
+  // n0 survived thanks to the touch; n1 was the tie-break victim.
+  cache->resolve(name("n0.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, 2u);
+  const auto misses_before = cache->stats().misses;
+  cache->resolve(name("n1.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, misses_before + 1);
+}
+
+TEST_F(CacheTest, ClearResetsLruSequenceForIdenticalReplay) {
+  CacheConfig config;
+  config.max_entries = 2;
+  start(config);
+  // One workload phase: fill to capacity in a single instant, touch `a`,
+  // then overflow — the tie-break must evict `b` both times, which only
+  // happens if clear() also rewinds the LRU sequence.
+  const auto phase = [&]() {
+    cache->resolve(name("a.example.com"), dns::RType::kA, {});
+    cache->resolve(name("b.example.com"), dns::RType::kA, {});
+    loop.run();
+    cache->resolve(name("a.example.com"), dns::RType::kA, {});  // touch
+    cache->resolve(name("c.example.com"), dns::RType::kA, {});
+    loop.run();
+    // `a` must have survived the eviction.
+    const auto hits = cache->stats().hits;
+    cache->resolve(name("a.example.com"), dns::RType::kA, {});
+    return cache->stats().hits - hits;
+  };
+  const auto first = phase();
+  cache->clear();
+  EXPECT_EQ(cache->size(), 0u);
+  const auto second = phase();
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, first);  // cleared cache replays byte-identically
+  EXPECT_EQ(cache->stats().evictions, 2u);
+}
+
+TEST_F(CacheTest, NegativeAnswerCachedWithSoaDerivedTtl) {
+  start();  // engine ttl 300, soa_minimum 60 -> negative TTL min(300,60)=60
+  engine->add_nxdomain(name("gone.example.com"));
+  ResolutionResult observed;
+  cache->resolve(name("gone.example.com"), dns::RType::kA,
+                 [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(observed.response.flags.rcode, dns::Rcode::kNxDomain);
+  EXPECT_EQ(cache->stats().negative_entries, 1u);
+
+  // The NXDOMAIN is answered from cache: synchronous, nothing upstream.
+  ResolutionResult hit;
+  cache->resolve(name("gone.example.com"), dns::RType::kA,
+                 [&](const ResolutionResult& r) { hit = r; });
+  EXPECT_TRUE(hit.success);
+  EXPECT_EQ(hit.response.flags.rcode, dns::Rcode::kNxDomain);
+  EXPECT_EQ(hit.resolution_time(), 0);
+  EXPECT_EQ(cache->stats().negative_hits, 1u);
+
+  // ... but only for the SOA-derived 60s, not the record TTL of 300s.
+  loop.schedule_in(simnet::seconds(61), []() {});
+  loop.run();
+  cache->resolve(name("gone.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().misses, 2u);
+}
+
+TEST_F(CacheTest, NodataCachedNegatively) {
+  start();
+  // Non-A queries answer NODATA (NOERROR, empty answer section) with an
+  // SOA — cacheable per RFC 2308 just like NXDOMAIN.
+  cache->resolve(name("a.example.com"), dns::RType::kTXT, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().negative_entries, 1u);
+  ResolutionResult hit;
+  cache->resolve(name("a.example.com"), dns::RType::kTXT,
+                 [&](const ResolutionResult& r) { hit = r; });
+  EXPECT_TRUE(hit.success);
+  EXPECT_TRUE(hit.response.answers.empty());
+  EXPECT_EQ(cache->stats().negative_hits, 1u);
+}
+
+TEST_F(CacheTest, ServfailIsNeverCached) {
+  engine_config.faults.servfail_rate = 1.0;
+  start();
+  cache->resolve(name("sick.example.com"), dns::RType::kA, {});
+  loop.run();
+  cache->resolve(name("sick.example.com"), dns::RType::kA, {});
+  loop.run();
+  // SERVFAIL is a resolver-health signal, not an answer: both lookups went
+  // upstream and nothing was admitted.
+  EXPECT_EQ(cache->stats().misses, 2u);
+  EXPECT_EQ(cache->size(), 0u);
+  EXPECT_EQ(cache->stats().negative_entries, 0u);
+}
+
+TEST_F(CacheTest, ServeStaleOnUpstreamFailure) {
+  CacheConfig config;
+  config.max_stale = simnet::seconds(60);
+  config.stale_serve_delay = simnet::seconds(10);  // failure path, not timer
+  start(config);
+  upstream = std::make_unique<UdpResolverClient>(
+      client, simnet::Address{server.id(), 53},
+      UdpClientConfig{.timeout = simnet::ms(300), .max_retries = 0});
+  cache = std::make_unique<CachingResolverClient>(loop, *upstream, config);
+
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  loop.schedule_in(simnet::seconds(301), []() {});  // past TTL, within stale
+  loop.run();
+  udp_server.reset();  // resolver goes dark
+
+  ResolutionResult observed;
+  const auto id = cache->resolve(name("a.example.com"), dns::RType::kA,
+                                 [&](const ResolutionResult& r) {
+                                   observed = r;
+                                 });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(std::get<dns::ARdata>(observed.response.answers.at(0).rdata)
+                .to_string(),
+            "192.0.2.1");
+  EXPECT_EQ(cache->stats().stale_serves, 1u);
+  // Served when the refresh *failed* (the 300ms timeout), before the 10s
+  // stale-serve delay.
+  EXPECT_EQ(observed.resolution_time(), simnet::ms(300));
+  EXPECT_GT(cache->staleness_age(id), 0u);
+}
+
+TEST_F(CacheTest, StaleServeDelayAnswersWhileRefreshStillRunning) {
+  CacheConfig config;
+  config.max_stale = simnet::seconds(60);
+  config.stale_serve_delay = simnet::ms(100);
+  start(config);
+  upstream = std::make_unique<UdpResolverClient>(
+      client, simnet::Address{server.id(), 53},
+      UdpClientConfig{.timeout = simnet::seconds(2), .max_retries = 0});
+  cache = std::make_unique<CachingResolverClient>(loop, *upstream, config);
+
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  loop.schedule_in(simnet::seconds(301), []() {});
+  loop.run();
+  udp_server.reset();
+
+  ResolutionResult observed;
+  cache->resolve(name("a.example.com"), dns::RType::kA,
+                 [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  // The waiter was rescued at the 100ms stale deadline — RFC 8767's client
+  // response timeout — not at the 2s refresh timeout.
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(observed.resolution_time(), simnet::ms(100));
+  EXPECT_EQ(cache->stats().stale_serves, 1u);
+}
+
+TEST_F(CacheTest, StaleWhileRevalidateRepairsEntry) {
+  CacheConfig config;
+  config.max_stale = simnet::seconds(60);
+  config.stale_serve_delay = 0;  // serve stale instantly, refresh behind
+  start(config);
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  loop.schedule_in(simnet::seconds(301), []() {});
+  loop.run();
+
+  // Resolver is healthy: the stale answer goes out first, the refresh then
+  // repairs the entry in the background.
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  EXPECT_EQ(cache->stats().stale_serves, 1u);
+  EXPECT_EQ(cache->stats().revalidations, 1u);
+  // The repaired entry serves fresh hits again.
+  const auto hits = cache->stats().hits;
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, hits + 1);
+}
+
+TEST_F(CacheTest, ConcurrentLookupsCoalesceOntoOneUpstreamQuery) {
+  start();
+  int answered = 0;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(cache->resolve(name("hot.example.com"), dns::RType::kA,
+                                 [&](const ResolutionResult& r) {
+                                   if (r.success) ++answered;
+                                 }));
+  }
+  loop.run();
+  EXPECT_EQ(answered, 3);
+  EXPECT_EQ(cache->stats().coalesced, 2u);
+  EXPECT_EQ(cache->stats().upstream_queries, 1u);
+  EXPECT_EQ(upstream->completed(), 1u);
+  // The single upstream exchange is charged once: the first waiter carries
+  // the wire bytes, the joiners ride free.
+  EXPECT_GT(cache->result(ids[0]).cost.wire_bytes, 0u);
+  EXPECT_EQ(cache->result(ids[1]).cost.wire_bytes, 0u);
+  EXPECT_EQ(cache->result(ids[2]).cost.wire_bytes, 0u);
+}
+
+TEST_F(CacheTest, ProactiveRefreshKeepsHotEntryFresh) {
+  CacheConfig config;
+  config.refresh_ahead = simnet::seconds(20);
+  start(config);
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  // A hit inside the refresh-ahead window answers fresh *and* starts a
+  // background refresh.
+  loop.schedule_in(simnet::seconds(290), []() {});
+  loop.run();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().proactive_refreshes, 1u);
+  loop.run();
+  EXPECT_EQ(cache->stats().upstream_queries, 2u);
+  // Past the original 300s TTL the refreshed entry still hits.
+  loop.schedule_in(simnet::seconds(20), []() {});
+  loop.run();
+  cache->resolve(name("a.example.com"), dns::RType::kA, {});
+  EXPECT_EQ(cache->stats().hits, 2u);
+  EXPECT_EQ(cache->stats().misses, 1u);
 }
 
 TEST_F(CacheTest, TtlClampObeyed) {
@@ -235,6 +478,138 @@ TEST_F(FallbackTest, ManyQueriesMixedHealth) {
   EXPECT_GT(trr->stats().fallback_used, 0u);
   EXPECT_GT(trr->stats().primary_wins, 0u);
   EXPECT_EQ(trr->stats().primary_wins + trr->stats().fallback_used, 12u);
+}
+
+// --- hedging ----------------------------------------------------------------------
+
+class HedgeTest : public TwoHostFixture {
+ protected:
+  resolver::EngineConfig primary_config;
+  resolver::EngineConfig secondary_config;
+  std::unique_ptr<resolver::Engine> primary_engine;
+  std::unique_ptr<resolver::Engine> secondary_engine;
+  std::unique_ptr<resolver::UdpServer> primary_server;
+  std::unique_ptr<resolver::UdpServer> secondary_server;
+  std::unique_ptr<UdpResolverClient> primary;
+  std::unique_ptr<UdpResolverClient> secondary;
+  std::unique_ptr<HedgingResolverClient> hedged;
+
+  void start(HedgeConfig config = {},
+             UdpClientConfig primary_client_config = {}) {
+    primary_engine = std::make_unique<resolver::Engine>(loop, primary_config);
+    secondary_engine =
+        std::make_unique<resolver::Engine>(loop, secondary_config);
+    primary_server =
+        std::make_unique<resolver::UdpServer>(server, *primary_engine, 53);
+    secondary_server =
+        std::make_unique<resolver::UdpServer>(server, *secondary_engine, 54);
+    primary = std::make_unique<UdpResolverClient>(
+        client, simnet::Address{server.id(), 53}, primary_client_config);
+    secondary = std::make_unique<UdpResolverClient>(
+        client, simnet::Address{server.id(), 54});
+    hedged = std::make_unique<HedgingResolverClient>(loop, *primary,
+                                                     *secondary, config);
+  }
+
+  static dns::Name name(const std::string& n) { return dns::Name::parse(n); }
+};
+
+TEST_F(HedgeTest, FastPrimaryWinsWithoutHedging) {
+  HedgeConfig config;
+  config.hedge_delay = simnet::ms(200);
+  config.hedge_budget_permille = 1000;
+  start(config);
+  ResolutionResult observed;
+  hedged->resolve(name("a.example.com"), dns::RType::kA,
+                  [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(hedged->stats().primary_wins, 1u);
+  EXPECT_EQ(hedged->stats().hedges_issued, 0u);
+  EXPECT_EQ(secondary->completed(), 0u);  // secondary never queried
+}
+
+TEST_F(HedgeTest, HedgeFiresAfterDelayAndWins) {
+  primary_config.faults.stall_rate = 1.0;  // primary accepts, never answers
+  HedgeConfig config;
+  config.hedge_delay = simnet::ms(200);
+  config.hedge_budget_permille = 1000;
+  start(config, UdpClientConfig{.timeout = simnet::seconds(5)});
+  ResolutionResult observed;
+  hedged->resolve(name("a.example.com"), dns::RType::kA,
+                  [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(hedged->stats().hedges_issued, 1u);
+  EXPECT_EQ(hedged->stats().hedge_wins, 1u);
+  // Hedge delay plus one round trip to the secondary, far below the
+  // primary's 5s timeout.
+  EXPECT_GE(observed.resolution_time(), simnet::ms(200));
+  EXPECT_LT(observed.resolution_time(), simnet::ms(300));
+}
+
+TEST_F(HedgeTest, LateLoserIsTornDownAndChargedAsWaste) {
+  // Primary answers everything, but a second late: the hedge wins, and the
+  // primary's eventual answer must neither surface nor double-complete —
+  // it lands in the wasted account.
+  primary_config.delay_policy.every_n = 1;
+  primary_config.delay_policy.delay = simnet::seconds(1);
+  HedgeConfig config;
+  config.hedge_delay = simnet::ms(100);
+  config.hedge_budget_permille = 1000;
+  start(config);
+  int callbacks = 0;
+  ResolutionResult observed;
+  hedged->resolve(name("a.example.com"), dns::RType::kA,
+                  [&](const ResolutionResult& r) {
+                    ++callbacks;
+                    observed = r;
+                  });
+  loop.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(hedged->completed(), 1u);
+  EXPECT_TRUE(observed.success);
+  EXPECT_LT(observed.resolution_time(), simnet::ms(500));  // the hedge's
+  EXPECT_EQ(hedged->stats().hedge_wins, 1u);
+  EXPECT_EQ(hedged->stats().wasted_answers, 1u);
+  EXPECT_GT(hedged->stats().wasted_wire_bytes, 0u);
+}
+
+TEST_F(HedgeTest, BudgetSuppressesExcessHedges) {
+  primary_config.faults.stall_rate = 1.0;
+  HedgeConfig config;
+  config.hedge_delay = simnet::ms(100);
+  config.hedge_budget_permille = 500;  // at most one hedge per two queries
+  start(config, UdpClientConfig{.timeout = simnet::seconds(5)});
+  int succeeded = 0;
+  for (int i = 0; i < 10; ++i) {
+    hedged->resolve(name("q" + std::to_string(i) + ".example.com"),
+                    dns::RType::kA, [&](const ResolutionResult& r) {
+                      if (r.success) ++succeeded;
+                    });
+    loop.run();
+  }
+  const auto& s = hedged->stats();
+  EXPECT_EQ(s.hedges_issued, 5u);  // the per-mille cap, exactly
+  EXPECT_GT(s.hedges_suppressed, 0u);
+  EXPECT_EQ(succeeded, 5);  // suppressed queries died with the primary
+  EXPECT_EQ(s.both_failed, 5u);
+}
+
+TEST_F(HedgeTest, PrimaryFailureHedgesImmediately) {
+  primary_config.faults.stall_rate = 1.0;
+  HedgeConfig config;
+  config.hedge_delay = simnet::seconds(3);  // far beyond the failure
+  config.hedge_budget_permille = 1000;
+  start(config, UdpClientConfig{.timeout = simnet::ms(150)});
+  ResolutionResult observed;
+  hedged->resolve(name("a.example.com"), dns::RType::kA,
+                  [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(hedged->stats().hedge_wins, 1u);
+  // The primary's 150ms failure triggered the hedge, not the 3s delay.
+  EXPECT_LT(observed.resolution_time(), simnet::ms(300));
 }
 
 TEST_F(FallbackTest, CacheOverFallbackComposes) {

@@ -1,0 +1,151 @@
+// Graceful degradation, end to end: the resilience cache stacked over the
+// TRR-style fallback, driven through a mid-run link outage that takes out
+// both the DoH primary and the UDP fallback. The stack must coalesce the
+// outage-window thundering herd onto one upstream query, answer everyone
+// from stale data, refresh on recovery, and replay byte-identically under
+// the same seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/caching_client.hpp"
+#include "core/doh_client.hpp"
+#include "core/fallback_client.hpp"
+#include "core/udp_client.hpp"
+#include "resolver/doh_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "simnet/fault.hpp"
+
+namespace dohperf {
+namespace {
+
+struct ScenarioOutcome {
+  std::string fingerprint;  ///< every observable, serialized in event order
+  core::CacheStats cache;
+  core::FallbackStats fallback;
+  bool outage_queries_ok = true;      ///< all three answered successfully
+  bool outage_queries_stale = true;   ///< ... and all from stale data
+  bool recovery_query_ok = false;
+  std::uint64_t post_recovery_hits = 0;
+};
+
+/// One full run of the scenario; a pure function of `seed`.
+ScenarioOutcome run_scenario(std::uint64_t seed) {
+  simnet::EventLoop loop;
+  simnet::Network net(loop, seed);
+  simnet::Host client(net, "client");
+  simnet::Host server(net, "resolver");
+
+  simnet::LinkConfig link;
+  link.latency = simnet::ms(5);
+  net.connect(client.id(), server.id(), link);
+  // The outage window: both resolvers unreachable from 5s to 9s.
+  simnet::FaultSchedule schedule;
+  schedule.add_outage(simnet::seconds(5), simnet::seconds(4));
+  net.inject_faults(client.id(), server.id(), schedule);
+
+  resolver::EngineConfig primary_config;
+  primary_config.ttl = 4;  // entries expire before the outage ends
+  resolver::Engine primary_engine(loop, primary_config);
+  resolver::DohServerConfig doh_config;
+  doh_config.tls.chain = tlssim::CertificateChain::cloudflare();
+  resolver::DohServer doh_server(server, primary_engine, doh_config, 443);
+
+  resolver::EngineConfig fallback_config;
+  fallback_config.ttl = 4;
+  resolver::Engine fallback_engine(loop, fallback_config);
+  resolver::UdpServer udp_server(server, fallback_engine, 53);
+
+  core::DohClientConfig doh_client_config;
+  doh_client_config.server_name = "cloudflare-dns.com";
+  doh_client_config.retry.max_retries = 0;
+  doh_client_config.retry.query_timeout = simnet::ms(300);
+  doh_client_config.retry.seed = seed ^ 0xbf58476d1ce4e5b9ULL;
+  core::DohClient doh(client, simnet::Address{server.id(), 443},
+                      doh_client_config);
+  core::UdpResolverClient udp(
+      client, simnet::Address{server.id(), 53},
+      core::UdpClientConfig{.timeout = simnet::ms(300), .max_retries = 0});
+
+  core::FallbackConfig trr_config;
+  trr_config.primary_deadline = simnet::ms(400);
+  core::FallbackResolverClient trr(loop, doh, udp, trr_config);
+
+  core::CacheConfig cache_config;
+  cache_config.max_stale = simnet::seconds(60);
+  cache_config.stale_serve_delay = simnet::ms(500);
+  core::CachingResolverClient cache(loop, trr, cache_config);
+
+  const dns::Name hot = dns::Name::parse("hot.example.com");
+  std::vector<std::uint64_t> ids;
+  // t=0: populate the cache (expires ~4s in, before the outage lifts).
+  ids.push_back(cache.resolve(hot, dns::RType::kA, {}));
+  // t=6s, mid-outage: three concurrent lookups of the now-expired entry.
+  loop.schedule_at(simnet::seconds(6), [&]() {
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(cache.resolve(hot, dns::RType::kA, {}));
+    }
+  });
+  // t=10s, after recovery: the same name again.
+  loop.schedule_at(simnet::seconds(10), [&]() {
+    ids.push_back(cache.resolve(hot, dns::RType::kA, {}));
+  });
+  loop.run();
+
+  ScenarioOutcome out;
+  for (const std::uint64_t id : ids) {
+    const auto& r = cache.result(id);
+    out.fingerprint += std::to_string(id) + ":" +
+                       (r.success ? "ok" : "fail") + ":" +
+                       std::to_string(r.resolution_time()) + ":" +
+                       std::to_string(cache.staleness_age(id)) + ";";
+  }
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const auto& r = cache.result(ids[i]);
+    out.outage_queries_ok &= r.success;
+    out.outage_queries_stale &= cache.staleness_age(ids[i]) > 0;
+  }
+  out.recovery_query_ok = cache.result(ids[4]).success;
+  // After the post-recovery resolution the entry is fresh again: one more
+  // lookup must be a pure cache hit.
+  const auto hits_before = cache.stats().hits;
+  cache.resolve(hot, dns::RType::kA, {});
+  loop.run();
+  out.post_recovery_hits = cache.stats().hits - hits_before;
+  out.cache = cache.stats();
+  out.fallback = trr.stats();
+  out.fingerprint += "|coalesced=" + std::to_string(out.cache.coalesced) +
+                     ",stale=" + std::to_string(out.cache.stale_serves) +
+                     ",upstream=" +
+                     std::to_string(out.cache.upstream_queries) +
+                     ",both_failed=" +
+                     std::to_string(out.fallback.both_failed);
+  return out;
+}
+
+TEST(GracefulDegradation, StaleAnswersCarryClientsThroughOutage) {
+  const ScenarioOutcome out = run_scenario(7);
+  // The mid-outage herd coalesced onto a single upstream query ...
+  EXPECT_EQ(out.cache.coalesced, 2u);
+  // ... which failed through both resolver paths ...
+  EXPECT_GE(out.fallback.both_failed, 1u);
+  // ... and everyone was answered from the expired entry instead.
+  EXPECT_TRUE(out.outage_queries_ok);
+  EXPECT_TRUE(out.outage_queries_stale);
+  EXPECT_EQ(out.cache.stale_serves, 3u);
+  // After the link heals, resolution works again and repairs the entry.
+  EXPECT_TRUE(out.recovery_query_ok);
+  EXPECT_EQ(out.post_recovery_hits, 1u);
+}
+
+TEST(GracefulDegradation, SameSeedRunsAreByteIdentical) {
+  const ScenarioOutcome a = run_scenario(21);
+  const ScenarioOutcome b = run_scenario(21);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_FALSE(a.fingerprint.empty());
+}
+
+}  // namespace
+}  // namespace dohperf

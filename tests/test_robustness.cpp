@@ -398,5 +398,47 @@ TEST_F(TwoHostFixture, FallbackDecisionLatencyOnHardFailureBeatsDeadline) {
   EXPECT_EQ(s.decision_latency_max, simnet::ms(100));
 }
 
+TEST_F(TwoHostFixture, FallbackTearsDownLatePrimaryAnswer) {
+  // The double-completion path: the fallback wins at ~510ms, then the
+  // primary's answer lands at ~1s. The late answer must not surface, must
+  // not fire the callback a second time, and is charged to primary_wasted.
+  resolver::EngineConfig slow;
+  slow.delay_policy.every_n = 1;
+  slow.delay_policy.delay = simnet::seconds(1);
+  resolver::Engine primary_engine(loop, slow);
+  resolver::UdpServer primary_server(server, primary_engine, 53);
+  resolver::Engine fallback_engine(loop, {});
+  resolver::UdpServer fallback_server(server, fallback_engine, 54);
+
+  core::UdpResolverClient primary(client, {server.id(), 53});
+  core::UdpResolverClient fallback(client, {server.id(), 54});
+
+  core::FallbackConfig config;
+  config.primary_deadline = simnet::ms(500);
+  core::FallbackResolverClient trr(loop, primary, fallback, config);
+
+  int callbacks = 0;
+  core::ResolutionResult observed;
+  const auto id = trr.resolve(dns::Name::parse("late-win.example"),
+                              dns::RType::kA,
+                              [&](const core::ResolutionResult& r) {
+                                ++callbacks;
+                                observed = r;
+                              });
+  loop.run();
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(trr.completed(), 1u);
+  EXPECT_TRUE(observed.success);
+  // The surfaced answer is the fallback's (deadline + one UDP round trip),
+  // not the primary's 1s-delayed one.
+  EXPECT_LT(observed.resolution_time(), simnet::ms(700));
+  EXPECT_LT(trr.result(id).resolution_time(), simnet::ms(700));
+  const auto& s = trr.stats();
+  EXPECT_EQ(s.fallback_used, 1u);
+  EXPECT_EQ(s.primary_wins, 0u);
+  EXPECT_EQ(s.primary_wasted, 1u);
+}
+
 }  // namespace
 }  // namespace dohperf

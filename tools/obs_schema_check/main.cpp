@@ -75,6 +75,37 @@ void validate_metrics(const JsonValue& doc, Errors& errors,
   }
 }
 
+// --- availability_matrix cells ----------------------------------------------
+
+/// Extra structure required of availability_matrix reports: each grid cell
+/// (a "scenario/rung" key; keys without "/" such as "checks" are the
+/// harness's own verdicts) must carry the degradation-ladder headline
+/// numbers with sane ranges.
+void validate_availability_cell(const std::string& label,
+                                const JsonValue& metrics, Errors& errors,
+                                const std::string& where) {
+  const auto pct_in_range = [&](const char* field) {
+    if (!metrics.contains(field) || !metrics.at(field).is_number()) {
+      errors.push_back(where + ": cell " + label + " lacks numeric \"" +
+                       field + "\"");
+      return;
+    }
+    const double v = metrics.at(field).as_double();
+    require(errors, v >= 0.0 && v <= 100.0,
+            where + ": cell " + label + " " + field + " outside [0,100]");
+  };
+  pct_in_range("availability_pct");
+  pct_in_range("stale_pct");
+  require(errors,
+          metrics.contains("staleness_age_ms") &&
+              metrics.at("staleness_age_ms").is_object(),
+          where + ": cell " + label + " lacks object \"staleness_age_ms\"");
+  require(errors,
+          metrics.contains("p99_ms") && metrics.at("p99_ms").is_number() &&
+              metrics.at("p99_ms").as_double() >= 0.0,
+          where + ": cell " + label + " lacks non-negative \"p99_ms\"");
+}
+
 // --- dohperf-bench-v1 --------------------------------------------------------
 
 void validate_bench(const JsonValue& doc, Errors& errors,
@@ -93,6 +124,9 @@ void validate_bench(const JsonValue& doc, Errors& errors,
     errors.push_back(where + ": missing object \"scenarios\"");
     return;
   }
+  const bool availability =
+      doc.contains("bench") && doc.at("bench").is_string() &&
+      doc.at("bench").as_string() == "availability_matrix";
   for (const auto& [label, metrics] : doc.at("scenarios").as_object()) {
     if (!metrics.is_object()) {
       errors.push_back(where + ": scenario " + label + " is not an object");
@@ -104,6 +138,9 @@ void validate_bench(const JsonValue& doc, Errors& errors,
       require(errors, !value.is_null(),
               where + ": scenario " + label + " metric " + metric +
                   " is null");
+    }
+    if (availability && label.find('/') != std::string::npos) {
+      validate_availability_cell(label, metrics, errors, where);
     }
   }
   if (doc.contains("metrics")) {
