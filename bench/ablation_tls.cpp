@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "core/doh_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "workload/names.hpp"
 

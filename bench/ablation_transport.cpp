@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "core/doh_client.hpp"
 #include "core/dot_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
 #include "workload/names.hpp"

@@ -38,6 +38,7 @@
 #include "core/caching_client.hpp"
 #include "core/doh_client.hpp"
 #include "core/hedging_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "simnet/fault.hpp"
 

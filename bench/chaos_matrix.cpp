@@ -12,6 +12,10 @@
 //   servfail-10    resolver answers SERVFAIL for 10% of queries
 //   lat-spike      +300ms one-way latency for 2s mid-run
 //   throttle       link throttled to 64 kbit/s for 3s mid-run
+//   retry-storm    resolver stalls 25% of queries behind a RecursiveTier
+//                  whose server-side retry budget (10% of fresh traffic)
+//                  detects the resulting client retransmissions/re-issues
+//                  and sheds the excess REFUSED before it snowballs
 //
 // Every random draw (arrivals, names, loss, faults, backoff jitter) comes
 // from seeded generators over virtual time, so the whole table is a pure
@@ -30,6 +34,8 @@
 #include "core/doh_client.hpp"
 #include "core/dot_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
+#include "resolver/recursive_tier.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
 #include "resolver/udp_server.hpp"
@@ -47,6 +53,9 @@ struct Scenario {
   simnet::FaultSchedule link_faults{};
   simnet::TimeUs restart_at = 0;  ///< 0 = no server restart
   simnet::TimeUs restart_downtime = 0;
+  /// Put a RecursiveTier (with a server-side retry budget) between the
+  /// front-ends and the engine — the retry-storm scenario.
+  bool tier_storm = false;
 };
 
 std::vector<Scenario> scenarios() {
@@ -89,6 +98,11 @@ std::vector<Scenario> scenarios() {
                                     /*bps=*/64'000.0);
   all.push_back(std::move(throttle));
 
+  Scenario storm{.name = "retry-storm"};
+  storm.engine_faults.stall_rate = 0.25;
+  storm.tier_storm = true;
+  all.push_back(std::move(storm));
+
   return all;
 }
 
@@ -99,6 +113,10 @@ struct RunMetrics {
   std::vector<double> resolution_ms;
   core::RetryStats retry;
   std::uint64_t udp_final_timeouts = 0;
+  // Tier-side retry-budget accounting (retry-storm cells only).
+  std::uint64_t tier_retries_detected = 0;
+  std::uint64_t tier_shed_retry_budget = 0;
+  std::uint64_t tier_upstream_timeouts = 0;
 };
 
 /// One cell of the matrix: `transport` in {udp, dot, h1, h2}.
@@ -127,11 +145,34 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
   engine_config.seed = seed ^ 0x9e3779b97f4a7c15ULL;
   resolver::Engine engine(loop, engine_config);
 
-  resolver::UdpServer udp_server(server, engine, 53);
-  resolver::DotServer dot_server(server, engine, {}, 853);
+  // The retry-storm cells interpose the shared tier: a stalled back-end
+  // slot is reclaimed (SERVFAIL) after 3s — past every client timeout, so
+  // clients retransmit/re-issue first and the tier's budget must account
+  // for those retries server-side. Fresh traffic at 10 q/s deposits ~1
+  // retry/s of budget; 25% stalls demand several times that, so the budget
+  // drains and the excess is shed REFUSED (terminal for every client).
+  std::unique_ptr<resolver::RecursiveTier> tier;
+  resolver::QueryHandler* handler = &engine;
+  if (scenario.tier_storm) {
+    resolver::TierConfig tier_config;
+    tier_config.obs = obs;
+    tier_config.workers = 16;  // stalled slots park for 3s; keep headroom
+    tier_config.service_timeout = simnet::seconds(3);
+    tier_config.retry_budget_enabled = true;
+    tier_config.retry_ratio_permille = 100;
+    tier_config.retry_reserve_milli = 3000;
+    tier_config.retry_cap_milli = 50000;
+    tier_config.retry_window = simnet::seconds(4);
+    tier = std::make_unique<resolver::RecursiveTier>(loop, engine,
+                                                     tier_config);
+    handler = tier.get();
+  }
+
+  resolver::UdpServer udp_server(server, *handler, 53);
+  resolver::DotServer dot_server(server, *handler, {}, 853);
   resolver::DohServerConfig doh_config;
   doh_config.tls.chain = tlssim::CertificateChain::generic("local.resolver");
-  resolver::DohServer doh_server(server, engine, doh_config, 443);
+  resolver::DohServer doh_server(server, *handler, doh_config, 443);
 
   if (scenario.restart_at > 0) {
     loop.schedule_at(scenario.restart_at, [&]() {
@@ -217,6 +258,11 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
   if (doh != nullptr) m.retry = doh->retry_stats();
   if (dot != nullptr) m.retry = dot->retry_stats();
   if (udp != nullptr) m.udp_final_timeouts = udp->timeouts();
+  if (tier != nullptr) {
+    m.tier_retries_detected = tier->stats().retries_detected;
+    m.tier_shed_retry_budget = tier->stats().shed_retry_budget;
+    m.tier_upstream_timeouts = tier->stats().upstream_timeouts;
+  }
   return m;
 }
 
@@ -293,6 +339,12 @@ std::string render_matrix(const std::vector<Cell>& cells,
                          static_cast<std::int64_t>(timeouts));
         json_report->set(key, "budget_exhausted",
                          static_cast<std::int64_t>(m.retry.budget_exhausted));
+        json_report->set(key, "tier_retries_detected",
+                         static_cast<std::int64_t>(m.tier_retries_detected));
+        json_report->set(key, "tier_shed_retry_budget",
+                         static_cast<std::int64_t>(m.tier_shed_retry_budget));
+        json_report->set(key, "tier_upstream_timeouts",
+                         static_cast<std::int64_t>(m.tier_upstream_timeouts));
       }
     }
   }
@@ -361,10 +413,34 @@ int main(int argc, char** argv) {
   std::printf("recovery check (>=99%% success through restart-2s, budget "
               "intact): %s\n",
               recovered ? "PASS" : "FAIL");
+
+  // The retry-storm claim, end to end: in every retry-storm cell the tier
+  // detected the client retransmissions/re-issues, and the drained budget
+  // actually shed some of them (summed across transports).
+  bool storm_ok = true;
+  std::uint64_t storm_sheds = 0;
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    if (!grid[s].tier_storm) continue;
+    for (std::size_t t = 0; t < kTransports.size(); ++t) {
+      const RunMetrics& m = cells[s * kTransports.size() + t].metrics;
+      storm_sheds += m.tier_shed_retry_budget;
+      if (m.tier_retries_detected == 0) {
+        std::printf("storm check FAIL: %s/%s detected no retries\n",
+                    grid[s].name.c_str(), kTransports[t]);
+        storm_ok = false;
+      }
+    }
+  }
+  storm_ok = storm_ok && storm_sheds > 0;
+  std::printf("storm check (tier detects retries on every transport, "
+              "budget sheds the excess): %s\n",
+              storm_ok ? "PASS" : "FAIL");
   json_report.set("checks", "determinism",
                   std::string(first == second ? "PASS" : "FAIL"));
   json_report.set("checks", "recovery",
                   std::string(recovered ? "PASS" : "FAIL"));
+  json_report.set("checks", "storm",
+                  std::string(storm_ok ? "PASS" : "FAIL"));
   bench::finish(argc, argv, json_report, nullptr, &registry);
-  return first == second && recovered ? 0 : 1;
+  return first == second && recovered && storm_ok ? 0 : 1;
 }

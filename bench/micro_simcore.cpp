@@ -23,6 +23,7 @@
 #include "browser/web_farm.hpp"
 #include "core/udp_client.hpp"
 #include "http2/connection.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/udp_server.hpp"
 #include "shard_runner.hpp"
 #include "simnet/event_loop.hpp"

@@ -14,6 +14,7 @@
 #include "core/udp_client.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "workload/alexa.hpp"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/doh_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "simnet/event_loop.hpp"
 #include "simnet/host.hpp"

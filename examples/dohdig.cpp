@@ -17,6 +17,7 @@
 #include "core/dot_client.hpp"
 #include "core/tcp_dns_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/doq_server.hpp"
 #include "resolver/dot_server.hpp"

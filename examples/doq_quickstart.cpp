@@ -7,6 +7,7 @@
 
 #include "core/doq_client.hpp"
 #include "core/dot_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doq_server.hpp"
 #include "resolver/dot_server.hpp"
 

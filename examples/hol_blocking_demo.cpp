@@ -11,6 +11,7 @@
 
 #include "core/doh_client.hpp"
 #include "core/dot_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
 

@@ -12,6 +12,7 @@
 #include "browser/web_farm.hpp"
 #include "core/doh_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/doh_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "simnet/event_loop.hpp"
 #include "simnet/host.hpp"

@@ -16,6 +16,7 @@
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 
 int main(int argc, char** argv) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/doh_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "simnet/trace.hpp"
 

@@ -36,7 +36,8 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
     if (it->second.done) {
       // The fallback already won: tear the late primary resolution down.
       // A late success is wasted work — count it rather than drop it.
-      if (r.success) {
+      // (A late shed answer is not useful work, so it isn't "wasted".)
+      if (usable(r)) {
         ++stats_.primary_wasted;
         if (config_.obs.metrics != nullptr) {
           config_.obs.metrics->add("fallback.primary_wasted");
@@ -45,7 +46,7 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
       maybe_erase(id);
       return;
     }
-    if (r.success) {
+    if (usable(r)) {
       if (!it->second.fallback_started) {
         ++stats_.primary_wins;
         if (config_.obs.metrics != nullptr) {
@@ -54,14 +55,31 @@ std::uint64_t FallbackResolverClient::resolve(const dns::Name& name,
       }
       finish(id, r, /*from_primary=*/true);
     } else if (!it->second.fallback_started) {
-      // Hard failure before the deadline: fall back immediately.
-      start_fallback(id, "primary_failure");
+      if (r.success) {
+        // Transport delivered an answer but the server was shedding
+        // (SERVFAIL/REFUSED): never surface it — fall back instead.
+        ++stats_.primary_shed;
+        if (config_.obs.metrics != nullptr) {
+          config_.obs.metrics->add("fallback.primary_shed");
+        }
+        start_fallback(id, "primary_shed");
+      } else {
+        // Hard failure before the deadline: fall back immediately.
+        start_fallback(id, "primary_failure");
+      }
     } else {
       // Primary failed after the fallback started: wait for the fallback.
       ++stats_.primary_late_failures;
     }
   });
   return id;
+}
+
+bool FallbackResolverClient::usable(const ResolutionResult& r) const {
+  if (!r.success) return false;
+  if (!config_.rcode_failures) return true;
+  const dns::Rcode rcode = r.response.flags.rcode;
+  return rcode != dns::Rcode::kServFail && rcode != dns::Rcode::kRefused;
 }
 
 void FallbackResolverClient::start_fallback(std::uint64_t id,
@@ -84,7 +102,7 @@ void FallbackResolverClient::start_fallback(std::uint64_t id,
                     [this, id](const ResolutionResult& r) {
                       const auto p = pending_.find(id);
                       if (p == pending_.end() || p->second.done) return;
-                      if (r.success) {
+                      if (usable(r)) {
                         ++stats_.fallback_used;
                         if (config_.obs.metrics != nullptr) {
                           config_.obs.metrics->add("fallback.used");

@@ -17,6 +17,11 @@ namespace dohperf::core {
 struct FallbackConfig {
   /// How long to wait for the primary before also asking the fallback.
   simnet::TimeUs primary_deadline = simnet::ms(1500);
+  /// Treat a transport-successful primary answer carrying SERVFAIL/REFUSED
+  /// as a failure: an overloaded tier sheds with REFUSED, and surfacing
+  /// that as the resolution would turn server load-shedding into client
+  /// outage. Matches HealthTrackingClient's rcode_failures semantics.
+  bool rcode_failures = true;
   obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
@@ -24,6 +29,9 @@ struct FallbackStats {
   std::uint64_t primary_wins = 0;    ///< primary answered in time
   std::uint64_t fallback_used = 0;   ///< deadline hit or primary failed
   std::uint64_t both_failed = 0;
+  /// Primary answered with SERVFAIL/REFUSED (server-side shedding): the
+  /// fallback was started instead of surfacing the shed answer.
+  std::uint64_t primary_shed = 0;
   std::uint64_t fallback_started = 0;  ///< fallback launched (won or not)
   /// Primary reported failure only after the fallback was already racing —
   /// the slow-failure path where the deadline, not the error, decided.
@@ -74,6 +82,8 @@ class FallbackResolverClient final : public ResolverClient {
 
   void finish(std::uint64_t id, const ResolutionResult& r, bool from_primary);
   void start_fallback(std::uint64_t id, const char* reason);
+  /// Transport success that isn't a shed rcode (see rcode_failures).
+  bool usable(const ResolutionResult& r) const;
   /// Drop the pending entry once it is finished *and* the primary has
   /// reported — the retention that lets a late primary answer be charged
   /// to primary_wasted instead of vanishing.

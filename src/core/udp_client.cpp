@@ -88,6 +88,7 @@ void UdpResolverClient::on_timeout(std::uint16_t dns_id) {
     if (config_.obs.metrics != nullptr) {
       config_.obs.metrics->add("client.udp.retries");
     }
+    ++retransmissions_;
     send_query(dns_id);
     return;
   }

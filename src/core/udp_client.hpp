@@ -30,6 +30,9 @@ class UdpResolverClient final : public ResolverClient {
   std::size_t completed() const override { return completed_; }
 
   std::uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Retransmissions sent after first attempts (the client-side half of
+  /// the retry-amplification factor the overload bench reports).
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
 
  private:
   struct Pending {
@@ -57,6 +60,7 @@ class UdpResolverClient final : public ResolverClient {
   std::uint64_t next_query_id_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t retransmissions_ = 0;
   std::map<std::uint16_t, Pending> pending_;  ///< keyed by DNS message ID
   std::vector<ResolutionResult> results_;     ///< indexed by query id
 };

@@ -72,10 +72,44 @@ std::pair<std::string, std::string> parse_json_query(
   return {name, type};
 }
 
-DohServer::DohServer(simnet::Host& host, Engine& engine,
+DohServer::DohServer(simnet::Host& host, QueryHandler& handler,
                      DohServerConfig config, std::uint16_t port)
-    : host_(host), engine_(engine), config_(std::move(config)), port_(port) {
+    : host_(host), handler_(handler), config_(std::move(config)),
+      port_(port) {
   listen();
+}
+
+std::size_t DohServer::memory_estimate_bytes() const noexcept {
+  // Modeled per-session state: the TLS connection plus whichever HTTP
+  // layer is attached, and the session bookkeeping itself. Deliberately a
+  // structure-size model (not heap tracking): deterministic and portable
+  // enough for the relative DoH-vs-UDP comparison.
+  std::size_t total = 0;
+  for (const auto& s : sessions_) {
+    total += sizeof(Session) + sizeof(tlssim::TlsConnection);
+    if (s->h2) total += sizeof(http2::Http2Connection);
+    if (s->h1) total += sizeof(http1::Http1ServerConnection);
+  }
+  return total;
+}
+
+void DohServer::evict_oldest_idle() {
+  const Session* victim = nullptr;
+  for (const auto& s : sessions_) {
+    if (s->dead) continue;
+    if (victim == nullptr || s->last_active < victim->last_active) {
+      victim = s.get();
+    }
+  }
+  if (victim == nullptr) return;
+  for (auto& s : sessions_) {
+    if (s.get() != victim) continue;
+    s->dead = true;
+    if (const auto tcp = s->tcp.lock()) tcp->abort();
+    ++evicted_;
+    break;
+  }
+  prune();
 }
 
 DohServer::~DohServer() {
@@ -111,9 +145,14 @@ void DohServer::restart(simnet::TimeUs downtime) {
 
 void DohServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
   prune();
+  if (config_.max_sessions > 0 && sessions_.size() >= config_.max_sessions) {
+    evict_oldest_idle();
+  }
   auto session = std::make_shared<Session>();
   session->self = session;
   session->tcp = conn;
+  session->peer = conn->remote().node;
+  session->last_active = host_.loop().now();
   session->tls_holder = std::make_unique<tlssim::TlsConnection>(
       std::make_unique<simnet::TcpByteStream>(std::move(conn)), &config_.tls);
   session->tls = session->tls_holder.get();
@@ -129,6 +168,7 @@ void DohServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
   };
   session->tls->set_handlers(std::move(h));
   sessions_.push_back(std::move(session));
+  if (sessions_.size() > peak_sessions_) peak_sessions_ = sessions_.size();
 }
 
 void DohServer::attach_http(const std::shared_ptr<Session>& session) {
@@ -154,8 +194,11 @@ void DohServer::attach_http(const std::shared_ptr<Session>& session) {
             else if (f.name == "content-type") exchange.content_type = f.value;
           }
           exchange.body = request.body;
-          process(exchange, [respond = std::move(respond), weak,
-                             this](DohResult result) {
+          const auto active = weak.lock();
+          if (active) active->last_active = host_.loop().now();
+          const simnet::NodeId peer = active ? active->peer : 0;
+          process(exchange, peer, [respond = std::move(respond), weak,
+                                   this](DohResult result) {
             const auto s = weak.lock();
             if (!s || s->dead) return;
             http2::H2Message response;
@@ -189,8 +232,11 @@ void DohServer::attach_http(const std::shared_ptr<Session>& session) {
           exchange.content_type =
               request.headers.get("content-type").value_or("");
           exchange.body = request.body;
-          process(exchange, [respond = std::move(respond), weak,
-                             this](DohResult result) {
+          const auto active = weak.lock();
+          if (active) active->last_active = host_.loop().now();
+          const simnet::NodeId peer = active ? active->peer : 0;
+          process(exchange, peer, [respond = std::move(respond), weak,
+                                   this](DohResult result) {
             const auto s = weak.lock();
             if (!s || s->dead) return;
             http1::Response response;
@@ -209,18 +255,23 @@ void DohServer::attach_http(const std::shared_ptr<Session>& session) {
   }
 }
 
-void DohServer::process(const DohExchange& exchange,
+void DohServer::process(const DohExchange& exchange, simnet::NodeId peer,
                         std::function<void(DohResult)> done) {
   if (config_.frontend_delay > 0) {
     // Route through the HTTPS front-end: defer the whole exchange.
     host_.loop().schedule_in(
         config_.frontend_delay,
-        [this, exchange, done = std::move(done)]() mutable {
+        [this, exchange, peer, done = std::move(done)]() mutable {
           auto deferred = config_.frontend_delay;
           config_.frontend_delay = 0;
-          process(exchange, std::move(done));
+          process(exchange, peer, std::move(done));
           config_.frontend_delay = deferred;
         });
+    return;
+  }
+  if (exchange.body.size() > config_.max_body_bytes) {
+    ++oversized_;
+    done(error_result(413));
     return;
   }
   if (config_.paths.count(exchange.path) == 0) {
@@ -248,12 +299,14 @@ void DohServer::process(const DohExchange& exchange,
     }
     const dns::Message query =
         dns::Message::make_query(0, name, rtype_from_string(type_text));
-    engine_.handle(query, [done = std::move(done)](dns::Message response) {
-      DohResult result;
-      result.content_type = kDnsJson;
-      result.body = dns::to_bytes(dns::to_dns_json(response));
-      done(std::move(result));
-    });
+    const QueryContext context{peer, Transport::kDoh};
+    handler_.handle(query, context,
+                    [done = std::move(done)](dns::Message response) {
+                      DohResult result;
+                      result.content_type = kDnsJson;
+                      result.body = dns::to_bytes(dns::to_dns_json(response));
+                      done(std::move(result));
+                    });
     return;
   }
 
@@ -298,12 +351,14 @@ void DohServer::process(const DohExchange& exchange,
     done(error_result(400));
     return;
   }
-  engine_.handle(query, [done = std::move(done)](dns::Message response) {
-    DohResult result;
-    result.content_type = kDnsMessage;
-    result.body = response.encode();
-    done(std::move(result));
-  });
+  const QueryContext context{peer, Transport::kDoh};
+  handler_.handle(query, context,
+                  [done = std::move(done)](dns::Message response) {
+                    DohResult result;
+                    result.content_type = kDnsMessage;
+                    result.body = response.encode();
+                    done(std::move(result));
+                  });
 }
 
 void DohServer::prune() {

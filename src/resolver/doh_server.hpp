@@ -14,7 +14,7 @@
 
 #include "http1/server.hpp"
 #include "http2/connection.hpp"
-#include "resolver/engine.hpp"
+#include "resolver/query_handler.hpp"
 #include "simnet/host.hpp"
 #include "tlssim/connection.hpp"
 
@@ -31,6 +31,12 @@ struct DohServerConfig {
   /// provider (§5). Zero for a co-located front-end.
   simnet::TimeUs frontend_delay = 0;
   tlssim::ServerConfig tls;
+  /// Connection cap (0 = unlimited): accepting past the cap evicts the
+  /// oldest-idle live session (RST) first — the standard defence against
+  /// DoH's per-client connection-state cost.
+  std::size_t max_sessions = 0;
+  /// Hardening: request bodies beyond this answer 413 without resolving.
+  std::size_t max_body_bytes = 4096;
 };
 
 /// A parsed-out DoH exchange, transport-agnostic (shared by h1 and h2).
@@ -51,7 +57,7 @@ struct DohResult {
 
 class DohServer {
  public:
-  DohServer(simnet::Host& host, Engine& engine, DohServerConfig config,
+  DohServer(simnet::Host& host, QueryHandler& handler, DohServerConfig config,
             std::uint16_t port = 443);
   ~DohServer();
 
@@ -60,6 +66,16 @@ class DohServer {
 
   simnet::Address address() const { return {host_.id(), port_}; }
   std::size_t session_count() const noexcept { return sessions_.size(); }
+  /// High-water mark of concurrent sessions (the DoH server-state story).
+  std::size_t peak_sessions() const noexcept { return peak_sessions_; }
+  /// Sessions RST to make room under `max_sessions`.
+  std::uint64_t evicted_sessions() const noexcept { return evicted_; }
+  /// Requests rejected with 413 for oversized bodies.
+  std::uint64_t oversized_bodies() const noexcept { return oversized_; }
+  /// Modeled resident memory of the live sessions: per-connection TLS +
+  /// HTTP state object sizes. UDP's equivalent is zero — this is the
+  /// number the DoH-vs-UDP server-cost comparison reports.
+  std::size_t memory_estimate_bytes() const noexcept;
   const DohServerConfig& config() const noexcept { return config_; }
 
   /// Simulate a crash + restart: RST every live connection and stop
@@ -78,23 +94,30 @@ class DohServer {
     std::unique_ptr<http2::Http2Connection> h2;
     std::weak_ptr<simnet::TcpConnection> tcp;  ///< for abortive restart
     bool dead = false;
+    simnet::NodeId peer = 0;           ///< requesting client node
+    simnet::TimeUs last_active = 0;    ///< accept or last request time
     std::weak_ptr<Session> self;
   };
 
   void listen();
   void on_accept(std::shared_ptr<simnet::TcpConnection> conn);
   void attach_http(const std::shared_ptr<Session>& session);
+  /// Evict the oldest-idle session to get under `max_sessions`.
+  void evict_oldest_idle();
   /// Validate + resolve one exchange, completing asynchronously.
-  void process(const DohExchange& exchange,
+  void process(const DohExchange& exchange, simnet::NodeId peer,
                std::function<void(DohResult)> done);
   void prune();
 
   simnet::Host& host_;
-  Engine& engine_;
+  QueryHandler& handler_;
   DohServerConfig config_;
   std::uint16_t port_;
   bool listening_ = false;
   std::uint64_t restarts_ = 0;
+  std::size_t peak_sessions_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t oversized_ = 0;
   /// Guards the deferred re-listen against the server being destroyed.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<std::shared_ptr<Session>> sessions_;

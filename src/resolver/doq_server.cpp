@@ -2,9 +2,9 @@
 
 namespace dohperf::resolver {
 
-DoqServer::DoqServer(simnet::Host& host, Engine& engine,
+DoqServer::DoqServer(simnet::Host& host, QueryHandler& handler,
                      DoqServerConfig config, std::uint16_t port)
-    : host_(host), engine_(engine), config_(std::move(config)) {
+    : host_(host), handler_(handler), config_(std::move(config)) {
   server_ = std::make_unique<quicsim::QuicServer>(
       host_, port, &config_.tls,
       [this](quicsim::QuicConnection& conn) { on_accept(conn); },
@@ -49,14 +49,19 @@ void DoqServer::on_query(quicsim::QuicConnection& conn,
   // The continuation may outlive the connection (the QUIC server reaps
   // closed connections); the states_ entry is erased on close, so its
   // presence guarantees conn_ptr is alive and open.
-  engine_.handle(query, [this, conn_ptr, stream_id](dns::Message response) {
-    if (states_.find(conn_ptr) == states_.end()) return;
-    const dns::Bytes wire = response.encode();
-    dns::ByteWriter framed;
-    framed.u16(static_cast<std::uint16_t>(wire.size()));
-    framed.bytes(wire);
-    conn_ptr->send_stream(stream_id, framed.take(), /*fin=*/true);
-  });
+  // quicsim exposes no peer address, so the context carries client 0; the
+  // overload bench drives the tier over UDP/TCP/DoT/DoH only.
+  const QueryContext context{0, Transport::kDoq};
+  handler_.handle(query, context,
+                  [this, conn_ptr, stream_id](dns::Message response) {
+                    if (states_.find(conn_ptr) == states_.end()) return;
+                    const dns::Bytes wire = response.encode();
+                    dns::ByteWriter framed;
+                    framed.u16(static_cast<std::uint16_t>(wire.size()));
+                    framed.bytes(wire);
+                    conn_ptr->send_stream(stream_id, framed.take(),
+                                          /*fin=*/true);
+                  });
 }
 
 }  // namespace dohperf::resolver

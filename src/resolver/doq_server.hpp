@@ -8,7 +8,8 @@
 #include <memory>
 
 #include "quicsim/endpoint.hpp"
-#include "resolver/engine.hpp"
+#include "resolver/query_handler.hpp"
+#include "tlssim/types.hpp"
 
 namespace dohperf::resolver {
 
@@ -19,8 +20,8 @@ struct DoqServerConfig {
 
 class DoqServer {
  public:
-  DoqServer(simnet::Host& host, Engine& engine, DoqServerConfig config = {},
-            std::uint16_t port = 853);
+  DoqServer(simnet::Host& host, QueryHandler& handler,
+            DoqServerConfig config = {}, std::uint16_t port = 853);
 
   DoqServer(const DoqServer&) = delete;
   DoqServer& operator=(const DoqServer&) = delete;
@@ -42,7 +43,7 @@ class DoqServer {
                 const dns::Bytes& wire);
 
   simnet::Host& host_;
-  Engine& engine_;
+  QueryHandler& handler_;
   DoqServerConfig config_;
   std::unique_ptr<quicsim::QuicServer> server_;
   std::map<const quicsim::QuicConnection*, std::shared_ptr<ConnState>>

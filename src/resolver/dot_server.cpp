@@ -4,9 +4,10 @@
 
 namespace dohperf::resolver {
 
-DotServer::DotServer(simnet::Host& host, Engine& engine,
+DotServer::DotServer(simnet::Host& host, QueryHandler& handler,
                      DotServerConfig config, std::uint16_t port)
-    : host_(host), engine_(engine), config_(std::move(config)), port_(port) {
+    : host_(host), handler_(handler), config_(std::move(config)),
+      port_(port) {
   listen();
 }
 
@@ -46,6 +47,7 @@ void DotServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
   auto session = std::make_shared<Session>();
   Session* s = session.get();
   session->tcp = conn;
+  session->peer = conn->remote().node;
   session->tls = std::make_unique<tlssim::TlsConnection>(
       std::make_unique<simnet::TcpByteStream>(std::move(conn)), &config_.tls);
   tlssim::TlsConnection::Handlers h;
@@ -63,6 +65,12 @@ void DotServer::on_data(Session& session, std::span<const std::uint8_t> data) {
   while (session.rx.size() >= 2) {
     const std::size_t len =
         (static_cast<std::size_t>(session.rx[0]) << 8) | session.rx[1];
+    if (len == 0 || len > config_.max_message_bytes) {
+      ++malformed_;
+      session.tls->close();
+      session.dead = true;
+      return;
+    }
     if (session.rx.size() < 2 + len) break;
     dns::Bytes wire(session.rx.begin() + 2,
                     session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
@@ -73,6 +81,7 @@ void DotServer::on_data(Session& session, std::span<const std::uint8_t> data) {
     try {
       query = dns::Message::decode(wire);
     } catch (const dns::WireError&) {
+      ++malformed_;
       session.tls->close();
       session.dead = true;
       return;
@@ -81,9 +90,13 @@ void DotServer::on_data(Session& session, std::span<const std::uint8_t> data) {
     // The continuation may outlive the session (client closed meanwhile);
     // find the live session by address via the weak pointer.
     std::weak_ptr<Session> weak = session.self;
-    engine_.handle(query, [this, weak, sequence](dns::Message response) {
-      if (const auto s = weak.lock()) answer(*s, sequence, response.encode());
-    });
+    const QueryContext context{session.peer, Transport::kDot};
+    handler_.handle(query, context,
+                    [this, weak, sequence](dns::Message response) {
+                      if (const auto s = weak.lock()) {
+                        answer(*s, sequence, response.encode());
+                      }
+                    });
   }
 }
 

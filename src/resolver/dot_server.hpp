@@ -12,7 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "resolver/engine.hpp"
+#include "resolver/query_handler.hpp"
 #include "simnet/host.hpp"
 #include "tlssim/connection.hpp"
 
@@ -23,11 +23,14 @@ struct DotServerConfig {
   /// false (default): responses serialized in query order, like most
   /// 2019-era servers. true: respond as soon as ready (Cloudflare-style).
   bool out_of_order = false;
+  /// Hardening: close on zero-length or oversized frames (see
+  /// TcpDnsServerConfig::max_message_bytes).
+  std::size_t max_message_bytes = 4096;
 };
 
 class DotServer {
  public:
-  DotServer(simnet::Host& host, Engine& engine, DotServerConfig config,
+  DotServer(simnet::Host& host, QueryHandler& handler, DotServerConfig config,
             std::uint16_t port = 853);
   ~DotServer();
 
@@ -36,6 +39,8 @@ class DotServer {
 
   simnet::Address address() const { return {host_.id(), port_}; }
   std::size_t session_count() const noexcept { return sessions_.size(); }
+  /// Connections dropped for unparseable or oversized frames.
+  std::uint64_t malformed() const noexcept { return malformed_; }
 
   /// Simulate a crash + restart: RST every live connection and stop
   /// listening; the listener comes back after `downtime`.
@@ -52,6 +57,7 @@ class DotServer {
     std::uint64_t next_to_send = 0;
     std::map<std::uint64_t, dns::Bytes> ready;  ///< in-order buffering
     bool dead = false;
+    simnet::NodeId peer = 0;  ///< requesting client, for QueryContext
     std::weak_ptr<Session> self;  ///< for continuations that may outlive us
   };
 
@@ -62,9 +68,10 @@ class DotServer {
   void prune();
 
   simnet::Host& host_;
-  Engine& engine_;
+  QueryHandler& handler_;
   DotServerConfig config_;
   std::uint16_t port_;
+  std::uint64_t malformed_ = 0;
   bool listening_ = false;
   std::uint64_t restarts_ = 0;
   /// Guards the deferred re-listen against the server being destroyed.

@@ -95,7 +95,9 @@ simnet::TimeUs Engine::next_service_time() {
   return t;
 }
 
-void Engine::handle(const dns::Message& query, Continuation done) {
+void Engine::handle(const dns::Message& query, const QueryContext& context,
+                    Continuation done) {
+  (void)context;  // policy-free back-end: the tier consumes the context
   ++stats_.queries;
   obs::Registry* metrics = config_.obs.metrics;
   if (metrics != nullptr) metrics->add("engine.queries");

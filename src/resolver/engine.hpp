@@ -11,6 +11,7 @@
 
 #include "dns/message.hpp"
 #include "obs/span.hpp"
+#include "resolver/query_handler.hpp"
 #include "simnet/event_loop.hpp"
 #include "stats/rng.hpp"
 
@@ -74,15 +75,23 @@ struct EngineStats {
 
 /// Asynchronous query handler; the continuation runs on the event loop
 /// after the configured processing/delay time.
-class Engine {
+class Engine final : public QueryHandler {
  public:
-  using Continuation = std::function<void(dns::Message response)>;
+  using Continuation = QueryHandler::Continuation;
 
   Engine(simnet::EventLoop& loop, EngineConfig config);
 
   /// Handle a query; `done` fires with the response after the simulated
   /// processing time (plus injected delay when the policy strikes).
-  void handle(const dns::Message& query, Continuation done);
+  /// The engine ignores the request context — overload control lives in
+  /// RecursiveTier, which consumes it before delegating here.
+  void handle(const dns::Message& query, const QueryContext& context,
+              Continuation done) override;
+
+  /// Context-free convenience overload for callers that predate the tier.
+  void handle(const dns::Message& query, Continuation done) {
+    handle(query, QueryContext{}, std::move(done));
+  }
 
   /// Zone override: answer `name` with a specific address instead of the
   /// fixed one (used by the browser experiments where each origin has a

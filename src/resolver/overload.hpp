@@ -1,0 +1,199 @@
+// Overload-control building blocks for the recursive tier, written as pure
+// deterministic units (integer milli-token arithmetic, virtual time only)
+// so they can be tested against exact trajectories:
+//
+//   * TokenBucket          — classic leaky bucket in milli-tokens; the
+//                            per-client fairness primitive.
+//   * AdmissionController  — gradient/AIMD concurrency limit driven by the
+//                            observed request latency versus the best
+//                            (uncontended) latency seen so far.
+//   * RetryBudget          — Finagle-style server-side retry budget: each
+//                            first-try request deposits a fraction of a
+//                            token, each detected retry withdraws a whole
+//                            one; an exhausted budget sheds the retry and
+//                            breaks the storm.
+//   * FairnessArbiter      — a TokenBucket per client with deterministic
+//                            per-client accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "simnet/time.hpp"
+
+namespace dohperf::resolver {
+
+/// Milli-token bucket: `rate_milli` tokens-per-second (x1000) refill up to
+/// `burst_milli` capacity; one request normally costs 1000 milli-tokens.
+/// All arithmetic is integral — the fractional refill remainder is carried
+/// in `acc_` so long runs accrue no rounding drift.
+class TokenBucket {
+ public:
+  TokenBucket(std::uint64_t rate_milli, std::uint64_t burst_milli)
+      : rate_milli_(rate_milli), burst_milli_(burst_milli),
+        balance_milli_(burst_milli) {}
+
+  /// Take `cost_milli` tokens if available. `now` must be monotone.
+  bool try_take(simnet::TimeUs now, std::uint64_t cost_milli = 1000) {
+    refill(now);
+    if (balance_milli_ < cost_milli) return false;
+    balance_milli_ -= cost_milli;
+    return true;
+  }
+
+  std::uint64_t balance_milli(simnet::TimeUs now) {
+    refill(now);
+    return balance_milli_;
+  }
+
+ private:
+  void refill(simnet::TimeUs now) {
+    if (now <= last_) return;
+    acc_ += static_cast<std::uint64_t>(now - last_) * rate_milli_;
+    last_ = now;
+    balance_milli_ += acc_ / simnet::kUsPerSec;
+    acc_ %= simnet::kUsPerSec;
+    if (balance_milli_ >= burst_milli_) {
+      balance_milli_ = burst_milli_;
+      acc_ = 0;  // a full bucket holds no fractional credit
+    }
+  }
+
+  std::uint64_t rate_milli_;
+  std::uint64_t burst_milli_;
+  std::uint64_t balance_milli_;
+  std::uint64_t acc_ = 0;  ///< fractional refill remainder, in milli·us
+  simnet::TimeUs last_ = 0;
+};
+
+/// Gradient/AIMD concurrency limit. The controller watches per-request
+/// latency (queue wait + service) and compares a window average against the
+/// best sample ever observed — the uncontended baseline. When the average
+/// inflates past `inflate_permille`/1000 x best, queueing is building up:
+/// multiplicative decrease. Otherwise: additive increase. The limit bounds
+/// the tier's outstanding work (queued + in flight).
+struct AdmissionConfig {
+  std::size_t min_limit = 4;
+  std::size_t max_limit = 1024;
+  std::size_t initial_limit = 64;
+  std::size_t window = 16;                 ///< samples per adjustment
+  std::uint32_t inflate_permille = 2000;   ///< avg > best*2.0 => congested
+  std::uint32_t decrease_permille = 800;   ///< limit *= 0.8 on congestion
+  std::size_t increase_step = 1;           ///< +1 when healthy
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config)
+      : config_(config), limit_(config.initial_limit) {}
+
+  std::size_t limit() const noexcept { return limit_; }
+  simnet::TimeUs best_latency() const noexcept { return best_; }
+  std::uint64_t decreases() const noexcept { return decreases_; }
+  std::uint64_t increases() const noexcept { return increases_; }
+
+  /// Record one completed request's total latency (wait + service).
+  void record(simnet::TimeUs latency) {
+    if (latency < 0) latency = 0;
+    if (best_ == 0 || latency < best_) best_ = latency;
+    window_sum_ += latency;
+    if (++window_count_ < config_.window) return;
+    const std::uint64_t avg =
+        static_cast<std::uint64_t>(window_sum_) / config_.window;
+    window_sum_ = 0;
+    window_count_ = 0;
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(best_) * config_.inflate_permille / 1000;
+    if (avg > threshold) {
+      ++decreases_;
+      limit_ = limit_ * config_.decrease_permille / 1000;
+      if (limit_ < config_.min_limit) limit_ = config_.min_limit;
+    } else {
+      ++increases_;
+      limit_ += config_.increase_step;
+      if (limit_ > config_.max_limit) limit_ = config_.max_limit;
+    }
+  }
+
+ private:
+  AdmissionConfig config_;
+  std::size_t limit_;
+  simnet::TimeUs best_ = 0;  ///< minimum latency ever seen (0 = none yet)
+  simnet::TimeUs window_sum_ = 0;
+  std::size_t window_count_ = 0;
+  std::uint64_t decreases_ = 0;
+  std::uint64_t increases_ = 0;
+};
+
+/// Server-side retry budget (the mechanism Finagle popularised): every
+/// first-try request deposits `ratio_permille` milli-tokens, every detected
+/// retry must withdraw 1000. While retries stay under ratio_permille/1000
+/// of fresh traffic the budget never empties; a storm drains it and the
+/// excess retries are shed before they consume service capacity.
+class RetryBudget {
+ public:
+  RetryBudget(std::uint32_t ratio_permille, std::uint64_t reserve_milli,
+              std::uint64_t cap_milli)
+      : ratio_permille_(ratio_permille), cap_milli_(cap_milli),
+        balance_milli_(reserve_milli < cap_milli ? reserve_milli : cap_milli) {}
+
+  void deposit() {
+    balance_milli_ += ratio_permille_;
+    if (balance_milli_ > cap_milli_) balance_milli_ = cap_milli_;
+  }
+
+  bool try_withdraw() {
+    if (balance_milli_ < 1000) return false;
+    balance_milli_ -= 1000;
+    return true;
+  }
+
+  std::uint64_t balance_milli() const noexcept { return balance_milli_; }
+
+ private:
+  std::uint32_t ratio_permille_;
+  std::uint64_t cap_milli_;
+  std::uint64_t balance_milli_;
+};
+
+/// Per-client token buckets with admitted/throttled accounting. Clients are
+/// keyed by simnet node id in an ordered map so iteration (and therefore
+/// any derived report) is deterministic.
+struct FairnessConfig {
+  std::uint64_t rate_milli = 0;   ///< per-client tokens/s x1000 (0 = off)
+  std::uint64_t burst_milli = 0;  ///< per-client burst capacity x1000
+};
+
+class FairnessArbiter {
+ public:
+  struct ClientShare {
+    std::uint64_t admitted = 0;
+    std::uint64_t throttled = 0;
+  };
+
+  explicit FairnessArbiter(FairnessConfig config) : config_(config) {}
+
+  /// True when `client` may proceed at `now`; false counts as throttled.
+  bool admit(std::uint64_t client, simnet::TimeUs now) {
+    auto [it, inserted] = buckets_.try_emplace(
+        client, TokenBucket(config_.rate_milli, config_.burst_milli));
+    auto& share = shares_[client];
+    if (it->second.try_take(now)) {
+      ++share.admitted;
+      return true;
+    }
+    ++share.throttled;
+    return false;
+  }
+
+  const std::map<std::uint64_t, ClientShare>& shares() const noexcept {
+    return shares_;
+  }
+
+ private:
+  FairnessConfig config_;
+  std::map<std::uint64_t, TokenBucket> buckets_;
+  std::map<std::uint64_t, ClientShare> shares_;
+};
+
+}  // namespace dohperf::resolver

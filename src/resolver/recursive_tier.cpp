@@ -1,0 +1,399 @@
+#include "resolver/recursive_tier.hpp"
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace dohperf::resolver {
+
+namespace {
+
+const char* shed_metric(int reason) {
+  switch (reason) {
+    case 0: return "tier.shed.queue_full";
+    case 1: return "tier.shed.deadline";
+    case 2: return "tier.shed.admission";
+    case 3: return "tier.shed.fairness";
+    case 4: return "tier.shed.retry_budget";
+  }
+  return "tier.shed.other";
+}
+
+const char* shed_reason_name(int reason) {
+  switch (reason) {
+    case 0: return "queue_full";
+    case 1: return "deadline";
+    case 2: return "admission";
+    case 3: return "fairness";
+    case 4: return "retry_budget";
+  }
+  return "other";
+}
+
+}  // namespace
+
+RecursiveTier::RecursiveTier(simnet::EventLoop& loop, QueryHandler& upstream,
+                             TierConfig config)
+    : loop_(loop), upstream_(upstream), config_(std::move(config)) {
+  if (config_.admission_enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+  }
+  if (config_.fairness_enabled) {
+    fairness_ = std::make_unique<FairnessArbiter>(config_.fairness);
+  }
+  if (config_.retry_budget_enabled) {
+    retry_budget_ = std::make_unique<RetryBudget>(config_.retry_ratio_permille,
+                                                  config_.retry_reserve_milli,
+                                                  config_.retry_cap_milli);
+  }
+}
+
+void RecursiveTier::count(const char* name, std::uint64_t delta) {
+  if (config_.obs.metrics != nullptr) config_.obs.metrics->add(name, delta);
+}
+
+void RecursiveTier::set_gauge(const char* name, std::int64_t value) {
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->set_gauge(name, value);
+  }
+}
+
+void RecursiveTier::shed(const dns::Message& query,
+                         const QueryContext& context, Continuation done,
+                         ShedReason reason) {
+  const int r = static_cast<int>(reason);
+  switch (reason) {
+    case ShedReason::kQueueFull: ++stats_.shed_queue_full; break;
+    case ShedReason::kDeadline: ++stats_.shed_deadline; break;
+    case ShedReason::kAdmission: ++stats_.shed_admission; break;
+    case ShedReason::kFairness: ++stats_.shed_fairness; break;
+    case ShedReason::kRetryBudget: ++stats_.shed_retry_budget; break;
+  }
+  count(shed_metric(r));
+  ++stats_.per_client[context.client].shed;
+  if (config_.obs) {
+    const obs::SpanId span = config_.obs.begin("shed");
+    config_.obs.set_attr(span, "reason", std::string(shed_reason_name(r)));
+    config_.obs.set_attr(span, "client",
+                         static_cast<std::int64_t>(context.client));
+    config_.obs.set_attr(span, "transport",
+                         std::string(transport_name(context.transport)));
+    config_.obs.end(span);
+  }
+  dns::Message error = dns::Message::make_error(
+      query, config_.shed_refused ? dns::Rcode::kRefused
+                                  : dns::Rcode::kServFail);
+  // Always answer asynchronously so front-ends never see re-entrant
+  // completions (matches the engine's scheduling contract).
+  loop_.schedule_in(0, [done = std::move(done),
+                        error = std::move(error)]() mutable {
+    done(std::move(error));
+  });
+}
+
+void RecursiveTier::deliver(Job& job, const dns::Message& response) {
+  dns::Message copy = response;
+  copy.id = job.query.id;
+  ++stats_.served;
+  ++stats_.per_client[job.context.client].served;
+  count("tier.served");
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->observe(
+        "tier.latency_ms", simnet::to_ms(loop_.now() - job.arrived));
+  }
+  job.done(std::move(copy));
+}
+
+std::optional<dns::Message> RecursiveTier::cache_lookup(
+    const Key& key, const dns::Message& query) {
+  if (!config_.cache_enabled) return std::nullopt;
+  const auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.expires <= loop_.now()) {
+    return std::nullopt;
+  }
+  dns::Message copy = it->second.response;
+  copy.id = query.id;
+  return copy;
+}
+
+void RecursiveTier::cache_insert(const Key& key,
+                                 const dns::Message& response) {
+  if (!config_.cache_enabled) return;
+  const dns::Rcode rcode = response.flags.rcode;
+  if (rcode != dns::Rcode::kNoError && rcode != dns::Rcode::kNxDomain) {
+    return;  // never cache SERVFAIL/REFUSED (including our own sheds)
+  }
+  // TTL: minimum over answer records; negative answers use the SOA MINIMUM
+  // rule of RFC 2308. No TTL source => uncacheable.
+  std::uint32_t ttl = 0;
+  bool have_ttl = false;
+  for (const auto& rr : response.answers) {
+    ttl = have_ttl ? std::min(ttl, rr.ttl) : rr.ttl;
+    have_ttl = true;
+  }
+  if (!have_ttl) {
+    for (const auto& rr : response.authorities) {
+      if (rr.type != dns::RType::kSOA) continue;
+      const auto& soa = std::get<dns::SoaRdata>(rr.rdata);
+      ttl = std::min(rr.ttl, soa.minimum);
+      have_ttl = true;
+      break;
+    }
+  }
+  if (!have_ttl || ttl == 0) return;
+  if (cache_.find(key) == cache_.end() &&
+      cache_.size() >= config_.cache_entries) {
+    // Evict the earliest-expiring entry (ties break on key order — both
+    // deterministic). Linear scan; population caches stay small.
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.expires < victim->second.expires) victim = it;
+    }
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+    count("tier.cache_evictions");
+  }
+  cache_[key] = CacheEntry{response, loop_.now() + simnet::seconds(ttl)};
+  ++stats_.cache_insertions;
+}
+
+bool RecursiveTier::detect_retry(const Key& key,
+                                 const QueryContext& context) {
+  const simnet::TimeUs now = loop_.now();
+  if (--seen_prune_countdown_ == 0) {
+    seen_prune_countdown_ = 256;
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (now - it->second > config_.retry_window) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const auto seen_key = std::make_pair(context.client, key);
+  const auto it = seen_.find(seen_key);
+  const bool retry =
+      it != seen_.end() && now - it->second <= config_.retry_window;
+  seen_[seen_key] = now;
+  return retry;
+}
+
+void RecursiveTier::handle(const dns::Message& query,
+                           const QueryContext& context, Continuation done) {
+  ++stats_.requests;
+  ++stats_.per_client[context.client].requests;
+  count("tier.requests");
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(std::string("tier.requests.") +
+                             transport_name(context.transport));
+  }
+
+  obs::SpanId span = 0;
+  if (config_.obs) {
+    span = config_.obs.begin("admission_check");
+    config_.obs.set_attr(span, "client",
+                         static_cast<std::int64_t>(context.client));
+    config_.obs.set_attr(span, "transport",
+                         std::string(transport_name(context.transport)));
+  }
+  const auto decide = [&](const char* decision) {
+    if (span != 0) {
+      config_.obs.set_attr(span, "decision", std::string(decision));
+      config_.obs.end(span);
+    }
+  };
+
+  if (query.questions.empty()) {
+    decide("formerr");
+    dns::Message error = dns::Message::make_error(query, dns::Rcode::kFormErr);
+    loop_.schedule_in(0, [done = std::move(done),
+                          error = std::move(error)]() mutable {
+      done(std::move(error));
+    });
+    return;
+  }
+  const Key key{query.questions.front().qname,
+                query.questions.front().qtype};
+
+  // 1. Per-client fairness. Hits consume worker time too, so the arbiter
+  //    sees every request, not just misses.
+  if (fairness_) {
+    const bool admitted = fairness_->admit(context.client, loop_.now());
+    count(admitted ? "fairness.admitted" : "fairness.throttled");
+    if (!admitted) {
+      decide("shed_fairness");
+      shed(query, context, std::move(done), ShedReason::kFairness);
+      return;
+    }
+  }
+
+  Job job;
+  job.query = query;
+  job.context = context;
+  job.done = std::move(done);
+  job.arrived = loop_.now();
+
+  // 2. Shared cache; hits still queue for a worker (hit_processing).
+  job.cached = cache_lookup(key, query);
+  if (job.cached.has_value()) {
+    ++stats_.cache_hits;
+    count("tier.cache_hits");
+    decide("hit");
+  } else {
+    ++stats_.cache_misses;
+    count("tier.cache_misses");
+    // 3. Retry budget, misses only: a repeat (client, name, type) among
+    //    misses inside retry_window is a retransmission/re-issue — the
+    //    original is still queued/in flight, or was shed/failed (a repeat
+    //    of an *answered* query would have hit the cache, so hot names do
+    //    not false-positive as long as retry_window < TTL). A detected
+    //    retry must withdraw from the shared budget; shedding it here,
+    //    before it can occupy a slot, is what breaks the storm.
+    if (retry_budget_) {
+      if (detect_retry(key, context)) {
+        ++stats_.retries_detected;
+        count("tier.retries_detected");
+        if (!retry_budget_->try_withdraw()) {
+          decide("shed_retry_budget");
+          shed(job.query, job.context, std::move(job.done),
+               ShedReason::kRetryBudget);
+          return;
+        }
+      } else {
+        retry_budget_->deposit();
+      }
+    }
+    // 4. Coalesce onto an in-flight resolution of the same (name, type):
+    //    joiners wait for the answer without consuming a service slot.
+    if (config_.coalesce) {
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        ++stats_.coalesced;
+        count("tier.coalesced");
+        decide("coalesced");
+        it->second.waiters.push_back(std::move(job));
+        return;
+      }
+    }
+    decide("admitted");
+  }
+
+  // 5. Admission controller: bound outstanding work (queued + in flight).
+  if (admission_ && queue_.size() + inflight_ >= admission_->limit()) {
+    shed(job.query, job.context, std::move(job.done),
+         ShedReason::kAdmission);
+    return;
+  }
+
+  // 6. Hard queue bound.
+  if (config_.bound_queue && queue_.size() >= config_.queue_capacity) {
+    shed(job.query, job.context, std::move(job.done),
+         ShedReason::kQueueFull);
+    return;
+  }
+
+  queue_.push_back(std::move(job));
+  if (queue_.size() > stats_.queue_peak) stats_.queue_peak = queue_.size();
+  set_gauge("tier.queue_depth", static_cast<std::int64_t>(queue_.size()));
+  pump();
+}
+
+void RecursiveTier::pump() {
+  while (inflight_ < config_.workers && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    set_gauge("tier.queue_depth", static_cast<std::int64_t>(queue_.size()));
+    const simnet::TimeUs waited = loop_.now() - job.arrived;
+    // Deadline-aware shedding: if the client has (probably) given up by the
+    // time service would finish, answering is wasted work.
+    if (config_.deadline > 0 &&
+        waited + config_.expected_service > config_.deadline) {
+      shed(job.query, job.context, std::move(job.done),
+           ShedReason::kDeadline);
+      continue;
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->observe("tier.queue_wait_ms",
+                                   simnet::to_ms(waited));
+    }
+    dispatch(std::move(job));
+  }
+  if (admission_) {
+    set_gauge("tier.admission_limit",
+              static_cast<std::int64_t>(admission_->limit()));
+  }
+}
+
+void RecursiveTier::dispatch(Job job) {
+  ++inflight_;
+  if (inflight_ > stats_.inflight_peak) stats_.inflight_peak = inflight_;
+  set_gauge("tier.inflight", static_cast<std::int64_t>(inflight_));
+
+  if (job.cached.has_value()) {
+    // Serve from cache after the hit-processing cost; the slot is held for
+    // that long, which is what makes hits part of the capacity model.
+    loop_.schedule_in(config_.hit_processing, [this, job = std::move(job)]()
+                          mutable {
+      if (admission_) admission_->record(loop_.now() - job.arrived);
+      deliver(job, *job.cached);
+      --inflight_;
+      set_gauge("tier.inflight", static_cast<std::int64_t>(inflight_));
+      pump();
+    });
+    return;
+  }
+
+  const Key key{job.query.questions.front().qname,
+                job.query.questions.front().qtype};
+  auto& pending = pending_[key];
+  pending.settled = std::make_shared<bool>(false);
+  const std::shared_ptr<bool> settled = pending.settled;
+  const dns::Message query = job.query;
+  const QueryContext context = job.context;
+  pending.waiters.push_back(std::move(job));
+
+  if (config_.service_timeout > 0) {
+    loop_.schedule_in(config_.service_timeout, [this, key, settled]() {
+      if (*settled) return;
+      ++stats_.upstream_timeouts;
+      count("tier.upstream_timeouts");
+      dns::Message timeout_error;
+      // Synthesize SERVFAIL from the first waiter's query below.
+      complete(key, std::move(timeout_error), /*timed_out=*/true);
+    });
+  }
+
+  upstream_.handle(query, context,
+                   [this, key, settled](dns::Message response) {
+                     if (*settled) return;  // timeout already reclaimed slot
+                     complete(key, std::move(response), /*timed_out=*/false);
+                   });
+}
+
+void RecursiveTier::complete(const Key& key, dns::Message response,
+                             bool timed_out) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  *pending.settled = true;
+
+  if (timed_out) {
+    response = dns::Message::make_error(pending.waiters.front().query,
+                                        dns::Rcode::kServFail);
+  } else {
+    cache_insert(key, response);
+  }
+  if (admission_ && !pending.waiters.empty()) {
+    // One sample per back-end round trip, from the dispatching job.
+    admission_->record(loop_.now() - pending.waiters.front().arrived);
+  }
+  for (auto& waiter : pending.waiters) {
+    deliver(waiter, response);
+  }
+  --inflight_;
+  set_gauge("tier.inflight", static_cast<std::int64_t>(inflight_));
+  pump();
+}
+
+}  // namespace dohperf::resolver

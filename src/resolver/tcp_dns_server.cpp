@@ -13,9 +13,9 @@ dns::Bytes frame(const dns::Bytes& message) {
 
 }  // namespace
 
-TcpDnsServer::TcpDnsServer(simnet::Host& host, Engine& engine,
+TcpDnsServer::TcpDnsServer(simnet::Host& host, QueryHandler& handler,
                            TcpDnsServerConfig config, std::uint16_t port)
-    : host_(host), engine_(engine), config_(config), port_(port) {
+    : host_(host), handler_(handler), config_(config), port_(port) {
   host_.tcp_listen(port_, [this](std::shared_ptr<simnet::TcpConnection> c) {
     on_accept(std::move(c));
   });
@@ -27,6 +27,7 @@ void TcpDnsServer::on_accept(std::shared_ptr<simnet::TcpConnection> conn) {
   prune();
   auto session = std::make_shared<Session>();
   session->self = session;
+  session->peer = conn->remote().node;
   session->stream = std::make_unique<simnet::TcpByteStream>(std::move(conn));
   Session* raw = session.get();
   simnet::ByteStream::Handlers h;
@@ -49,6 +50,14 @@ void TcpDnsServer::on_data(Session& session,
   while (session.rx.size() >= 2) {
     const std::size_t len =
         (static_cast<std::size_t>(session.rx[0]) << 8) | session.rx[1];
+    // Hardening: a zero-length or oversized frame is a malformed peer;
+    // close deterministically rather than buffering or asserting.
+    if (len == 0 || len > config_.max_message_bytes) {
+      ++malformed_;
+      session.stream->close();
+      session.dead = true;
+      return;
+    }
     if (session.rx.size() < 2 + len) break;
     dns::Bytes wire(session.rx.begin() + 2,
                     session.rx.begin() + static_cast<std::ptrdiff_t>(2 + len));
@@ -59,15 +68,20 @@ void TcpDnsServer::on_data(Session& session,
     try {
       query = dns::Message::decode(wire);
     } catch (const dns::WireError&) {
+      ++malformed_;
       session.stream->close();
       session.dead = true;
       return;
     }
     const std::uint64_t sequence = session.next_assigned++;
     std::weak_ptr<Session> weak = session.self;
-    engine_.handle(query, [this, weak, sequence](dns::Message response) {
-      if (const auto s = weak.lock()) answer(*s, sequence, response.encode());
-    });
+    const QueryContext context{session.peer, Transport::kTcp};
+    handler_.handle(query, context,
+                    [this, weak, sequence](dns::Message response) {
+                      if (const auto s = weak.lock()) {
+                        answer(*s, sequence, response.encode());
+                      }
+                    });
   }
 }
 

@@ -9,7 +9,7 @@
 #include <memory>
 #include <vector>
 
-#include "resolver/engine.hpp"
+#include "resolver/query_handler.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
 
@@ -19,11 +19,15 @@ struct TcpDnsServerConfig {
   /// Like DoT: most servers answer in order; out-of-order requires
   /// per-query state.
   bool out_of_order = false;
+  /// Hardening: a length prefix larger than this (or zero) is treated as a
+  /// malformed peer and the connection is closed deterministically instead
+  /// of buffering up to 64 KiB per frame. Queries never approach this.
+  std::size_t max_message_bytes = 4096;
 };
 
 class TcpDnsServer {
  public:
-  TcpDnsServer(simnet::Host& host, Engine& engine,
+  TcpDnsServer(simnet::Host& host, QueryHandler& handler,
                TcpDnsServerConfig config = {}, std::uint16_t port = 53);
   ~TcpDnsServer();
 
@@ -32,6 +36,8 @@ class TcpDnsServer {
 
   simnet::Address address() const { return {host_.id(), port_}; }
   std::size_t session_count() const noexcept { return sessions_.size(); }
+  /// Connections dropped for unparseable or oversized frames.
+  std::uint64_t malformed() const noexcept { return malformed_; }
 
  private:
   struct Session {
@@ -41,6 +47,7 @@ class TcpDnsServer {
     std::uint64_t next_to_send = 0;
     std::map<std::uint64_t, dns::Bytes> ready;
     bool dead = false;
+    simnet::NodeId peer = 0;  ///< requesting client, for QueryContext
     std::weak_ptr<Session> self;
   };
 
@@ -50,9 +57,10 @@ class TcpDnsServer {
   void prune();
 
   simnet::Host& host_;
-  Engine& engine_;
+  QueryHandler& handler_;
   TcpDnsServerConfig config_;
   std::uint16_t port_;
+  std::uint64_t malformed_ = 0;
   std::vector<std::shared_ptr<Session>> sessions_;
 };
 

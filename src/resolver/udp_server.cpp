@@ -2,8 +2,9 @@
 
 namespace dohperf::resolver {
 
-UdpServer::UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port)
-    : host_(host), engine_(engine), socket_(&host.udp_open(port)) {
+UdpServer::UdpServer(simnet::Host& host, QueryHandler& handler,
+                     std::uint16_t port)
+    : host_(host), handler_(handler), socket_(&host.udp_open(port)) {
   socket_->set_receiver(
       [this](const simnet::Bytes& payload, simnet::Address from) {
         if (down_) {
@@ -17,7 +18,8 @@ UdpServer::UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port)
           ++malformed_;
           return;  // real servers drop unparseable datagrams
         }
-        engine_.handle(query, [this, from](dns::Message response) {
+        const QueryContext context{from.node, Transport::kUdp};
+        handler_.handle(query, context, [this, from](dns::Message response) {
           if (down_) return;  // crashed while the query was in service
           socket_->send_to(from, response.encode());
         });

@@ -1,16 +1,17 @@
 // Classic UDP DNS front-end (port 53).
 #pragma once
 
-#include "resolver/engine.hpp"
+#include "resolver/query_handler.hpp"
 #include "simnet/host.hpp"
 
 namespace dohperf::resolver {
 
 class UdpServer {
  public:
-  /// Binds `port` on `host` and answers via `engine` (not owned; must
-  /// outlive the server).
-  UdpServer(simnet::Host& host, Engine& engine, std::uint16_t port = 53);
+  /// Binds `port` on `host` and answers via `handler` — a bare Engine or a
+  /// RecursiveTier (not owned; must outlive the server).
+  UdpServer(simnet::Host& host, QueryHandler& handler,
+            std::uint16_t port = 53);
   ~UdpServer();
 
   UdpServer(const UdpServer&) = delete;
@@ -29,7 +30,7 @@ class UdpServer {
 
  private:
   simnet::Host& host_;
-  Engine& engine_;
+  QueryHandler& handler_;
   simnet::UdpSocket* socket_;
   std::uint64_t malformed_ = 0;
   bool down_ = false;

@@ -10,6 +10,7 @@
 
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/udp_server.hpp"
 #include "simnet/host.hpp"
 #include "survey/providers.hpp"

@@ -145,7 +145,15 @@ void TlsConnection::send_client_hello() {
 
 void TlsConnection::on_transport_data(std::span<const std::uint8_t> data) {
   rx_buffer_.insert(rx_buffer_.end(), data.begin(), data.end());
-  process_rx_buffer();
+  // Hardening: bytes that don't parse as TLS (garbage to the port, a
+  // truncated/oversized record, an out-of-place handshake message) must
+  // never propagate an exception into the transport layer — answer with a
+  // fatal decode_error alert and tear the connection down deterministically.
+  try {
+    process_rx_buffer();
+  } catch (const WireError&) {
+    if (!failed_ && !closed_) fail(AlertDescription::kDecodeError);
+  }
 }
 
 void TlsConnection::process_rx_buffer() {

@@ -33,6 +33,7 @@ enum class ContentType : std::uint8_t {
 enum class AlertDescription : std::uint8_t {
   kCloseNotify = 0,
   kHandshakeFailure = 40,
+  kDecodeError = 50,
   kProtocolVersion = 70,
   kNoApplicationProtocol = 120,
 };

@@ -1,0 +1,60 @@
+// Population-scale query workload for the resolver tier: an open-loop
+// Poisson arrival process over a client population with Zipf-distributed
+// name popularity — the paper observes heavy name concentration (~25% of
+// queries to 15 names), and an open-loop process is what makes overload
+// honest (clients do not slow down because the server is slow; queries keep
+// arriving at the offered rate regardless of completions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "simnet/time.hpp"
+
+namespace dohperf::workload {
+
+struct PopulationConfig {
+  std::size_t clients = 16;      ///< simulated client population size
+  std::size_t names = 64;        ///< distinct names (Zipf ranks)
+  double zipf_exponent = 1.0;
+  double rate_qps = 100.0;       ///< aggregate offered load, open loop
+  simnet::TimeUs duration = simnet::seconds(10);
+  /// Extra probability mass a single hot tenant (client 0) receives on top
+  /// of the uniform share — the workload the fairness rung defends against.
+  double hot_client_share = 0.0;
+  std::string base_domain = "pop.example.com";
+  std::uint64_t seed = 1;
+};
+
+/// One query event: which client asks for which name rank, when.
+struct QueryEvent {
+  simnet::TimeUs at = 0;
+  std::uint64_t client = 0;  ///< [0, clients); 0 is the hot tenant
+  std::size_t name_rank = 1; ///< Zipf rank in [1, names]
+};
+
+class PopulationWorkload {
+ public:
+  explicit PopulationWorkload(PopulationConfig config);
+
+  /// The full arrival schedule, sorted by time (Poisson arrivals are
+  /// generated monotonically). Deterministic for a given config.
+  std::vector<QueryEvent> generate() const;
+
+  /// The name behind a Zipf rank, e.g. "w3.pop.example.com".
+  dns::Name name_for(std::size_t rank) const;
+
+  const PopulationConfig& config() const noexcept { return config_; }
+  /// Offered queries for `generate()`'s schedule (rate x duration, with
+  /// the realized Poisson count).
+  static std::size_t count(const std::vector<QueryEvent>& events) {
+    return events.size();
+  }
+
+ private:
+  PopulationConfig config_;
+};
+
+}  // namespace dohperf::workload

@@ -3,8 +3,9 @@
 # file against the documented schemas with tools/obs_schema_check. Invoked
 # as a -P script so one test covers the emit + validate round trip.
 #
-# Expects: -DBENCH_FIG5=... -DBENCH_TABLE1=... -DCHECKER=... -DOUT_DIR=...
-foreach(var BENCH_FIG5 BENCH_TABLE1 CHECKER OUT_DIR)
+# Expects: -DBENCH_FIG5=... -DBENCH_TABLE1=... -DBENCH_OVERLOAD=...
+#          -DCHECKER=... -DOUT_DIR=...
+foreach(var BENCH_FIG5 BENCH_TABLE1 BENCH_OVERLOAD CHECKER OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "obs_schema_check.cmake: missing -D${var}")
   endif()
@@ -32,8 +33,22 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "table1_landscape failed (exit ${rc})")
 endif()
 
+# Short run, gates off: this test checks the emitted document structure
+# (the overload_matrix cell schema), not the overload-control ladder —
+# determinism is still enforced by the bench itself.
+set(overload_json "${OUT_DIR}/overload.json")
+execute_process(
+  COMMAND "${BENCH_OVERLOAD}" --duration=2 --no-gate --jobs=2
+          --json=${overload_json}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "overload_matrix failed (exit ${rc})")
+endif()
+
 execute_process(
   COMMAND "${CHECKER}" "${fig5_json}" "${fig5_trace}" "${table1_json}"
+          "${overload_json}"
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "obs_schema_check found schema violations (exit ${rc})")

@@ -4,8 +4,11 @@
 #include "core/caching_client.hpp"
 #include "core/doh_client.hpp"
 #include "core/fallback_client.hpp"
+#include "core/health_client.hpp"
 #include "core/hedging_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
+#include "resolver/recursive_tier.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "sim_fixture.hpp"
@@ -624,6 +627,117 @@ TEST_F(FallbackTest, CacheOverFallbackComposes) {
   EXPECT_TRUE(hit.success);
   EXPECT_EQ(hit.resolution_time(), 0);
   EXPECT_EQ(cached.stats().hits, 1u);
+}
+
+
+// --- Server-side shedding vs the client resilience stack ---------------------
+//
+// An overloaded RecursiveTier answers REFUSED. The client stack must treat
+// that as "this resolver is unhealthy", not as a resolution: the fallback
+// rescues it, the circuit breaker counts it, and the cache never stores it.
+
+class ShedInterplayTest : public TwoHostFixture {
+ protected:
+  resolver::EngineConfig engine_config;
+  std::unique_ptr<resolver::Engine> engine;
+  std::unique_ptr<resolver::RecursiveTier> tier;
+  std::unique_ptr<resolver::DohServer> doh_server;
+  std::unique_ptr<resolver::UdpServer> udp_server;
+  std::unique_ptr<DohClient> doh;
+  std::unique_ptr<UdpResolverClient> udp;
+
+  /// DoH is fronted by a tier shedding every request (queue capacity 0);
+  /// plain UDP bypasses the tier and stays healthy.
+  void start() {
+    engine = std::make_unique<resolver::Engine>(loop, engine_config);
+    resolver::TierConfig tier_config;
+    tier_config.bound_queue = true;
+    tier_config.queue_capacity = 0;
+    tier = std::make_unique<resolver::RecursiveTier>(loop, *engine,
+                                                     tier_config);
+    resolver::DohServerConfig doh_config;
+    doh_config.tls.chain = tlssim::CertificateChain::cloudflare();
+    doh_server = std::make_unique<resolver::DohServer>(server, *tier,
+                                                       doh_config, 443);
+    udp_server = std::make_unique<resolver::UdpServer>(server, *engine, 53);
+    DohClientConfig doh_client_config;
+    doh_client_config.server_name = "cloudflare-dns.com";
+    doh = std::make_unique<DohClient>(
+        client, simnet::Address{server.id(), 443}, doh_client_config);
+    udp = std::make_unique<UdpResolverClient>(
+        client, simnet::Address{server.id(), 53});
+  }
+
+  static dns::Name name(const std::string& n) { return dns::Name::parse(n); }
+};
+
+TEST_F(ShedInterplayTest, FallbackRescuesSheddingPrimary) {
+  start();
+  FallbackResolverClient trr(loop, *doh, *udp, {});
+  ResolutionResult observed;
+  trr.resolve(name("a.example.com"), dns::RType::kA,
+              [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_TRUE(observed.success);
+  EXPECT_EQ(observed.response.flags.rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(trr.stats().primary_shed, 1u);
+  EXPECT_EQ(trr.stats().fallback_used, 1u);
+  EXPECT_EQ(trr.stats().primary_wins, 0u);
+  // The REFUSED arrived quickly, so the rescue started long before the
+  // 1500ms deadline would have.
+  EXPECT_LT(observed.resolution_time(), simnet::ms(500));
+}
+
+TEST_F(ShedInterplayTest, RcodeFailuresOffSurfacesTheShed) {
+  start();
+  FallbackConfig config;
+  config.rcode_failures = false;  // pre-fix behaviour, now opt-in
+  FallbackResolverClient trr(loop, *doh, *udp, config);
+  ResolutionResult observed;
+  trr.resolve(name("a.example.com"), dns::RType::kA,
+              [&](const ResolutionResult& r) { observed = r; });
+  loop.run();
+  EXPECT_EQ(observed.response.flags.rcode, dns::Rcode::kRefused);
+  EXPECT_EQ(trr.stats().primary_shed, 0u);
+  EXPECT_EQ(trr.stats().fallback_used, 0u);
+}
+
+TEST_F(ShedInterplayTest, ShedRefusedTripsTheBreaker) {
+  start();
+  HealthConfig config;
+  config.failure_threshold = 2;
+  HealthTrackingClient health(loop, {doh.get(), udp.get()}, config);
+  for (int i = 0; i < 3; ++i) {
+    ResolutionResult observed;
+    health.resolve(name("q" + std::to_string(i) + ".example.com"),
+                   dns::RType::kA,
+                   [&](const ResolutionResult& r) { observed = r; });
+    loop.run();
+    EXPECT_TRUE(observed.success);
+    EXPECT_EQ(observed.response.flags.rcode, dns::Rcode::kNoError);
+  }
+  // Two REFUSED answers tripped the DoH breaker; the third query skipped
+  // straight to UDP without touching the shedding resolver.
+  EXPECT_EQ(health.health(0).failures, 2u);
+  EXPECT_EQ(health.health(0).breaker_trips, 1u);
+  EXPECT_EQ(health.health(0).queries, 2u);
+  EXPECT_EQ(health.health(0).state, BreakerState::kOpen);
+  EXPECT_EQ(health.failovers(), 2u);
+  EXPECT_EQ(health.exhausted(), 0u);
+}
+
+TEST_F(ShedInterplayTest, ShedRefusedIsNeverCached) {
+  start();
+  CachingResolverClient cached(loop, *doh, {});
+  cached.resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  cached.resolve(name("a.example.com"), dns::RType::kA, {});
+  loop.run();
+  // Both lookups went upstream; the REFUSED was never admitted, not even
+  // as a negative entry.
+  EXPECT_EQ(cached.stats().misses, 2u);
+  EXPECT_EQ(cached.size(), 0u);
+  EXPECT_EQ(cached.stats().negative_entries, 0u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "core/doh_client.hpp"
 #include "core/udp_client.hpp"
 #include "http2/connection.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "sim_fixture.hpp"

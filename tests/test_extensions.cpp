@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/tcp_dns_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/tcp_dns_server.hpp"
 #include "sim_fixture.hpp"
 #include "simnet/trace.hpp"

@@ -12,6 +12,7 @@
 #include "core/health_client.hpp"
 #include "core/retry.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
 #include "resolver/udp_server.hpp"

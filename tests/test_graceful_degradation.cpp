@@ -14,6 +14,7 @@
 #include "core/doh_client.hpp"
 #include "core/fallback_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "simnet/fault.hpp"

@@ -13,6 +13,7 @@
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "sim_fixture.hpp"

@@ -3,6 +3,7 @@
 
 #include "core/doq_client.hpp"
 #include "quicsim/endpoint.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doq_server.hpp"
 #include "sim_fixture.hpp"
 

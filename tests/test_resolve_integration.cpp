@@ -5,6 +5,7 @@
 #include "core/doh_client.hpp"
 #include "core/dot_client.hpp"
 #include "core/udp_client.hpp"
+#include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
 #include "resolver/dot_server.hpp"
 #include "resolver/udp_server.hpp"

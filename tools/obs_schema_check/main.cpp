@@ -106,6 +106,57 @@ void validate_availability_cell(const std::string& label,
           where + ": cell " + label + " lacks non-negative \"p99_ms\"");
 }
 
+// --- overload_matrix cells ---------------------------------------------------
+
+/// Extra structure required of overload_matrix reports: each grid cell
+/// ("scenario/rung") must carry the goodput/shedding headline numbers, the
+/// retry-amplification factor, and the per-reason shed breakdown.
+void validate_overload_cell(const std::string& label, const JsonValue& metrics,
+                            Errors& errors, const std::string& where) {
+  const auto pct_in_range = [&](const char* field) {
+    if (!metrics.contains(field) || !metrics.at(field).is_number()) {
+      errors.push_back(where + ": cell " + label + " lacks numeric \"" +
+                       field + "\"");
+      return;
+    }
+    const double v = metrics.at(field).as_double();
+    require(errors, v >= 0.0 && v <= 100.0,
+            where + ": cell " + label + " " + field + " outside [0,100]");
+  };
+  pct_in_range("goodput_pct");
+  pct_in_range("shed_pct");
+  pct_in_range("cache_hit_pct");
+  pct_in_range("aux_pct");
+  for (const char* field : {"offered", "good", "p50_ms", "p99_ms",
+                            "udp_retransmissions", "doh_reissues",
+                            "queue_peak", "doh_peak_sessions",
+                            "doh_memory_bytes"}) {
+    require(errors,
+            metrics.contains(field) && metrics.at(field).is_number() &&
+                metrics.at(field).as_double() >= 0.0,
+            where + ": cell " + label + " lacks non-negative \"" + field +
+                "\"");
+  }
+  // RAF counts retries on top of first sends, so it can never dip below 1.
+  require(errors,
+          metrics.contains("raf") && metrics.at("raf").is_number() &&
+              metrics.at("raf").as_double() >= 1.0,
+          where + ": cell " + label + " lacks \"raf\" >= 1");
+  if (!metrics.contains("shed") || !metrics.at("shed").is_object()) {
+    errors.push_back(where + ": cell " + label + " lacks object \"shed\"");
+    return;
+  }
+  for (const char* reason :
+       {"queue_full", "deadline", "admission", "fairness", "retry_budget"}) {
+    const auto& shed = metrics.at("shed");
+    require(errors,
+            shed.contains(reason) && shed.at(reason).is_number() &&
+                shed.at(reason).as_int() >= 0,
+            where + ": cell " + label + " shed lacks non-negative \"" +
+                reason + "\"");
+  }
+}
+
 // --- dohperf-bench-v1 --------------------------------------------------------
 
 void validate_bench(const JsonValue& doc, Errors& errors,
@@ -124,9 +175,12 @@ void validate_bench(const JsonValue& doc, Errors& errors,
     errors.push_back(where + ": missing object \"scenarios\"");
     return;
   }
-  const bool availability =
-      doc.contains("bench") && doc.at("bench").is_string() &&
-      doc.at("bench").as_string() == "availability_matrix";
+  const std::string bench_name =
+      doc.contains("bench") && doc.at("bench").is_string()
+          ? doc.at("bench").as_string()
+          : "";
+  const bool availability = bench_name == "availability_matrix";
+  const bool overload = bench_name == "overload_matrix";
   for (const auto& [label, metrics] : doc.at("scenarios").as_object()) {
     if (!metrics.is_object()) {
       errors.push_back(where + ": scenario " + label + " is not an object");
@@ -141,6 +195,9 @@ void validate_bench(const JsonValue& doc, Errors& errors,
     }
     if (availability && label.find('/') != std::string::npos) {
       validate_availability_cell(label, metrics, errors, where);
+    }
+    if (overload && label.find('/') != std::string::npos) {
+      validate_overload_cell(label, metrics, errors, where);
     }
   }
   if (doc.contains("metrics")) {
