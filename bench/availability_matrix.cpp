@@ -263,7 +263,8 @@ RunMetrics run(const Scenario& scenario, const std::string& rung,
 
 /// One cell of the grid plus its private metrics registry (merged into the
 /// global registry in cell order, so the merged result is --jobs-invariant).
-struct Cell {
+// detlint: hot-slot
+struct alignas(64) Cell {
   RunMetrics metrics;
   obs::Registry registry;
 };

@@ -270,7 +270,8 @@ constexpr std::array<const char*, 4> kTransports = {"udp", "dot", "h1", "h2"};
 
 /// One cell of the grid plus its private metrics registry (merged into the
 /// global registry in cell order, so the merged result is --jobs-invariant).
-struct Cell {
+// detlint: hot-slot
+struct alignas(64) Cell {
   RunMetrics metrics;
   obs::Registry registry;
 };

@@ -45,7 +45,8 @@ constexpr std::array<const char*, 5> kConfigs = {"U/LO", "U/CF", "U/GO",
 
 /// One shard's output: the per-config CDFs plus a private metrics registry
 /// (merged into the global one by shard index — see Registry::merge_from).
-struct ConfigShard {
+// detlint: hot-slot
+struct alignas(64) ConfigShard {
   ConfigResult result;
   obs::Registry registry;
 };
@@ -205,6 +206,7 @@ int main(int argc, char** argv) {
       kConfigs.size(), jobs, [&](std::size_t i) {
         return run_config(browser::Vantage::university(), kConfigs[i], pages,
                           static_cast<int>(loads), 1001,
+                          // detlint: allow(CONC004) tracing forces jobs=1 above
                           want_trace ? &tracer : nullptr);
       });
   std::map<std::string, ConfigResult> university;

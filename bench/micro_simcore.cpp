@@ -192,7 +192,8 @@ EchoResult bench_echo_path(std::size_t requests, std::size_t body_bytes) {
 
 // --- fig6-style page-load shards --------------------------------------------
 
-struct ShardOutput {
+// detlint: hot-slot
+struct alignas(64) ShardOutput {
   std::int64_t digest_us = 0;  ///< virtual-time digest; --jobs invariant
   std::uint64_t loads = 0;
 };
@@ -292,6 +293,7 @@ int main(int argc, char** argv) {
   // Shard throughput at several --jobs values. The digest is derived from
   // virtual time only and must be identical at every jobs value.
   std::int64_t reference_digest = 0;
+  double serial_rate = 0.0;
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
                                  std::size_t{8}}) {
     const double t0 = now_sec();
@@ -323,6 +325,15 @@ int main(int argc, char** argv) {
     const std::string scenario = "shards/jobs" + std::to_string(jobs);
     report.set(scenario, "shards_per_sec", rate);
     report.set(scenario, "digest_us", digest);
+    // Jobs-scaling speedups vs the serial run, for the CI informational
+    // gate (perf-smoke warns — but does not fail — when parallel efficiency
+    // regresses; absolute thresholds live in .github/workflows/ci.yml).
+    if (jobs == 1) {
+      serial_rate = rate;
+    } else if (serial_rate > 0.0) {
+      report.set("shards/scaling", "speedup_jobs" + std::to_string(jobs),
+                 rate / serial_rate);
+    }
   }
 
   std::printf("\nshard digests identical across jobs values: OK\n");

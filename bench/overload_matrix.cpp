@@ -283,7 +283,8 @@ RunMetrics run(const Scenario& scenario, const std::string& rung,
   return m;
 }
 
-struct Cell {
+// detlint: hot-slot
+struct alignas(64) Cell {
   RunMetrics metrics;
   obs::Registry registry;
 };

@@ -69,17 +69,28 @@ std::vector<Result> run_sharded(std::size_t shard_count, std::size_t jobs,
   }
 
   if (jobs > shard_count) jobs = shard_count;
-  std::vector<std::exception_ptr> errors(shard_count);
-  std::atomic<std::size_t> next{0};
+  // Each worker writes only its own shard's error slot, but adjacent
+  // exception_ptrs (8 bytes) would share a cache line; pad each slot to a
+  // full line, same as the result types themselves (alignas(64)).
+  struct alignas(64) ErrorSlot {
+    std::exception_ptr error;
+  };
+  std::vector<ErrorSlot> errors(shard_count);
+  // Keep the work-distribution counter on its own cache line too, so
+  // fetch_add traffic does not invalidate the first shard's slots.
+  struct alignas(64) NextShard {
+    std::atomic<std::size_t> value{0};
+  };
+  NextShard next;
 
   const auto worker = [&]() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t i = next.value.fetch_add(1, std::memory_order_relaxed);
       if (i >= shard_count) return;
       try {
         results[i] = shard_fn(i);
       } catch (...) {
-        errors[i] = std::current_exception();
+        errors[i].error = std::current_exception();
       }
     }
   };
@@ -95,7 +106,7 @@ std::vector<Result> run_sharded(std::size_t shard_count, std::size_t jobs,
 
   // Deterministic error propagation: lowest shard index wins.
   for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e.error) std::rethrow_exception(e.error);
   }
   return results;
 }

@@ -74,7 +74,8 @@ class AlexaPageModel {
   /// are a pure function of rank, disjoint ranges computed by different
   /// shards (each with its own model instance) merge into exactly the
   /// serial result.
-  struct CorpusShard {
+  // detlint: hot-slot
+  struct alignas(64) CorpusShard {
     std::uint64_t total_queries = 0;
     std::vector<std::size_t> queries_per_page;  ///< ranks lo..hi, in order
     std::map<dns::Name, std::uint64_t> query_counts;

@@ -1,0 +1,32 @@
+// CONC001 fixture: mutable static state reachable from a shard functor.
+// Expected: 2 x CONC001 (the function-local static in helper(), plus the
+// reference to the namespace-scope static g_counter from the same reachable
+// function).  Nothing else.
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+static int g_counter = 0;
+
+struct alignas(64) Out {
+  int v = 0;
+};
+
+int helper(int x) {
+  static int calls = 0;
+  ++calls;
+  return x + calls + g_counter;
+}
+
+void drive(std::size_t shards, std::size_t jobs) {
+  auto outs = bench::run_sharded<Out>(shards, jobs, [](std::size_t i) {
+    Out o;
+    o.v = helper(static_cast<int>(i));
+    return o;
+  });
+  (void)outs;
+}

@@ -1,0 +1,29 @@
+// CONC002 fixture: shard lambdas writing through captured references.
+// Expected: 2 x CONC002 (the compound assignment to `total` and the
+// push_back on `partials`, both captured by the `[&]` default).  The writes
+// to the shard-local `s` are fine.
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+struct alignas(64) Slot {
+  long sum = 0;
+};
+
+void drive(std::size_t shards, std::size_t jobs) {
+  long total = 0;
+  std::vector<long> partials;
+  auto slots = bench::run_sharded<Slot>(shards, jobs, [&](std::size_t i) {
+    Slot s;
+    s.sum = static_cast<long>(i);
+    total += s.sum;
+    partials.push_back(s.sum);
+    return s;
+  });
+  (void)slots;
+  (void)total;
+}

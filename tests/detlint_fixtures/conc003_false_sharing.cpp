@@ -1,0 +1,34 @@
+// CONC003 fixture: per-shard result slots that can false-share.
+// Expected: 2 x CONC003 — HotResult is the result type of a run_sharded
+// call but lacks alignas(64), and AnnotatedSlot carries the hot-slot
+// annotation without the alignment.  GoodSlot is annotated and aligned.
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+struct HotResult {
+  long digest = 0;
+};
+
+// detlint: hot-slot
+struct AnnotatedSlot {
+  long value = 0;
+};
+
+// detlint: hot-slot
+struct alignas(64) GoodSlot {
+  long value = 0;
+};
+
+void drive(std::size_t shards, std::size_t jobs) {
+  auto outs = bench::run_sharded<HotResult>(shards, jobs, [](std::size_t i) {
+    HotResult r;
+    r.digest = static_cast<long>(i);
+    return r;
+  });
+  (void)outs;
+}

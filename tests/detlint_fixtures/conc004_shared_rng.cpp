@@ -1,0 +1,42 @@
+// CONC004 fixture: an RNG instance shared across shard functors.
+// Expected: 1 x CONC004 — the first lambda draws from the `rng` declared
+// outside it.  The second lambda constructs a per-shard SplitMix64 and is
+// clean.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+namespace stats {
+struct SplitMix64 {
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() { return ++state; }
+  std::uint64_t state;
+};
+}  // namespace stats
+
+struct alignas(64) Draw {
+  std::uint64_t v = 0;
+};
+
+void drive(std::size_t shards, std::size_t jobs) {
+  stats::SplitMix64 rng(42);
+  auto outs = bench::run_sharded<Draw>(shards, jobs, [&](std::size_t i) {
+    Draw d;
+    d.v = rng.next() + i;
+    return d;
+  });
+
+  auto good = bench::run_sharded<Draw>(shards, jobs, [](std::size_t i) {
+    stats::SplitMix64 local(1000 + i);
+    Draw d;
+    d.v = local.next();
+    return d;
+  });
+  (void)outs;
+  (void)good;
+}

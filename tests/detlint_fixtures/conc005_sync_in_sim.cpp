@@ -1,0 +1,32 @@
+// CONC005 fixture: synchronization primitives in parallel-reachable code.
+// Expected: 2 x CONC005 — `fetch_add` and `memory_order_relaxed` inside
+// count_hit(), which a shard lambda calls.  The namespace-scope atomic
+// declaration itself is outside any function body and is not flagged.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+std::atomic<long> g_hits{0};
+
+struct alignas(64) Tally {
+  long hits = 0;
+};
+
+long count_hit(long x) {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+  return x;
+}
+
+void drive(std::size_t shards, std::size_t jobs) {
+  auto outs = bench::run_sharded<Tally>(shards, jobs, [](std::size_t i) {
+    Tally t;
+    t.hits = count_hit(static_cast<long>(i));
+    return t;
+  });
+  (void)outs;
+}

@@ -1,0 +1,38 @@
+// Pragma fixture for the CONC family: a justified allow(CONC001) pragma
+// suppresses the finding on the next line; a reason-less pragma does not.
+// Expected: 2 x CONC001 produced, 1 suppressed (with a reason), 1 live.
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+struct alignas(64) Out {
+  int v = 0;
+};
+
+int justified_counter(int x) {
+  // detlint: allow(CONC001) monotonic debug counter, never read by shards
+  static int calls = 0;
+  ++calls;
+  return x + calls;
+}
+
+int unjustified_counter(int x) {
+  // detlint: allow(CONC001)
+  static int calls = 0;
+  ++calls;
+  return x + calls;
+}
+
+void drive(std::size_t shards, std::size_t jobs) {
+  auto outs = bench::run_sharded<Out>(shards, jobs, [](std::size_t i) {
+    Out o;
+    o.v = justified_counter(static_cast<int>(i)) +
+          unjustified_counter(static_cast<int>(i));
+    return o;
+  });
+  (void)outs;
+}

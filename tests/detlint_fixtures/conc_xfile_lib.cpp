@@ -1,0 +1,8 @@
+// Cross-file reachability fixture, part 2: the hazard.  On its own this
+// file is clean (no shard site reaches the static); together with
+// conc_xfile_main.cpp it yields 1 x CONC001 here.
+int xfile_helper(int x) {
+  static int calls = 0;
+  ++calls;
+  return x + calls;
+}

@@ -1,0 +1,25 @@
+// Cross-file reachability fixture, part 1: the shard site.  The lambda
+// calls xfile_helper(), which is *defined* in conc_xfile_lib.cpp — the
+// CONC001 there only fires when both files are fed to the same analyzer.
+#include <cstddef>
+#include <vector>
+
+namespace bench {
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(std::size_t n, std::size_t jobs, Fn&& fn);
+}  // namespace bench
+
+int xfile_helper(int x);
+
+struct alignas(64) Out {
+  int v = 0;
+};
+
+void drive(std::size_t shards, std::size_t jobs) {
+  auto outs = bench::run_sharded<Out>(shards, jobs, [](std::size_t i) {
+    Out o;
+    o.v = xfile_helper(static_cast<int>(i));
+    return o;
+  });
+  (void)outs;
+}

@@ -13,6 +13,7 @@
 
 #include "baseline.hpp"
 #include "checks.hpp"
+#include "conc.hpp"
 #include "engine.hpp"
 #include "lexer.hpp"
 
@@ -42,6 +43,14 @@ std::map<Code, int> live_counts(const std::vector<Diagnostic>& diags) {
   for (const Diagnostic& d : diags)
     if (!d.suppressed) counts[d.code]++;
   return counts;
+}
+
+/// Runs the cross-file CONC pass over the named fixtures (in order).
+std::vector<Diagnostic> conc_fixtures(const std::vector<std::string>& names) {
+  detlint::ConcAnalyzer conc;
+  for (const std::string& name : names)
+    conc.add_file(name, detlint::lex(read_file(fixture_path(name))));
+  return conc.finish();
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -181,6 +190,113 @@ TEST(DetlintChecks, EveryCodeHasANameAndSummary) {
   }
   Code ignored;
   EXPECT_FALSE(detlint::parse_code("DET999", ignored));
+}
+
+// ------------------------------------------------- CONC (parallelism) --
+
+TEST(DetlintConc, Conc001MutableStaticState) {
+  auto diags = conc_fixtures({"conc001_static_state.cpp"});
+  auto counts = live_counts(diags);
+  // The function-local static in helper() plus the reference to the
+  // namespace-scope static g_counter from the same reachable function.
+  EXPECT_EQ(counts[Code::CONC001], 2);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DetlintConc, Conc002EscapingCaptureWrites) {
+  auto diags = conc_fixtures({"conc002_escaping_capture.cpp"});
+  auto counts = live_counts(diags);
+  // `total += ...` and `partials.push_back(...)` escape the shard; the
+  // writes to the shard-local `s` do not.
+  EXPECT_EQ(counts[Code::CONC002], 2);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DetlintConc, Conc003FalseSharingSlots) {
+  auto diags = conc_fixtures({"conc003_false_sharing.cpp"});
+  auto counts = live_counts(diags);
+  // The unaligned run_sharded result type + the unaligned hot-slot
+  // annotated struct; the aligned one is clean.
+  EXPECT_EQ(counts[Code::CONC003], 2);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DetlintConc, Conc004SharedRng) {
+  auto diags = conc_fixtures({"conc004_shared_rng.cpp"});
+  auto counts = live_counts(diags);
+  // Only the lambda drawing from the outer `rng`; the per-shard SplitMix64
+  // in the second lambda is fine.
+  EXPECT_EQ(counts[Code::CONC004], 1);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DetlintConc, Conc005SyncInParallelReachableCode) {
+  auto diags = conc_fixtures({"conc005_sync_in_sim.cpp"});
+  auto counts = live_counts(diags);
+  // fetch_add + memory_order_relaxed inside the reachable count_hit(); the
+  // namespace-scope atomic declaration itself is not inside a function.
+  EXPECT_EQ(counts[Code::CONC005], 2);
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(DetlintConc, JustifiedPragmaSuppressesConcFindings) {
+  auto diags = conc_fixtures({"conc_allow_pragma.cpp"});
+  int suppressed = 0, live = 0;
+  for (const Diagnostic& d : diags) {
+    ASSERT_EQ(d.code, Code::CONC001);
+    if (d.suppressed) {
+      ++suppressed;
+      EXPECT_FALSE(d.suppress_reason.empty());
+    } else {
+      ++live;
+    }
+  }
+  EXPECT_EQ(suppressed, 1);
+  EXPECT_EQ(live, 1);
+}
+
+TEST(DetlintConc, CleanParallelPostureHasZeroFindings) {
+  auto diags = conc_fixtures({"conc_clean.cpp"});
+  EXPECT_TRUE(diags.empty())
+      << "unexpected: " << detlint::format_diagnostic(diags.front());
+}
+
+TEST(DetlintConc, ReachabilityCrossesFileBoundaries) {
+  // The hazard file alone is clean — no shard site reaches its static.
+  EXPECT_TRUE(conc_fixtures({"conc_xfile_lib.cpp"}).empty());
+
+  // Linked with the file holding the shard site, the static is reachable
+  // and the finding lands in the *defining* file.
+  auto diags =
+      conc_fixtures({"conc_xfile_main.cpp", "conc_xfile_lib.cpp"});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, Code::CONC001);
+  EXPECT_EQ(diags[0].file, "conc_xfile_lib.cpp");
+}
+
+TEST(DetlintConc, EngineRunsConcPassUnlessDisabled) {
+  detlint::ScanOptions options;
+  options.root = DETLINT_FIXTURE_DIR;
+  options.paths = {fixture_path("conc001_static_state.cpp")};
+  auto with_conc = detlint::scan(options);
+  EXPECT_EQ(live_counts(with_conc.diagnostics)[Code::CONC001], 2);
+
+  options.conc = false;
+  auto without = detlint::scan(options);
+  EXPECT_EQ(live_counts(without.diagnostics)[Code::CONC001], 0);
+}
+
+TEST(DetlintConc, BaselineEntriesApplyToConcFindings) {
+  detlint::ScanOptions options;
+  options.root = DETLINT_FIXTURE_DIR;
+  options.paths = {fixture_path("conc001_static_state.cpp")};
+  std::vector<std::string> errors;
+  options.baseline = detlint::parse_baseline(
+      "conc001_static_state.cpp:*:CONC001\n", errors);
+  ASSERT_TRUE(errors.empty());
+  auto result = detlint::scan(options);
+  EXPECT_EQ(result.live_count(/*strict=*/false), 0u);
+  EXPECT_EQ(result.live_count(/*strict=*/true), 2u);
 }
 
 // ------------------------------------------------------- allow pragmas --

@@ -220,8 +220,10 @@ struct Checker {
     for (std::size_t i = 0; i < toks().size(); ++i) {
       const Token& t = toks()[i];
       if (t.kind == TokenKind::String) {
+        // detlint: allow(DET005) the pattern being searched for, not a use
         if (t.text.find("%p") != std::string::npos) {
           report(t.line, Code::DET005,
+                 // detlint: allow(DET005) diagnostic text, not a format use
                  "format string prints a pointer value (%p); pointer "
                  "identity differs across runs (ASLR) — print a stable id "
                  "instead");
@@ -372,51 +374,51 @@ struct Checker {
            text.find('E') != std::string::npos;
   }
 
-  // ---- allow pragmas ---------------------------------------------------
-
-  void apply_allow_pragmas() {
-    struct Allow {
-      Code code;
-      int first_line;
-      int last_line;  // inclusive; pragma also covers last_line + 1
-      std::string reason;
-    };
-    std::vector<Allow> allows;
-    for (const Comment& c : lexed.comments) {
-      std::string_view text = c.text;
-      std::size_t at = text.find("detlint:");
-      if (at == std::string_view::npos) continue;
-      std::size_t open = text.find("allow(", at);
-      if (open == std::string_view::npos) continue;
-      std::size_t close = text.find(')', open);
-      if (close == std::string_view::npos) continue;
-      std::string_view name = text.substr(open + 6, close - (open + 6));
-      Code code;
-      if (!parse_code(name, code)) continue;
-      std::string_view reason = text.substr(close + 1);
-      while (!reason.empty() &&
-             (reason.front() == ' ' || reason.front() == '-'))
-        reason.remove_prefix(1);
-      while (!reason.empty() && (reason.back() == ' ' || reason.back() == '\r'))
-        reason.remove_suffix(1);
-      if (reason.empty()) continue;  // justification is mandatory
-      allows.push_back({code, c.first_line, c.last_line, std::string(reason)});
-    }
-    if (allows.empty()) return;
-    for (Diagnostic& d : diags) {
-      for (const Allow& a : allows) {
-        if (d.code != a.code) continue;
-        if (d.line >= a.first_line && d.line <= a.last_line + 1) {
-          d.suppressed = true;
-          d.suppress_reason = a.reason;
-          break;
-        }
-      }
-    }
-  }
 };
 
 }  // namespace
+
+void apply_allow_pragmas(std::vector<Diagnostic>& diags,
+                         const std::vector<Comment>& comments) {
+  struct Allow {
+    Code code;
+    int first_line;
+    int last_line;  // inclusive; pragma also covers last_line + 1
+    std::string reason;
+  };
+  std::vector<Allow> allows;
+  for (const Comment& c : comments) {
+    std::string_view text = c.text;
+    std::size_t at = text.find("detlint:");
+    if (at == std::string_view::npos) continue;
+    std::size_t open = text.find("allow(", at);
+    if (open == std::string_view::npos) continue;
+    std::size_t close = text.find(')', open);
+    if (close == std::string_view::npos) continue;
+    std::string_view name = text.substr(open + 6, close - (open + 6));
+    Code code;
+    if (!parse_code(name, code)) continue;
+    std::string_view reason = text.substr(close + 1);
+    while (!reason.empty() &&
+           (reason.front() == ' ' || reason.front() == '-'))
+      reason.remove_prefix(1);
+    while (!reason.empty() && (reason.back() == ' ' || reason.back() == '\r'))
+      reason.remove_suffix(1);
+    if (reason.empty()) continue;  // justification is mandatory
+    allows.push_back({code, c.first_line, c.last_line, std::string(reason)});
+  }
+  if (allows.empty()) return;
+  for (Diagnostic& d : diags) {
+    for (const Allow& a : allows) {
+      if (d.code != a.code) continue;
+      if (d.line >= a.first_line && d.line <= a.last_line + 1) {
+        d.suppressed = true;
+        d.suppress_reason = a.reason;
+        break;
+      }
+    }
+  }
+}
 
 std::vector<Diagnostic> run_checks(const std::string& path,
                                    const LexedFile& lexed) {
@@ -429,7 +431,7 @@ std::vector<Diagnostic> run_checks(const std::string& path,
   c.hyg001();
   c.hyg002();
   c.hyg003();
-  c.apply_allow_pragmas();
+  apply_allow_pragmas(c.diags, lexed.comments);
   std::sort(c.diags.begin(), c.diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -28,4 +28,12 @@ namespace detlint {
 std::vector<Diagnostic> run_checks(const std::string& path,
                                    const LexedFile& lexed);
 
+/// Applies `// detlint: allow(CODE) <reason>` pragmas from `comments` to
+/// `diags`: a justified pragma suppresses matching findings on the lines
+/// the comment covers and on the line immediately following it.  Shared by
+/// the per-file checks and the cross-file CONC pass (whose diagnostics are
+/// produced after all files are lexed, so it must re-apply pragmas itself).
+void apply_allow_pragmas(std::vector<Diagnostic>& diags,
+                         const std::vector<Comment>& comments);
+
 }  // namespace detlint

@@ -12,6 +12,11 @@ std::string_view code_name(Code code) {
     case Code::HYG001: return "HYG001";
     case Code::HYG002: return "HYG002";
     case Code::HYG003: return "HYG003";
+    case Code::CONC001: return "CONC001";
+    case Code::CONC002: return "CONC002";
+    case Code::CONC003: return "CONC003";
+    case Code::CONC004: return "CONC004";
+    case Code::CONC005: return "CONC005";
   }
   return "DET???";
 }
@@ -34,6 +39,16 @@ std::string_view code_summary(Code code) {
       return "raw owning new/delete";
     case Code::HYG003:
       return "float arithmetic (byte/packet accounting is integer)";
+    case Code::CONC001:
+      return "mutable static state reached from parallel shard code";
+    case Code::CONC002:
+      return "shard lambda writes through a captured reference";
+    case Code::CONC003:
+      return "per-shard result slot lacks alignas(64) (false sharing)";
+    case Code::CONC004:
+      return "shared RNG/Registry/Tracer used inside a shard functor";
+    case Code::CONC005:
+      return "synchronization primitive in parallel-reachable sim code";
   }
   return "unknown diagnostic";
 }

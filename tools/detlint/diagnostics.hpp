@@ -5,6 +5,9 @@
 // matrix) is a pure function of its seed, byte-identical across runs.
 // HYG* codes are hygiene rules that keep the codebase uniform enough for
 // the DET* rules to stay checkable.
+// CONC* codes guard the parallel posture: shard functors handed to
+// bench::run_sharded (and everything they reach) must share no mutable
+// state, so `--jobs N` can only ever change wall-clock, never results.
 #pragma once
 
 #include <array>
@@ -14,19 +17,26 @@
 namespace detlint {
 
 enum class Code {
-  DET001,  // wall-clock / real time source
-  DET002,  // unseeded or global randomness
-  DET003,  // unordered associative container
-  DET004,  // real concurrency / blocking primitive
-  DET005,  // pointer identity flowing into hashes, logs, or stats
-  HYG001,  // header missing #pragma once
-  HYG002,  // raw owning new / delete
-  HYG003,  // float arithmetic in byte/packet accounting
+  DET001,   // wall-clock / real time source
+  DET002,   // unseeded or global randomness
+  DET003,   // unordered associative container
+  DET004,   // real concurrency / blocking primitive
+  DET005,   // pointer identity flowing into hashes, logs, or stats
+  HYG001,   // header missing #pragma once
+  HYG002,   // raw owning new / delete
+  HYG003,   // float arithmetic in byte/packet accounting
+  CONC001,  // mutable static state reached from parallel code
+  CONC002,  // shard lambda writes through an escaping capture
+  CONC003,  // per-shard result slot without alignas(64) (false sharing)
+  CONC004,  // shared RNG/Registry/Tracer object used across shards
+  CONC005,  // synchronization primitive inside parallel-reachable sim code
 };
 
-inline constexpr std::array<Code, 8> kAllCodes = {
-    Code::DET001, Code::DET002, Code::DET003, Code::DET004,
-    Code::DET005, Code::HYG001, Code::HYG002, Code::HYG003,
+inline constexpr std::array<Code, 13> kAllCodes = {
+    Code::DET001,  Code::DET002,  Code::DET003,  Code::DET004,
+    Code::DET005,  Code::HYG001,  Code::HYG002,  Code::HYG003,
+    Code::CONC001, Code::CONC002, Code::CONC003, Code::CONC004,
+    Code::CONC005,
 };
 
 std::string_view code_name(Code code);

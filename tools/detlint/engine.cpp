@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "checks.hpp"
+#include "conc.hpp"
 #include "lexer.hpp"
 #include "stats/table.hpp"
 
@@ -102,6 +103,7 @@ ScanResult scan(const ScanOptions& options) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  ConcAnalyzer conc;
   for (const fs::path& file : files) {
     std::string source;
     if (!read_file(file, source)) {
@@ -117,7 +119,22 @@ ScanResult scan(const ScanOptions& options) {
       if (options.baseline.matches(d)) d.baselined = true;
       result.diagnostics.push_back(std::move(d));
     }
+    if (options.conc) conc.add_file(rel, lexed);
   }
+  if (options.conc) {
+    for (Diagnostic& d : conc.finish()) {
+      if (options.baseline.matches(d)) d.baselined = true;
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+  // Per-file checks and the cross-file CONC pass each arrive sorted; one
+  // final stable sort interleaves them into (file, line, code) order.
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return code_name(a.code) < code_name(b.code);
+                   });
   return result;
 }
 

@@ -13,6 +13,7 @@ struct ScanOptions {
   std::string root = ".";          // repo root; scan paths are relative to it
   std::vector<std::string> paths;  // explicit files/dirs; empty = defaults
   bool strict = false;             // ignore baseline; any live finding fails
+  bool conc = true;                // run the cross-file CONC pass
   Baseline baseline;
 };
 
@@ -29,7 +30,7 @@ struct ScanResult {
 /// snippets under tests/detlint_fixtures are deliberately full of
 /// violations and are always excluded from directory walks.
 inline constexpr const char* kDefaultDirs[] = {"src", "bench", "examples",
-                                               "tests"};
+                                               "tests", "tools"};
 
 /// True for the extensions detlint lexes (.cpp/.cc/.cxx/.hpp/.h/.hxx).
 bool scannable_file(const std::string& path);

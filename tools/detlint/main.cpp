@@ -4,7 +4,7 @@
 //   detlint [--root DIR] [--strict] [--baseline FILE]
 //           [--write-baseline FILE] [--no-summary] [--list-codes] [path...]
 //
-// With no paths, scans src/ bench/ examples/ tests/ under --root
+// With no paths, scans src/ bench/ examples/ tests/ tools/ under --root
 // (excluding tests/detlint_fixtures, which are deliberately bad snippets
 // for detlint's own test suite).  Exit codes: 0 clean, 1 findings, 2 usage
 // or I/O error.
@@ -24,13 +24,14 @@ void print_usage() {
       "usage: detlint [options] [path...]\n"
       "\n"
       "Scans C++ sources for determinism and hygiene violations.  With no\n"
-      "paths, scans src/ bench/ examples/ tests/ under the root.\n"
+      "paths, scans src/ bench/ examples/ tests/ tools/ under the root.\n"
       "\n"
       "options:\n"
       "  --root DIR             repo root (default: .)\n"
       "  --strict               ignore the baseline; any live finding fails\n"
       "  --baseline FILE        suppress findings listed in FILE\n"
       "  --write-baseline FILE  write current findings as a baseline\n"
+      "  --no-conc              skip the cross-file CONC reachability pass\n"
       "  --no-summary           omit the summary table\n"
       "  --list-codes           print every diagnostic code and exit\n"
       "  -h, --help             this text\n"
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
       baseline_path = next("a file");
     } else if (arg == "--write-baseline") {
       write_baseline_path = next("a file");
+    } else if (arg == "--no-conc") {
+      options.conc = false;
     } else if (arg == "--no-summary") {
       summary = false;
     } else if (!arg.empty() && arg[0] == '-') {

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   perf_compare BASELINE.json CANDIDATE.json \
-//       [--require=scenarios.event_loop.schedule_fire_events_per_sec>=2.0]...
+//       [--require=scenarios.event_loop.schedule_fire_events_per_sec>=2.0] \
+//       [--warn=PATH>=RATIO] [--warn-abs=PATH>=VALUE] ...
 //
 // Prints every numeric leaf the two reports share (dotted path, baseline,
 // candidate, candidate/baseline ratio) plus any leaves present on only one
@@ -10,6 +11,13 @@
 // dotted path; the tool exits 1 if any gate fails (or the files are not
 // bench reports), 0 otherwise. CI's perf-smoke job uses the gates to catch
 // large regressions while tolerating machine noise.
+//
+// --warn is the informational twin of --require: same PATH>=RATIO syntax,
+// prints GATE WARN instead of GATE FAIL, never affects the exit code.
+// --warn-abs checks the *candidate's absolute value* at PATH (no baseline
+// needed — the path may not exist in older baselines), also informational.
+// Both exist for metrics that are machine-dependent (jobs-scaling speedups
+// on CI runners with unknown core counts) but still worth eyeballing.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,6 +63,8 @@ void flatten(const JsonValue& node, const std::string& path,
 struct Gate {
   std::string path;
   double min_ratio = 0.0;
+  bool warn_only = false;      // --warn / --warn-abs: report, never fail
+  bool absolute = false;       // --warn-abs: compare the candidate value
 };
 
 bool parse_gate(const std::string& spec, Gate& gate) {
@@ -72,19 +82,32 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<Gate> gates;
   const std::string require_prefix = "--require=";
+  const std::string warn_prefix = "--warn=";
+  const std::string warn_abs_prefix = "--warn-abs=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string spec;
+    Gate gate;
     if (arg.rfind(require_prefix, 0) == 0) {
-      Gate gate;
-      if (!parse_gate(arg.substr(require_prefix.size()), gate)) {
-        std::fprintf(stderr, "perf_compare: bad gate %s (want PATH>=RATIO)\n",
-                     arg.c_str());
-        return 1;
-      }
-      gates.push_back(std::move(gate));
+      spec = arg.substr(require_prefix.size());
+    } else if (arg.rfind(warn_prefix, 0) == 0) {
+      spec = arg.substr(warn_prefix.size());
+      gate.warn_only = true;
+    } else if (arg.rfind(warn_abs_prefix, 0) == 0) {
+      spec = arg.substr(warn_abs_prefix.size());
+      gate.warn_only = true;
+      gate.absolute = true;
     } else {
       files.push_back(arg);
+      continue;
     }
+    if (!parse_gate(spec, gate)) {
+      std::fprintf(stderr,
+                   "perf_compare: bad gate %s (want PATH>=THRESHOLD)\n",
+                   arg.c_str());
+      return 1;
+    }
+    gates.push_back(std::move(gate));
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
@@ -158,18 +181,38 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (const auto& gate : gates) {
+    const char* miss_label = gate.warn_only ? "WARN" : "FAIL";
+    if (gate.absolute) {
+      const auto it = cand.find(gate.path);
+      if (it == cand.end()) {
+        std::printf("GATE %s %s: path missing from candidate report\n",
+                    miss_label, gate.path.c_str());
+        continue;  // informational by definition
+      }
+      const bool pass = it->second >= gate.min_ratio;
+      std::printf("GATE %s %s: value %.3f (want >= %.3f, informational)\n",
+                  pass ? "PASS" : "WARN", gate.path.c_str(), it->second,
+                  gate.min_ratio);
+      continue;
+    }
     const auto it = ratios.find(gate.path);
     if (it == ratios.end()) {
-      std::printf("GATE FAIL %s: path missing from one report\n",
+      std::printf("GATE %s %s: path missing from one report\n", miss_label,
                   gate.path.c_str());
-      ok = false;
+      ok = ok && gate.warn_only;
       continue;
     }
     const bool pass = it->second >= gate.min_ratio;
-    std::printf("GATE %s %s: ratio %.3f (need >= %.3f)\n",
-                pass ? "PASS" : "FAIL", gate.path.c_str(), it->second,
-                gate.min_ratio);
-    ok = ok && pass;
+    if (gate.warn_only) {
+      std::printf("GATE %s %s: ratio %.3f (want >= %.3f, informational)\n",
+                  pass ? "PASS" : "WARN", gate.path.c_str(), it->second,
+                  gate.min_ratio);
+    } else {
+      std::printf("GATE %s %s: ratio %.3f (need >= %.3f)\n",
+                  pass ? "PASS" : "FAIL", gate.path.c_str(), it->second,
+                  gate.min_ratio);
+      ok = ok && pass;
+    }
   }
   return ok ? 0 : 1;
 }
