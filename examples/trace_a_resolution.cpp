@@ -6,6 +6,14 @@
 //
 //   $ ./trace_a_resolution [trace.json]
 //
+// Act two shows the production-rate hookup: a SamplingTracer keeps 1-in-N
+// roots (deterministically, by query ordinal) so a warm batch of queries
+// records only a sampled subset at full fidelity while metrics — and the
+// obs.spans_sampled / obs.spans_dropped self-tallies — flow for every
+// query. The pooled-storage counters (span slots, attribute arena,
+// interned names) are printed at the end; bench/obs_overhead measures
+// what this path costs per query.
+//
 // Companion to trace_resolution (the packet-level tcpdump view): same
 // scenario, but seen as the hierarchical span tree the benches export
 // with --trace.
@@ -15,6 +23,7 @@
 #include "core/doh_client.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "obs/sampling.hpp"
 #include "obs/span.hpp"
 #include "resolver/engine.hpp"
 #include "resolver/doh_server.hpp"
@@ -62,6 +71,43 @@ int main(int argc, char** argv) {
   std::printf("span timeline of two DoH resolutions (cold, then warm):\n\n%s",
               obs::render_timeline(tracer).c_str());
   std::printf("\nmetrics snapshot:\n%s", registry.render().c_str());
+
+  // Act two: the same client at production rate. A SamplingTracer fronts a
+  // fresh tracer and keeps 1-in-4 roots here (1-in-64+ in production); the
+  // keep/drop decision hashes the query ordinal, so the kept subset is the
+  // same on every run. Dropped queries pay only the null-check fast path.
+  obs::Tracer sampled_tracer(loop);
+  obs::Registry prod_registry;
+  obs::SamplingTracer sampler(sampled_tracer, &prod_registry,
+                              {/*period=*/4, /*seed=*/7});
+  const int batch = 12;
+  for (int i = 0; i < batch; ++i) {
+    resolver_client.set_obs(sampler.root_context(std::uint64_t(i)));
+    char host[32];
+    std::snprintf(host, sizeof host, "s%d.example.com", i);
+    const auto id = resolver_client.resolve(dns::Name::parse(host),
+                                            dns::RType::kA, {});
+    loop.run();
+    (void)resolver_client.result(id);
+  }
+
+  std::printf("\nsampled timeline — %d of %d warm queries kept "
+              "(period 4, seed 7):\n\n%s",
+              int(prod_registry.counter("obs.spans_sampled")), batch,
+              obs::render_timeline(sampled_tracer).c_str());
+  std::printf("\nsampling self-metrics:\n  obs.spans_sampled %llu\n"
+              "  obs.spans_dropped %llu\n",
+              static_cast<unsigned long long>(
+                  prod_registry.counter("obs.spans_sampled")),
+              static_cast<unsigned long long>(
+                  prod_registry.counter("obs.spans_dropped")));
+  const obs::PoolStats pool = sampled_tracer.pool_stats();
+  std::printf("pooled span storage:\n"
+              "  spans %zu (capacity %zu)\n"
+              "  attr slots %zu live / %zu allocated (%zu wasted)\n"
+              "  interned names %zu\n",
+              pool.spans, pool.span_capacity, pool.attr_entries,
+              pool.attr_capacity, pool.attr_wasted, pool.interned_names);
 
   if (argc > 1) {
     std::ofstream out(argv[1], std::ios::binary);

@@ -27,19 +27,31 @@ PageLoader::~PageLoader() {
 
 simnet::EventLoop& PageLoader::loop() { return browser_.loop(); }
 
+void PageLoader::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_pages_ = r->register_counter("browser.pages");
+  m_dns_queries_ = r->register_counter("browser.dns_queries");
+  m_fetches_ = r->register_counter("browser.fetches");
+  m_fetch_failures_ = r->register_counter("browser.fetch_failures");
+}
+
 void PageLoader::load(const workload::Page& page,
                       std::function<void(const PageLoadResult&)> done) {
   page_ = page;
   done_ = std::move(done);
   result_ = PageLoadResult{};
   result_.started_at = loop().now();
+  bind_obs_ids();
   page_span_ = config_.obs.begin("page_load");
   config_.obs.set_attr(page_span_, "page", page_.primary.to_string());
   config_.obs.set_attr(page_span_, "objects",
                        static_cast<std::int64_t>(page_.objects.size()));
   page_obs_ = config_.obs.child(page_span_);
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("browser.pages");
+    config_.obs.metrics->add(m_pages_);
   }
   // Everything that must complete before onload: the HTML + all objects.
   objects_outstanding_ = page_.objects.size() + 1;
@@ -58,7 +70,7 @@ void PageLoader::resolve_origin(const dns::Name& domain) {
   page_obs_.set_attr(span, "domain", domain.to_string());
   resolve_spans_[domain] = span;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("browser.dns_queries");
+    config_.obs.metrics->add(m_dns_queries_);
   }
   resolver_.resolve(domain, dns::RType::kA,
                     [this, domain](const core::ResolutionResult& r) {
@@ -158,7 +170,7 @@ void PageLoader::pump_origin(const dns::Name& domain) {
                        static_cast<std::int64_t>(bytes));
     fetch_spans_[index] = fetch_span;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("browser.fetches");
+      config_.obs.metrics->add(m_fetches_);
     }
 
     ++best->outstanding;
@@ -190,7 +202,7 @@ void PageLoader::on_object_done(int object_index, bool success) {
   } else {
     ++result_.fetch_failures;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("browser.fetch_failures");
+      config_.obs.metrics->add(m_fetch_failures_);
     }
   }
   --objects_outstanding_;

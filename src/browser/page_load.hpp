@@ -16,6 +16,7 @@
 #include "browser/web_farm.hpp"
 #include "core/client.hpp"
 #include "http1/client.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "workload/alexa.hpp"
 
@@ -82,6 +83,8 @@ class PageLoader {
   void on_object_done(int object_index, bool success);
   void discover_children(int object_index);
   void maybe_finish();
+  /// Re-register the browser.* handles when the registry changes.
+  void bind_obs_ids();
 
   simnet::EventLoop& loop();
 
@@ -95,6 +98,11 @@ class PageLoader {
   PageLoadResult result_;
   obs::SpanId page_span_ = 0;
   obs::SpanContext page_obs_;  ///< children hang under the page_load span
+  obs::Registry* bound_metrics_ = nullptr;
+  obs::MetricId m_pages_;
+  obs::MetricId m_dns_queries_;
+  obs::MetricId m_fetches_;
+  obs::MetricId m_fetch_failures_;
   std::map<dns::Name, obs::SpanId> resolve_spans_;
   std::map<int, obs::SpanId> fetch_spans_;
   std::map<dns::Name, Origin> origins_;

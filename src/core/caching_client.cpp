@@ -39,9 +39,29 @@ bool CachingResolverClient::usable(const ResolutionResult& r) {
   return rcode == dns::Rcode::kNoError || rcode == dns::Rcode::kNxDomain;
 }
 
+void CachingResolverClient::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_hits_ = r->register_counter("cache.hits");
+  m_negative_hits_ = r->register_counter("cache.negative_hits");
+  m_expirations_ = r->register_counter("cache.expirations");
+  m_misses_ = r->register_counter("cache.misses");
+  m_coalesced_ = r->register_counter("cache.coalesced");
+  m_upstream_queries_ = r->register_counter("cache.upstream_queries");
+  m_proactive_refreshes_ = r->register_counter("cache.proactive_refreshes");
+  m_revalidations_ = r->register_counter("cache.revalidations");
+  m_stale_serves_ = r->register_counter("cache.stale_serves");
+  m_staleness_age_ms_ = r->register_histogram("cache.staleness_age_ms");
+  m_negative_entries_ = r->register_counter("cache.negative_entries");
+  m_evictions_ = r->register_counter("cache.evictions");
+}
+
 std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
                                              dns::RType type,
                                              ResolveCallback callback) {
+  bind_obs_ids();
   const std::uint64_t id = results_.size();
   results_.emplace_back();
   staleness_.push_back(0);
@@ -57,13 +77,13 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
       ++stats_.hits;
       config_.obs.set_attr(lookup, "hit", true);
       if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->add("cache.hits");
+        config_.obs.metrics->add(m_hits_);
       }
       if (entry.negative) {
         ++stats_.negative_hits;
         config_.obs.set_attr(lookup, "negative", true);
         if (config_.obs.metrics != nullptr) {
-          config_.obs.metrics->add("cache.negative_hits");
+          config_.obs.metrics->add(m_negative_hits_);
         }
       }
       config_.obs.end(lookup);
@@ -90,7 +110,7 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
     } else {
       ++stats_.expirations;
       if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->add("cache.expirations");
+        config_.obs.metrics->add(m_expirations_);
       }
       entries_.erase(it);
     }
@@ -100,7 +120,7 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
   config_.obs.set_attr(lookup, "hit", false);
   config_.obs.end(lookup);
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("cache.misses");
+    config_.obs.metrics->add(m_misses_);
   }
 
   const auto [fit, first_for_key] = inflight_.try_emplace(key);
@@ -117,7 +137,7 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
   if (!first_for_key) {
     ++stats_.coalesced;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("cache.coalesced");
+      config_.obs.metrics->add(m_coalesced_);
     }
     const obs::SpanId join = config_.obs.begin("coalesce_join");
     config_.obs.set_attr(
@@ -133,7 +153,7 @@ std::uint64_t CachingResolverClient::resolve(const dns::Name& name,
 void CachingResolverClient::start_upstream(const Key& key) {
   ++stats_.upstream_queries;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("cache.upstream_queries");
+    config_.obs.metrics->add(m_upstream_queries_);
   }
   upstream_.resolve(key.name, key.type,
                     [this, key](const ResolutionResult& r) {
@@ -148,7 +168,7 @@ void CachingResolverClient::maybe_refresh_ahead(const Key& key,
   if (inflight_.find(key) != inflight_.end()) return;  // refresh in flight
   ++stats_.proactive_refreshes;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("cache.proactive_refreshes");
+    config_.obs.metrics->add(m_proactive_refreshes_);
   }
   inflight_.try_emplace(key);  // no waiters: a pure background refresh
   start_upstream(key);
@@ -191,7 +211,7 @@ void CachingResolverClient::on_upstream_done(const Key& key,
   if (answer_usable && repaired_stale_serve) {
     ++stats_.revalidations;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("cache.revalidations");
+      config_.obs.metrics->add(m_revalidations_);
     }
   }
 }
@@ -219,8 +239,8 @@ bool CachingResolverClient::serve_stale(const Key& key, Waiter& waiter,
   if (age >= config_.max_stale) return false;  // beyond the stale window
   ++stats_.stale_serves;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("cache.stale_serves");
-    config_.obs.metrics->observe("cache.staleness_age_ms",
+    config_.obs.metrics->add(m_stale_serves_);
+    config_.obs.metrics->observe(m_staleness_age_ms_,
                                  static_cast<double>(age) / 1e3);
   }
   const obs::SpanId span = config_.obs.begin("stale_serve");
@@ -290,7 +310,7 @@ void CachingResolverClient::insert(const Key& key,
   if (negative) {
     ++stats_.negative_entries;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("cache.negative_entries");
+      config_.obs.metrics->add(m_negative_entries_);
     }
   }
 }
@@ -311,7 +331,7 @@ void CachingResolverClient::evict_if_needed() {
   entries_.erase(victim);
   ++stats_.evictions;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("cache.evictions");
+    config_.obs.metrics->add(m_evictions_);
   }
 }
 

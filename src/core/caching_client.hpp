@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "simnet/event_loop.hpp"
 
@@ -97,6 +98,10 @@ class CachingResolverClient final : public ResolverClient {
   }
 
   const CacheStats& stats() const noexcept { return stats_; }
+  /// Rebind the tracing/metrics sink (per-query sampling hands each query
+  /// a different context; metric handles re-bind automatically).
+  void set_obs(const obs::SpanContext& obs) noexcept { config_.obs = obs; }
+
   std::size_t size() const noexcept { return entries_.size(); }
   /// Drop every entry and reset the LRU sequence: a cleared cache is
   /// byte-identical to a freshly constructed one in seeded runs.
@@ -138,6 +143,9 @@ class CachingResolverClient final : public ResolverClient {
   /// serve-stale) per RFC 8767 §4.
   static bool usable(const ResolutionResult& r);
 
+  /// Re-register the cache.* handles when the registry changes.
+  void bind_obs_ids();
+
   void insert(const Key& key, const dns::Message& response);
   void evict_if_needed();
   void touch(Entry& entry) { entry.last_used_seq = next_seq_++; }
@@ -154,6 +162,19 @@ class CachingResolverClient final : public ResolverClient {
   ResolverClient& upstream_;
   CacheConfig config_;
   CacheStats stats_;
+  obs::MetricId m_hits_;
+  obs::MetricId m_negative_hits_;
+  obs::MetricId m_expirations_;
+  obs::MetricId m_misses_;
+  obs::MetricId m_coalesced_;
+  obs::MetricId m_upstream_queries_;
+  obs::MetricId m_proactive_refreshes_;
+  obs::MetricId m_revalidations_;
+  obs::MetricId m_stale_serves_;
+  obs::MetricId m_staleness_age_ms_;
+  obs::MetricId m_negative_entries_;
+  obs::MetricId m_evictions_;
+  obs::Registry* bound_metrics_ = nullptr;
   std::map<Key, Entry> entries_;
   std::map<Key, InFlight> inflight_;
   std::uint64_t next_seq_ = 0;

@@ -33,10 +33,25 @@ DohClient::DohClient(simnet::Host& host, simnet::Address server,
       metric_key_(config_.http_version == HttpVersion::kHttp2 ? "doh_h2"
                                                               : "doh_h1") {}
 
+void DohClient::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  const std::string prefix = "client." + metric_key_;
+  m_conn_open_ = r->register_counter(prefix + ".conn_open");
+  m_conn_reuse_ = r->register_counter(prefix + ".conn_reuse");
+  m_reconnects_ = r->register_counter(prefix + ".reconnects");
+  m_retries_ = r->register_counter(prefix + ".retries");
+  m_timeouts_ = r->register_counter(prefix + ".timeouts");
+  m_hpack_dyn_hits_ = r->register_counter("client.doh.hpack_dyn_hits");
+}
+
 std::shared_ptr<DohClient::Stack> DohClient::make_stack(obs::SpanId parent) {
   auto stack = std::make_shared<Stack>();
+  bind_obs_ids();
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client." + metric_key_ + ".conn_open");
+    config_.obs.metrics->add(m_conn_open_);
   }
   if (config_.obs.tracer != nullptr) {
     stack->connect_span = config_.obs.tracer->begin(parent, "connect");
@@ -160,7 +175,7 @@ std::shared_ptr<DohClient::Stack> DohClient::stack_for_query(
   if (!usable) {
     persistent_stack_ = make_stack(parent);
   } else if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client." + metric_key_ + ".conn_reuse");
+    config_.obs.metrics->add(m_conn_reuse_);
   }
   return persistent_stack_;
 }
@@ -168,8 +183,9 @@ std::shared_ptr<DohClient::Stack> DohClient::stack_for_query(
 std::uint64_t DohClient::resolve(const dns::Name& name, dns::RType type,
                                  ResolveCallback callback) {
   const std::uint64_t query_id = next_query_id_++;
+  bind_obs_ids();
   const obs::SpanId span =
-      obs_begin_resolution(config_.obs, metric_key_, name, type);
+      obs_begin_resolution(config_.obs, tmetrics_, metric_key_, name, type);
   auto stack = stack_for_query(span);
 
   ResolutionResult result;
@@ -362,7 +378,7 @@ void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
       delay = backoff_.next();
       ++retry_stats_.reconnects;
       if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->add("client." + metric_key_ + ".reconnects");
+        config_.obs.metrics->add(m_reconnects_);
       }
       scheduled_any = true;
     }
@@ -380,7 +396,7 @@ void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
       config_.obs.end(retry);
     }
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client." + metric_key_ + ".retries");
+      config_.obs.metrics->add(m_retries_);
     }
     host_.loop().schedule_in(delay,
                              [this, query_id]() { reissue(query_id); });
@@ -392,7 +408,7 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
   if (state.done) return;
   ++retry_stats_.query_timeouts;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client." + metric_key_ + ".timeouts");
+    config_.obs.metrics->add(m_timeouts_);
   }
   const auto stack = state.stack;
   if (config_.retry.max_retries > 0 && state.retries_left > 0) {
@@ -434,7 +450,7 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
       config_.obs.end(retry);
     }
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client." + metric_key_ + ".retries");
+      config_.obs.metrics->add(m_retries_);
     }
     reissue(query_id);
     return;
@@ -499,12 +515,13 @@ void DohClient::complete(std::uint64_t query_id, bool success,
     // delta since the last completion on this stack.
     const std::uint64_t hits = state.stack->h2->encoder_stats().indexed_dynamic;
     if (hits > state.stack->hpack_reported) {
-      config_.obs.metrics->add("client.doh.hpack_dyn_hits",
+      config_.obs.metrics->add(m_hpack_dyn_hits_,
                                hits - state.stack->hpack_reported);
       state.stack->hpack_reported = hits;
     }
   }
-  obs_finish_resolution(config_.obs, state.span, metric_key_, result);
+  obs_finish_resolution(config_.obs, tmetrics_, state.span, metric_key_,
+                        result);
 
   if (!config_.persistent && state.stack) {
     // Tear the connection down; the remaining FIN/close-notify bytes are
@@ -535,7 +552,7 @@ const ResolutionResult& DohClient::result(std::uint64_t id) const {
       // cost is read — by construction they match this CostReport exactly.
       state.cost_observed = true;
       obs_span_cost(config_.obs, state.span, result.cost);
-      obs_count_cost(config_.obs, result.cost);
+      obs_count_cost(config_.obs, cmetrics_, result.cost);
     }
   }
   return result;

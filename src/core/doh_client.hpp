@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/obs_hooks.hpp"
 #include "core/retry.hpp"
 #include "http1/client.hpp"
 #include "http2/connection.hpp"
@@ -84,6 +85,10 @@ class DohClient final : public ResolverClient {
   /// Close the persistent connection (if any).
   void disconnect();
 
+  /// Rebind the tracing/metrics sink (per-query sampling hands each query
+  /// a different context; metric handles re-bind automatically).
+  void set_obs(const obs::SpanContext& obs) noexcept { config_.obs = obs; }
+
   /// Counters of the current persistent stack (null when none / fresh mode).
   const simnet::TcpCounters* tcp_counters() const;
   const tlssim::TlsCounters* tls_counters() const;
@@ -126,6 +131,8 @@ class DohClient final : public ResolverClient {
   void on_query_timeout(std::uint64_t query_id);
   /// Re-issue a query on a (possibly fresh) connection.
   void reissue(std::uint64_t query_id);
+  /// Re-register the client.<key>.* handles when the registry changes.
+  void bind_obs_ids();
 
   simnet::Host& host_;
   simnet::Address server_;
@@ -133,6 +140,15 @@ class DohClient final : public ResolverClient {
   Backoff backoff_;
   RetryStats retry_stats_;
   std::string metric_key_;  ///< "doh_h2" or "doh_h1"
+  mutable TransportMetrics tmetrics_;  ///< mutable: result() is const
+  mutable CostMetrics cmetrics_;
+  obs::MetricId m_conn_open_;
+  obs::MetricId m_conn_reuse_;
+  obs::MetricId m_reconnects_;
+  obs::MetricId m_retries_;
+  obs::MetricId m_timeouts_;
+  obs::MetricId m_hpack_dyn_hits_;
+  obs::Registry* bound_metrics_ = nullptr;
 
   /// Query whose timeout triggered the current connection teardown: the
   /// group-retry charges only its budget and re-issues it last.

@@ -8,15 +8,24 @@ DoqClient::DoqClient(simnet::Host& host, simnet::Address server,
                      DoqClientConfig config)
     : host_(host), server_(server), config_(std::move(config)) {}
 
+void DoqClient::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_conn_open_ = r->register_counter("client.doq.conn_open");
+  m_conn_reuse_ = r->register_counter("client.doq.conn_reuse");
+}
+
 void DoqClient::ensure_connection(obs::SpanId parent) {
   if (endpoint_ && !endpoint_->connection().closed()) {
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client.doq.conn_reuse");
+      config_.obs.metrics->add(m_conn_reuse_);
     }
     return;
   }
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client.doq.conn_open");
+    config_.obs.metrics->add(m_conn_open_);
   }
   if (config_.obs.tracer != nullptr) {
     connect_span_ = config_.obs.tracer->begin(parent, "connect");
@@ -43,8 +52,9 @@ void DoqClient::ensure_connection(obs::SpanId parent) {
 std::uint64_t DoqClient::resolve(const dns::Name& name, dns::RType type,
                                  ResolveCallback callback) {
   const std::uint64_t query_id = next_query_id_++;
+  bind_obs_ids();
   const obs::SpanId span =
-      obs_begin_resolution(config_.obs, "doq", name, type);
+      obs_begin_resolution(config_.obs, tmetrics_, "doq", name, type);
   ensure_connection(span);
   ResolutionResult result;
   result.sent_at = host_.loop().now();
@@ -100,8 +110,8 @@ void DoqClient::on_stream_data(std::uint64_t stream_id,
   auto callback = std::move(pq.callback);
   config_.obs.end(pq.request_span);
   obs_span_cost(config_.obs, pq.span, result.cost);
-  obs_count_cost(config_.obs, result.cost);
-  obs_finish_resolution(config_.obs, pq.span, "doq", result);
+  obs_count_cost(config_.obs, cmetrics_, result.cost);
+  obs_finish_resolution(config_.obs, tmetrics_, pq.span, "doq", result);
   pending_.erase(it);
   if (callback) callback(result);
 }
@@ -118,7 +128,7 @@ void DoqClient::on_closed() {
     result.completed_at = host_.loop().now();
     ++completed_;
     config_.obs.end(pq.request_span);
-    obs_finish_resolution(config_.obs, pq.span, "doq", result);
+    obs_finish_resolution(config_.obs, tmetrics_, pq.span, "doq", result);
     if (pq.callback) pq.callback(result);
   }
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/obs_hooks.hpp"
 #include "obs/span.hpp"
 #include "quicsim/endpoint.hpp"
 
@@ -37,11 +38,18 @@ class DoqClient final : public ResolverClient {
 
  private:
   void ensure_connection(obs::SpanId parent);
+  /// Re-register the client.doq.* handles when the registry changes.
+  void bind_obs_ids();
   void on_stream_data(std::uint64_t stream_id,
                       std::span<const std::uint8_t> data, bool fin);
   void on_closed();
 
   simnet::Host& host_;
+  TransportMetrics tmetrics_;
+  CostMetrics cmetrics_;
+  obs::MetricId m_conn_open_;
+  obs::MetricId m_conn_reuse_;
+  obs::Registry* bound_metrics_ = nullptr;
   simnet::Address server_;
   DoqClientConfig config_;
   std::unique_ptr<quicsim::QuicClientEndpoint> endpoint_;

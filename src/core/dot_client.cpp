@@ -11,18 +11,30 @@ DotClient::DotClient(simnet::Host& host, simnet::Address server,
       config_(std::move(config)),
       backoff_(config_.retry) {}
 
+void DotClient::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_conn_open_ = r->register_counter("client.dot.conn_open");
+  m_conn_reuse_ = r->register_counter("client.dot.conn_reuse");
+  m_reconnects_ = r->register_counter("client.dot.reconnects");
+  m_retries_ = r->register_counter("client.dot.retries");
+  m_timeouts_ = r->register_counter("client.dot.timeouts");
+}
+
 void DotClient::ensure_connection(obs::SpanId parent) {
   // A connection is reusable while it is open or still handshaking; one
   // that failed or whose transport closed (including RST mid-handshake)
   // must be replaced.
   if (tls_ && !tls_->failed() && !tls_->closed()) {
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client.dot.conn_reuse");
+      config_.obs.metrics->add(m_conn_reuse_);
     }
     return;
   }
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client.dot.conn_open");
+    config_.obs.metrics->add(m_conn_open_);
   }
   if (config_.obs.tracer != nullptr) {
     connect_span_ = config_.obs.tracer->begin(parent, "connect");
@@ -83,7 +95,9 @@ std::uint64_t DotClient::resolve(const dns::Name& name, dns::RType type,
   pending.name = name;
   pending.type = type;
   pending.retries_left = config_.retry.max_retries;
-  pending.span = obs_begin_resolution(config_.obs, "dot", name, type);
+  bind_obs_ids();
+  pending.span =
+      obs_begin_resolution(config_.obs, tmetrics_, "dot", name, type);
   send_query(allocate_dns_id(), std::move(pending));
   return query_id;
 }
@@ -147,8 +161,8 @@ void DotClient::on_data(std::span<const std::uint8_t> data) {
     ++completed_;
     config_.obs.end(pending.request_span);
     obs_span_cost(config_.obs, pending.span, result.cost);
-    obs_count_cost(config_.obs, result.cost);
-    obs_finish_resolution(config_.obs, pending.span, "dot", result);
+    obs_count_cost(config_.obs, cmetrics_, result.cost);
+    obs_finish_resolution(config_.obs, tmetrics_, pending.span, "dot", result);
     if (pending.callback) pending.callback(result);
   }
 }
@@ -197,7 +211,7 @@ void DotClient::on_close() {
       delay = backoff_.next();
       ++retry_stats_.reconnects;
       if (config_.obs.metrics != nullptr) {
-        config_.obs.metrics->add("client.dot.reconnects");
+        config_.obs.metrics->add(m_reconnects_);
       }
       scheduled_any = true;
     }
@@ -215,7 +229,7 @@ void DotClient::on_close() {
       config_.obs.end(retry);
     }
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client.dot.retries");
+      config_.obs.metrics->add(m_retries_);
     }
     host_.loop().schedule_in(
         delay, [this, p = std::move(entry)]() mutable {
@@ -229,7 +243,7 @@ void DotClient::on_query_timeout(std::uint16_t dns_id) {
   if (it == pending_.end()) return;
   ++retry_stats_.query_timeouts;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client.dot.timeouts");
+    config_.obs.metrics->add(m_timeouts_);
   }
   if (config_.retry.max_retries > 0 && it->second.retries_left > 0) {
     // DoT serializes responses on one TLS stream (the resolver answers in
@@ -261,8 +275,8 @@ void DotClient::fail_query(Pending pending) {
   ++completed_;
   config_.obs.end(pending.request_span);
   obs_span_cost(config_.obs, pending.span, result.cost);
-  obs_count_cost(config_.obs, result.cost);
-  obs_finish_resolution(config_.obs, pending.span, "dot", result);
+  obs_count_cost(config_.obs, cmetrics_, result.cost);
+  obs_finish_resolution(config_.obs, tmetrics_, pending.span, "dot", result);
   if (pending.callback) pending.callback(result);
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/client.hpp"
 #include "core/retry.hpp"
+#include "core/obs_hooks.hpp"
 #include "obs/span.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
@@ -65,6 +66,8 @@ class DotClient final : public ResolverClient {
   };
 
   void ensure_connection(obs::SpanId parent);
+  /// Re-register the client.dot.* handles when the registry changes.
+  void bind_obs_ids();
   void send_query(std::uint16_t dns_id, Pending pending);
   void on_data(std::span<const std::uint8_t> data);
   void on_close();
@@ -73,6 +76,14 @@ class DotClient final : public ResolverClient {
   std::uint16_t allocate_dns_id();
 
   simnet::Host& host_;
+  TransportMetrics tmetrics_;
+  CostMetrics cmetrics_;
+  obs::MetricId m_conn_open_;
+  obs::MetricId m_conn_reuse_;
+  obs::MetricId m_reconnects_;
+  obs::MetricId m_retries_;
+  obs::MetricId m_timeouts_;
+  obs::Registry* bound_metrics_ = nullptr;
   simnet::Address server_;
   DotClientConfig config_;
   Backoff backoff_;

@@ -14,6 +14,54 @@
 
 namespace dohperf::core {
 
+/// Pre-registered handles for one transport's client.* metric family.
+/// Clients keep one of these per instance; bind() is idempotent and
+/// re-binds automatically when the registry changes (set_obs rebinding),
+/// so the per-query path is pure dense-slot writes.
+struct TransportMetrics {
+  obs::Registry* registry = nullptr;
+  obs::MetricId queries;
+  obs::MetricId success;
+  obs::MetricId failures;
+  obs::MetricId servfail;
+  obs::MetricId resolution_ms;
+
+  void bind(obs::Registry* r, const std::string& transport) {
+    registry = r;
+    if (r == nullptr) return;
+    const std::string prefix = "client." + transport;
+    queries = r->register_counter(prefix + ".queries");
+    success = r->register_counter(prefix + ".success");
+    failures = r->register_counter(prefix + ".failures");
+    servfail = r->register_counter(prefix + ".servfail");
+    resolution_ms = r->register_histogram(prefix + ".resolution_ms");
+  }
+};
+
+/// Pre-registered handles for the global bytes.* counters (obs_count_cost).
+struct CostMetrics {
+  obs::Registry* registry = nullptr;
+  obs::MetricId wire;
+  obs::MetricId dns;
+  obs::MetricId tcp;
+  obs::MetricId tls;
+  obs::MetricId http_hdr;
+  obs::MetricId http_body;
+  obs::MetricId http_mgmt;
+
+  void bind(obs::Registry* r) {
+    registry = r;
+    if (r == nullptr) return;
+    wire = r->register_counter("bytes.wire");
+    dns = r->register_counter("bytes.dns");
+    tcp = r->register_counter("bytes.tcp");
+    tls = r->register_counter("bytes.tls");
+    http_hdr = r->register_counter("bytes.http_hdr");
+    http_body = r->register_counter("bytes.http_body");
+    http_mgmt = r->register_counter("bytes.http_mgmt");
+  }
+};
+
 /// Open the root `resolution` span for one query and count it under
 /// `client.<transport>.queries`. Returns 0 when tracing is off.
 inline obs::SpanId obs_begin_resolution(const obs::SpanContext& obs,
@@ -80,6 +128,65 @@ inline void obs_finish_resolution(const obs::SpanContext& obs,
       m.add("client." + transport + ".servfail");
     }
     m.observe("client." + transport + ".resolution_ms",
+              static_cast<double>(result.resolution_time()) / 1000.0);
+  }
+  if (span != 0) {
+    obs.set_attr(span, "success", result.success);
+    obs.end(span);
+  }
+}
+
+// ---- Handle-cached fast-path overloads ------------------------------------
+// Same behaviour and metric names as the name-keyed helpers above (the
+// export is byte-identical either way); the per-query cost drops to dense
+// slot writes after the first call binds the handles.
+
+/// obs_begin_resolution via pre-registered handles.
+inline obs::SpanId obs_begin_resolution(const obs::SpanContext& obs,
+                                        TransportMetrics& m,
+                                        const std::string& transport,
+                                        const dns::Name& name,
+                                        dns::RType type) {
+  if (m.registry != obs.metrics) m.bind(obs.metrics, transport);
+  if (obs.metrics != nullptr) obs.metrics->add(m.queries);
+  const obs::SpanId span = obs.begin("resolution");
+  if (span != 0) {
+    obs.set_attr(span, "transport", transport);
+    obs.set_attr(span, "query", name.to_string());
+    obs.set_attr(span, "qtype", dns::to_string(type));
+  }
+  return span;
+}
+
+/// obs_count_cost via pre-registered handles.
+inline void obs_count_cost(const obs::SpanContext& obs, CostMetrics& m,
+                           const CostReport& cost) {
+  if (obs.metrics == nullptr) return;
+  if (m.registry != obs.metrics) m.bind(obs.metrics);
+  auto& r = *obs.metrics;
+  r.add(m.wire, cost.wire_bytes);
+  r.add(m.dns, cost.dns_message_bytes);
+  r.add(m.tcp, cost.tcp_overhead_bytes);
+  r.add(m.tls, cost.tls_overhead_bytes);
+  r.add(m.http_hdr, cost.http_header_bytes);
+  r.add(m.http_body, cost.http_body_bytes);
+  r.add(m.http_mgmt, cost.http_mgmt_bytes);
+}
+
+/// obs_finish_resolution via pre-registered handles.
+inline void obs_finish_resolution(const obs::SpanContext& obs,
+                                  TransportMetrics& m, obs::SpanId span,
+                                  const std::string& transport,
+                                  const ResolutionResult& result) {
+  if (obs.metrics != nullptr) {
+    if (m.registry != obs.metrics) m.bind(obs.metrics, transport);
+    auto& r = *obs.metrics;
+    r.add(result.success ? m.success : m.failures);
+    if (result.success &&
+        result.response.flags.rcode == dns::Rcode::kServFail) {
+      r.add(m.servfail);
+    }
+    r.observe(m.resolution_ms,
               static_cast<double>(result.resolution_time()) / 1000.0);
   }
   if (span != 0) {

@@ -8,16 +8,25 @@ TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server,
                            obs::SpanContext obs)
     : host_(host), server_(server), obs_(obs) {}
 
+void TcpDnsClient::bind_obs_ids() {
+  obs::Registry* r = obs_.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_conn_open_ = r->register_counter("client.tcp.conn_open");
+  m_conn_reuse_ = r->register_counter("client.tcp.conn_reuse");
+}
+
 void TcpDnsClient::ensure_connection(obs::SpanId parent) {
   if (stream_ && stream_->is_open()) {
-    if (obs_.metrics != nullptr) obs_.metrics->add("client.tcp.conn_reuse");
+    if (obs_.metrics != nullptr) obs_.metrics->add(m_conn_reuse_);
     return;
   }
   if (tcp_ && (tcp_->state() == simnet::TcpState::kSynSent ||
                tcp_->established())) {
     return;  // still connecting or usable
   }
-  if (obs_.metrics != nullptr) obs_.metrics->add("client.tcp.conn_open");
+  if (obs_.metrics != nullptr) obs_.metrics->add(m_conn_open_);
   if (obs_.tracer != nullptr) {
     connect_span_ = obs_.tracer->begin(parent, "connect");
     tcp_hs_span_ = obs_.tracer->begin(connect_span_, "tcp_handshake");
@@ -49,7 +58,8 @@ std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
   Pending pending;
   pending.query_id = query_id;
   pending.callback = std::move(callback);
-  pending.span = obs_begin_resolution(obs_, "tcp", name, type);
+  bind_obs_ids();
+  pending.span = obs_begin_resolution(obs_, tmetrics_, "tcp", name, type);
   ensure_connection(pending.span);
   const obs::SpanId span = pending.span;
   pending_.emplace(dns_id, std::move(pending));
@@ -95,8 +105,8 @@ void TcpDnsClient::on_data(std::span<const std::uint8_t> data) {
     result.response = std::move(response);
     ++completed_;
     obs_span_cost(obs_, pending.span, result.cost);
-    obs_count_cost(obs_, result.cost);
-    obs_finish_resolution(obs_, pending.span, "tcp", result);
+    obs_count_cost(obs_, cmetrics_, result.cost);
+    obs_finish_resolution(obs_, tmetrics_, pending.span, "tcp", result);
     if (pending.callback) pending.callback(result);
   }
 }
@@ -109,7 +119,7 @@ void TcpDnsClient::on_close() {
     result.success = false;
     result.completed_at = host_.loop().now();
     ++completed_;
-    obs_finish_resolution(obs_, entry.span, "tcp", result);
+    obs_finish_resolution(obs_, tmetrics_, entry.span, "tcp", result);
     if (entry.callback) entry.callback(result);
   }
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/obs_hooks.hpp"
 #include "obs/span.hpp"
 #include "simnet/host.hpp"
 #include "simnet/stream.hpp"
@@ -36,12 +37,19 @@ class TcpDnsClient final : public ResolverClient {
   };
 
   void ensure_connection(obs::SpanId parent);
+  /// Re-register the client.tcp.* handles when the registry changes.
+  void bind_obs_ids();
   void on_data(std::span<const std::uint8_t> data);
   void on_close();
 
   simnet::Host& host_;
   simnet::Address server_;
   obs::SpanContext obs_;
+  TransportMetrics tmetrics_;
+  CostMetrics cmetrics_;
+  obs::MetricId m_conn_open_;
+  obs::MetricId m_conn_reuse_;
+  obs::Registry* bound_metrics_ = nullptr;
   std::shared_ptr<simnet::TcpConnection> tcp_;
   std::unique_ptr<simnet::TcpByteStream> stream_;
   dns::Bytes rx_;

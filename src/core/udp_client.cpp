@@ -22,6 +22,15 @@ UdpResolverClient::~UdpResolverClient() {
   host_.udp_close(*socket_);
 }
 
+void UdpResolverClient::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_retries_ = r->register_counter("client.udp.retries");
+  m_timeouts_ = r->register_counter("client.udp.timeouts");
+}
+
 std::uint64_t UdpResolverClient::resolve(const dns::Name& name,
                                          dns::RType type,
                                          ResolveCallback callback) {
@@ -37,7 +46,9 @@ std::uint64_t UdpResolverClient::resolve(const dns::Name& name,
   pending.wire = query.encode();
   pending.callback = std::move(callback);
   pending.retries_left = config_.max_retries;
-  pending.span = obs_begin_resolution(config_.obs, "udp", name, type);
+  bind_obs_ids();
+  pending.span =
+      obs_begin_resolution(config_.obs, tmetrics_, "udp", name, type);
 
   ResolutionResult result;
   result.sent_at = host_.loop().now();
@@ -86,7 +97,7 @@ void UdpResolverClient::on_timeout(std::uint16_t dns_id) {
       config_.obs.end(retry);
     }
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("client.udp.retries");
+      config_.obs.metrics->add(m_retries_);
     }
     ++retransmissions_;
     send_query(dns_id);
@@ -94,7 +105,7 @@ void UdpResolverClient::on_timeout(std::uint16_t dns_id) {
   }
   ++timeouts_;
   if (config_.obs.metrics != nullptr) {
-    config_.obs.metrics->add("client.udp.timeouts");
+    config_.obs.metrics->add(m_timeouts_);
   }
   finish(dns_id, false, {}, 0);
 }
@@ -131,8 +142,8 @@ void UdpResolverClient::finish(std::uint16_t dns_id, bool success,
   ++completed_;
   config_.obs.end(pending.request_span);
   obs_span_cost(config_.obs, pending.span, result.cost);
-  obs_count_cost(config_.obs, result.cost);
-  obs_finish_resolution(config_.obs, pending.span, "udp", result);
+  obs_count_cost(config_.obs, cmetrics_, result.cost);
+  obs_finish_resolution(config_.obs, tmetrics_, pending.span, "udp", result);
   if (pending.callback) pending.callback(result);
 }
 

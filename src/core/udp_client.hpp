@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/obs_hooks.hpp"
 #include "obs/span.hpp"
 #include "simnet/host.hpp"
 
@@ -34,6 +35,10 @@ class UdpResolverClient final : public ResolverClient {
   /// the retry-amplification factor the overload bench reports).
   std::uint64_t retransmissions() const noexcept { return retransmissions_; }
 
+  /// Rebind the tracing/metrics sink (per-query sampling hands each query
+  /// a different context; metric handles re-bind automatically).
+  void set_obs(const obs::SpanContext& obs) noexcept { config_.obs = obs; }
+
  private:
   struct Pending {
     std::uint64_t query_id;
@@ -52,9 +57,17 @@ class UdpResolverClient final : public ResolverClient {
   void finish(std::uint16_t dns_id, bool success, dns::Message response,
               std::size_t response_bytes);
 
+  /// Re-register the client.udp.* handles when the registry changes.
+  void bind_obs_ids();
+
   simnet::Host& host_;
   simnet::Address server_;
   UdpClientConfig config_;
+  TransportMetrics tmetrics_;
+  CostMetrics cmetrics_;
+  obs::MetricId m_retries_;
+  obs::MetricId m_timeouts_;
+  obs::Registry* bound_metrics_ = nullptr;
   simnet::UdpSocket* socket_;
   std::uint16_t next_dns_id_ = 1;
   std::uint64_t next_query_id_ = 0;

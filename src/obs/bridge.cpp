@@ -7,14 +7,14 @@ void NetMetricsBridge::on_packet(simnet::TimeUs /*when*/,
   if (registry_ == nullptr) return;
   const std::uint64_t wire = packet.wire_size();
   if (dropped) {
-    registry_->add("net.dropped");
-    registry_->add("net.dropped_bytes", wire);
+    registry_->add(dropped_);
+    registry_->add(dropped_bytes_, wire);
     return;
   }
-  registry_->add("net.packets");
-  registry_->add("net.bytes", wire);
-  registry_->add("net.header_bytes", packet.header_size());
-  registry_->add(packet.is_tcp() ? "net.tcp_bytes" : "net.udp_bytes", wire);
+  registry_->add(packets_);
+  registry_->add(bytes_, wire);
+  registry_->add(header_bytes_, packet.header_size());
+  registry_->add(packet.is_tcp() ? tcp_bytes_ : udp_bytes_, wire);
 }
 
 }  // namespace dohperf::obs

@@ -22,13 +22,31 @@ namespace dohperf::obs {
 class NetMetricsBridge final : public simnet::PacketTap {
  public:
   /// `registry` must outlive the bridge; null disables (null-sink path).
-  explicit NetMetricsBridge(Registry* registry) : registry_(registry) {}
+  /// The net.* counters are pre-registered here so the per-packet hot path
+  /// is pure dense-slot writes (no map lookups).
+  explicit NetMetricsBridge(Registry* registry) : registry_(registry) {
+    if (registry_ == nullptr) return;
+    packets_ = registry_->register_counter("net.packets");
+    bytes_ = registry_->register_counter("net.bytes");
+    header_bytes_ = registry_->register_counter("net.header_bytes");
+    tcp_bytes_ = registry_->register_counter("net.tcp_bytes");
+    udp_bytes_ = registry_->register_counter("net.udp_bytes");
+    dropped_ = registry_->register_counter("net.dropped");
+    dropped_bytes_ = registry_->register_counter("net.dropped_bytes");
+  }
 
   void on_packet(simnet::TimeUs when, const simnet::Packet& packet,
                  bool dropped) override;
 
  private:
   Registry* registry_;
+  MetricId packets_;
+  MetricId bytes_;
+  MetricId header_bytes_;
+  MetricId tcp_bytes_;
+  MetricId udp_bytes_;
+  MetricId dropped_;
+  MetricId dropped_bytes_;
 };
 
 }  // namespace dohperf::obs

@@ -63,7 +63,7 @@ std::string render_timeline(const Tracer& tracer) {
       os << format_ms(s.duration()) << "ms";
     }
     os << "] " << s.name;
-    for (const Attr& a : s.attrs) {
+    for (const Attr& a : s.attrs()) {
       os << ' ' << a.key << '=' << attr_to_text(a.value);
     }
     os << '\n';
@@ -88,15 +88,15 @@ dns::JsonValue chrome_trace(const Tracer& tracer) {
   for (const Span& s : spans) {
     dns::JsonObject e;
     e["ph"] = dns::JsonValue("X");
-    e["name"] = dns::JsonValue(s.name);
+    e["name"] = dns::JsonValue(std::string(s.name));
     e["cat"] = dns::JsonValue("dohperf");
     e["ts"] = dns::JsonValue(static_cast<std::int64_t>(s.start));
     e["dur"] = dns::JsonValue(static_cast<std::int64_t>(s.duration()));
     e["pid"] = dns::JsonValue(std::int64_t{1});
     e["tid"] = dns::JsonValue(static_cast<std::int64_t>(root_of[s.id]));
     dns::JsonObject args;
-    for (const Attr& a : s.attrs) {
-      args[a.key] = attr_to_json(a.value);
+    for (const Attr& a : s.attrs()) {
+      args[std::string(a.key)] = attr_to_json(a.value);
     }
     if (s.open) args["open"] = dns::JsonValue(true);
     e["args"] = dns::JsonValue(std::move(args));

@@ -4,11 +4,68 @@
 
 namespace dohperf::obs {
 
+MetricId Registry::register_counter(const std::string& name) {
+  const auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) {
+    return MetricId(MetricKind::kCounter, it->second);
+  }
+  const auto index = static_cast<std::uint32_t>(counter_slots_.size());
+  counter_slots_.push_back(CounterSlot{name, 0, false});
+  counter_ids_.emplace(name, index);
+  return MetricId(MetricKind::kCounter, index);
+}
+
+MetricId Registry::register_gauge(const std::string& name) {
+  const auto it = gauge_ids_.find(name);
+  if (it != gauge_ids_.end()) {
+    return MetricId(MetricKind::kGauge, it->second);
+  }
+  const auto index = static_cast<std::uint32_t>(gauge_slots_.size());
+  gauge_slots_.push_back(GaugeSlot{name, 0, false});
+  gauge_ids_.emplace(name, index);
+  return MetricId(MetricKind::kGauge, index);
+}
+
+MetricId Registry::register_histogram(const std::string& name) {
+  const auto it = hist_ids_.find(name);
+  if (it != hist_ids_.end()) {
+    return MetricId(MetricKind::kHistogram, it->second);
+  }
+  const auto index = static_cast<std::uint32_t>(hist_slots_.size());
+  hist_slots_.push_back(HistSlot{name, {}});
+  hist_ids_.emplace(name, index);
+  return MetricId(MetricKind::kHistogram, index);
+}
+
+void Registry::sync() const {
+  if (!slots_dirty_) return;
+  for (CounterSlot& slot : counter_slots_) {
+    if (!slot.touched) continue;
+    counters_[slot.name] += slot.pending;
+    slot.pending = 0;
+    slot.touched = false;
+  }
+  for (GaugeSlot& slot : gauge_slots_) {
+    if (!slot.dirty) continue;
+    gauges_[slot.name] = slot.value;
+    slot.dirty = false;
+  }
+  for (HistSlot& slot : hist_slots_) {
+    if (slot.pending.empty()) continue;
+    histograms_[slot.name].add_all(slot.pending);
+    slot.pending.clear();
+  }
+  slots_dirty_ = false;
+}
+
 void Registry::add(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
 }
 
 void Registry::set_gauge(const std::string& name, std::int64_t value) {
+  // Last write wins across both paths: fold older slot writes in first so a
+  // stale dirty slot cannot overwrite this value at the next sync.
+  sync();
   gauges_[name] = value;
 }
 
@@ -17,16 +74,19 @@ void Registry::observe(const std::string& name, double value) {
 }
 
 std::uint64_t Registry::counter(const std::string& name) const {
+  sync();
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::int64_t Registry::gauge(const std::string& name) const {
+  sync();
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second;
 }
 
 const stats::Cdf* Registry::histogram(const std::string& name) const {
+  sync();
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -41,6 +101,8 @@ HistogramSummary Registry::histogram_summary(const std::string& name) const {
   s.p50 = cdf->quantile(0.50);
   s.p75 = cdf->quantile(0.75);
   s.p90 = cdf->quantile(0.90);
+  s.p95 = cdf->quantile(0.95);
+  s.p99 = cdf->quantile(0.99);
   s.max = cdf->quantile(1.0);
   return s;
 }
@@ -49,9 +111,21 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  for (CounterSlot& slot : counter_slots_) {
+    slot.pending = 0;
+    slot.touched = false;
+  }
+  for (GaugeSlot& slot : gauge_slots_) {
+    slot.value = 0;
+    slot.dirty = false;
+  }
+  for (HistSlot& slot : hist_slots_) slot.pending.clear();
+  slots_dirty_ = false;
 }
 
 void Registry::merge_from(const Registry& other) {
+  sync();
+  other.sync();
   for (const auto& [name, value] : other.counters_) {
     counters_[name] += value;
   }
@@ -64,6 +138,7 @@ void Registry::merge_from(const Registry& other) {
 }
 
 dns::JsonValue Registry::to_json() const {
+  sync();
   dns::JsonObject root;
   root["schema"] = dns::JsonValue("dohperf-metrics-v1");
 
@@ -89,6 +164,8 @@ dns::JsonValue Registry::to_json() const {
     h["p50"] = dns::JsonValue(s.p50);
     h["p75"] = dns::JsonValue(s.p75);
     h["p90"] = dns::JsonValue(s.p90);
+    h["p95"] = dns::JsonValue(s.p95);
+    h["p99"] = dns::JsonValue(s.p99);
     h["max"] = dns::JsonValue(s.max);
     histograms[name] = dns::JsonValue(std::move(h));
   }
@@ -97,6 +174,7 @@ dns::JsonValue Registry::to_json() const {
 }
 
 std::string Registry::render() const {
+  sync();
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << ' ' << value << '\n';

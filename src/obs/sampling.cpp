@@ -1,0 +1,14 @@
+#include "obs/sampling.hpp"
+
+namespace dohperf::obs {
+
+SamplingTracer::SamplingTracer(Tracer& tracer, Registry* metrics,
+                               SamplingConfig config)
+    : tracer_(tracer), metrics_(metrics), config_(config) {
+  if (metrics_ != nullptr) {
+    sampled_ = metrics_->register_counter("obs.spans_sampled");
+    dropped_ = metrics_->register_counter("obs.spans_dropped");
+  }
+}
+
+}  // namespace dohperf::obs

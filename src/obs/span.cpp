@@ -2,21 +2,52 @@
 
 namespace dohperf::obs {
 
-const AttrValue* Span::attr(const std::string& key) const noexcept {
-  for (const Attr& a : attrs) {
+std::string_view NameTable::intern(std::string_view s) {
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) return it->first;
+  const auto inserted =
+      ids_.emplace(std::string(s), static_cast<std::uint32_t>(ids_.size()));
+  return inserted.first->first;
+}
+
+Attr* AttrArena::alloc(std::size_t n) {
+  if (chunks_.empty() || chunks_.back().cap - used_in_last_ < n) {
+    wasted_ += chunks_.empty() ? 0 : chunks_.back().cap - used_in_last_;
+    const std::size_t cap = n > kChunk ? n : kChunk;
+    chunks_.push_back(Chunk{std::make_unique<Attr[]>(cap), cap});
+    used_in_last_ = 0;
+    capacity_ += cap;
+  }
+  Attr* slice = chunks_.back().slots.get() + used_in_last_;
+  used_in_last_ += n;
+  return slice;
+}
+
+Attr* AttrArena::grow(Attr* old_data, std::size_t size, std::size_t old_cap,
+                      std::size_t new_cap) {
+  Attr* fresh = alloc(new_cap);
+  for (std::size_t i = 0; i < size; ++i) {
+    fresh[i] = std::move(old_data[i]);
+  }
+  wasted_ += old_cap;
+  return fresh;
+}
+
+const AttrValue* Span::attr(std::string_view key) const noexcept {
+  for (const Attr& a : attrs()) {
     if (a.key == key) return &a.value;
   }
   return nullptr;
 }
 
-SpanId Tracer::begin(SpanId parent, std::string name) {
+SpanId Tracer::begin(SpanId parent, std::string_view name) {
   Span span;
   span.id = spans_.size() + 1;
   span.parent = parent;
-  span.name = std::move(name);
+  span.name = names_.intern(name);
   span.start = now();
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  spans_.push_back(span);
+  return span.id;
 }
 
 void Tracer::end(SpanId id) {
@@ -27,22 +58,38 @@ void Tracer::end(SpanId id) {
   span.end = now();
 }
 
-void Tracer::set_attr(SpanId id, const std::string& key, AttrValue value) {
+Attr& Tracer::push_slot(Span& span) {
+  if (span.attrs_size == span.attrs_cap) {
+    const std::uint32_t new_cap = span.attrs_cap == 0 ? 4 : span.attrs_cap * 2;
+    span.attrs_data = span.attrs_cap == 0
+                          ? arena_.alloc(new_cap)
+                          : arena_.grow(span.attrs_data, span.attrs_size,
+                                        span.attrs_cap, new_cap);
+    span.attrs_cap = new_cap;
+  }
+  return span.attrs_data[span.attrs_size++];
+}
+
+void Tracer::set_attr(SpanId id, std::string_view key, AttrValue value) {
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
-  for (Attr& a : span.attrs) {
+  for (std::uint32_t i = 0; i < span.attrs_size; ++i) {
+    Attr& a = span.attrs_data[i];
     if (a.key == key) {
       a.value = std::move(value);
       return;
     }
   }
-  span.attrs.push_back(Attr{key, std::move(value)});
+  Attr& slot = push_slot(span);
+  slot.key = names_.intern(key);
+  slot.value = std::move(value);
 }
 
-void Tracer::add_attr(SpanId id, const std::string& key, std::int64_t delta) {
+void Tracer::add_attr(SpanId id, std::string_view key, std::int64_t delta) {
   if (id == 0 || id > spans_.size()) return;
   Span& span = spans_[id - 1];
-  for (Attr& a : span.attrs) {
+  for (std::uint32_t i = 0; i < span.attrs_size; ++i) {
+    Attr& a = span.attrs_data[i];
     if (a.key == key) {
       if (const auto* v = std::get_if<std::int64_t>(&a.value)) {
         a.value = *v + delta;
@@ -52,7 +99,9 @@ void Tracer::add_attr(SpanId id, const std::string& key, std::int64_t delta) {
       return;
     }
   }
-  span.attrs.push_back(Attr{key, AttrValue{delta}});
+  Attr& slot = push_slot(span);
+  slot.key = names_.intern(key);
+  slot.value = AttrValue{delta};
 }
 
 std::size_t Tracer::open_spans() const noexcept {
@@ -61,6 +110,17 @@ std::size_t Tracer::open_spans() const noexcept {
     if (s.open) ++open;
   }
   return open;
+}
+
+PoolStats Tracer::pool_stats() const noexcept {
+  PoolStats stats;
+  stats.spans = spans_.size();
+  stats.span_capacity = spans_.capacity();
+  for (const Span& s : spans_) stats.attr_entries += s.attrs_size;
+  stats.attr_capacity = arena_.capacity();
+  stats.attr_wasted = arena_.wasted();
+  stats.interned_names = names_.size();
+  return stats;
 }
 
 }  // namespace dohperf::obs

@@ -88,24 +88,39 @@ simnet::TimeUs Engine::next_service_time() {
       cache_rng_.next_double() >= config_.upstream.cache_hit_ratio) {
     ++stats_.cache_misses;
     if (config_.obs.metrics != nullptr) {
-      config_.obs.metrics->add("engine.cache_misses");
+      config_.obs.metrics->add(m_cache_misses_);
     }
     t += simnet::from_sec(upstream_latency_.sample() / 1e3);
   }
   return t;
 }
 
+void Engine::bind_obs_ids() {
+  obs::Registry* r = config_.obs.metrics;
+  if (r == bound_metrics_) return;
+  bound_metrics_ = r;
+  if (r == nullptr) return;
+  m_queries_ = r->register_counter("engine.queries");
+  m_delayed_ = r->register_counter("engine.delayed");
+  m_cache_misses_ = r->register_counter("engine.cache_misses");
+  m_stalled_ = r->register_counter("engine.stalled");
+  m_servfail_injected_ = r->register_counter("engine.servfail_injected");
+  m_refused_injected_ = r->register_counter("engine.refused_injected");
+  m_negative_answers_ = r->register_counter("engine.negative_answers");
+}
+
 void Engine::handle(const dns::Message& query, const QueryContext& context,
                     Continuation done) {
   (void)context;  // policy-free back-end: the tier consumes the context
   ++stats_.queries;
+  bind_obs_ids();
   obs::Registry* metrics = config_.obs.metrics;
-  if (metrics != nullptr) metrics->add("engine.queries");
+  if (metrics != nullptr) metrics->add(m_queries_);
   simnet::TimeUs service = next_service_time();
   const auto& dp = config_.delay_policy;
   if (dp.every_n > 0 && stats_.queries % dp.every_n == 0) {
     ++stats_.delayed;
-    if (metrics != nullptr) metrics->add("engine.delayed");
+    if (metrics != nullptr) metrics->add(m_delayed_);
     service += dp.delay;
   }
 
@@ -117,12 +132,12 @@ void Engine::handle(const dns::Message& query, const QueryContext& context,
     const double u = fault_rng_.next_double();
     if (u < fp.stall_rate) {
       ++stats_.stalled;
-      if (metrics != nullptr) metrics->add("engine.stalled");
+      if (metrics != nullptr) metrics->add(m_stalled_);
       return;  // accept-then-never-answer: the continuation is dropped
     }
     if (u < fp.stall_rate + fp.servfail_rate) {
       ++stats_.injected_servfail;
-      if (metrics != nullptr) metrics->add("engine.servfail_injected");
+      if (metrics != nullptr) metrics->add(m_servfail_injected_);
       dns::Message error = dns::Message::make_error(query, dns::Rcode::kServFail);
       loop_.schedule_in(service, [done = std::move(done),
                                   error = std::move(error)]() mutable {
@@ -132,7 +147,7 @@ void Engine::handle(const dns::Message& query, const QueryContext& context,
     }
     if (u < fp.stall_rate + fp.servfail_rate + fp.refused_rate) {
       ++stats_.injected_refused;
-      if (metrics != nullptr) metrics->add("engine.refused_injected");
+      if (metrics != nullptr) metrics->add(m_refused_injected_);
       dns::Message error = dns::Message::make_error(query, dns::Rcode::kRefused);
       loop_.schedule_in(service, [done = std::move(done),
                                   error = std::move(error)]() mutable {
@@ -147,7 +162,7 @@ void Engine::handle(const dns::Message& query, const QueryContext& context,
       (response.flags.rcode == dns::Rcode::kNoError &&
        response.answers.empty() && !response.questions.empty())) {
     ++stats_.negative_answers;
-    if (metrics != nullptr) metrics->add("engine.negative_answers");
+    if (metrics != nullptr) metrics->add(m_negative_answers_);
   }
   loop_.schedule_in(service, [done = std::move(done),
                               response = std::move(response)]() mutable {

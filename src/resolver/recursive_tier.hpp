@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "dns/message.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "resolver/overload.hpp"
 #include "resolver/query_handler.hpp"
@@ -145,6 +146,10 @@ class RecursiveTier final : public QueryHandler {
     return retry_budget_.get();
   }
 
+  /// Rebind the tracing/metrics sink (per-request sampling hands the tier a
+  /// different context per query; metric handles re-bind automatically).
+  void set_obs(const obs::SpanContext& obs) noexcept { config_.obs = obs; }
+
  private:
   using Key = std::pair<dns::Name, dns::RType>;
 
@@ -185,13 +190,34 @@ class RecursiveTier final : public QueryHandler {
   /// True when the request is a retry (same client/name/type seen within
   /// retry_window). Updates the seen map either way.
   bool detect_retry(const Key& key, const QueryContext& context);
-  void count(const char* name, std::uint64_t delta = 1);
-  void set_gauge(const char* name, std::int64_t value);
+  void count(obs::MetricId id, std::uint64_t delta = 1);
+  void set_gauge(obs::MetricId id, std::int64_t value);
+  /// Re-register the tier.* / fairness.* handles when the registry changes.
+  void bind_obs_ids();
 
   simnet::EventLoop& loop_;
   QueryHandler& upstream_;
   TierConfig config_;
   TierStats stats_;
+
+  obs::Registry* bound_metrics_ = nullptr;
+  obs::MetricId m_requests_;
+  obs::MetricId m_requests_transport_[5];  ///< indexed by Transport
+  obs::MetricId m_served_;
+  obs::MetricId m_cache_hits_;
+  obs::MetricId m_cache_misses_;
+  obs::MetricId m_cache_evictions_;
+  obs::MetricId m_retries_detected_;
+  obs::MetricId m_coalesced_;
+  obs::MetricId m_upstream_timeouts_;
+  obs::MetricId m_fairness_admitted_;
+  obs::MetricId m_fairness_throttled_;
+  obs::MetricId m_shed_[5];  ///< indexed by ShedReason
+  obs::MetricId m_queue_depth_;
+  obs::MetricId m_inflight_;
+  obs::MetricId m_admission_limit_;
+  obs::MetricId m_latency_ms_;
+  obs::MetricId m_queue_wait_ms_;
 
   std::deque<Job> queue_;
   std::size_t inflight_ = 0;

@@ -42,8 +42,8 @@ using detlint::Token;
 using detlint::TokenKind;
 
 // The metric families owned by the resolver tier / cache / hedging /
-// fairness subsystems — the contract this tool enforces.
-const char* kFamilies[] = {"tier.", "cache.", "hedge.", "fairness."};
+// fairness / observability subsystems — the contract this tool enforces.
+const char* kFamilies[] = {"tier.", "cache.", "hedge.", "fairness.", "obs."};
 
 bool in_family(const std::string& name) {
   for (const char* f : kFamilies)
@@ -269,7 +269,8 @@ int main(int argc, char** argv) {
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
           "usage: contract_check [--root DIR]\n"
-          "Diffs tier./cache./hedge./fairness. metric names and span names\n"
+          "Diffs tier./cache./hedge./fairness./obs. metric names and span\n"
+          "names\n"
           "emitted by src/ against the contract in EXPERIMENTS.md.\n");
       return 0;
     } else {

@@ -66,7 +66,8 @@ void validate_metrics(const JsonValue& doc, Errors& errors,
         continue;
       }
       for (const char* field :
-           {"count", "min", "p25", "p50", "p75", "p90", "max"}) {
+           {"count", "min", "p25", "p50", "p75", "p90", "p95", "p99",
+            "max"}) {
         require(errors, value.contains(field) && value.at(field).is_number(),
                 where + ": histogram " + name + " lacks numeric \"" + field +
                     "\"");
@@ -157,6 +158,36 @@ void validate_overload_cell(const std::string& label, const JsonValue& metrics,
   }
 }
 
+// --- obs_overhead cells ------------------------------------------------------
+
+/// Extra structure required of obs_overhead reports: each ladder cell
+/// ("cell/rung") must carry the span/sampling tallies and pool statistics,
+/// and every span must have been closed by the end of the run.
+void validate_obs_overhead_cell(const std::string& label,
+                                const JsonValue& metrics, Errors& errors,
+                                const std::string& where) {
+  for (const char* field :
+       {"queries", "spans", "open_spans", "spans_sampled", "spans_dropped",
+        "pool_spans", "pool_span_capacity", "pool_attr_entries",
+        "pool_attr_capacity", "pool_attr_wasted", "pool_interned_names"}) {
+    if (!metrics.contains(field) || !metrics.at(field).is_number()) {
+      errors.push_back(where + ": cell " + label + " lacks numeric \"" +
+                       field + "\"");
+      continue;
+    }
+    require(errors, metrics.at(field).as_double() >= 0.0,
+            where + ": cell " + label + " " + field + " is negative");
+  }
+  if (metrics.contains("open_spans") && metrics.at("open_spans").is_number()) {
+    require(errors, metrics.at("open_spans").as_double() == 0.0,
+            where + ": cell " + label + " left spans open");
+  }
+  require(errors,
+          metrics.contains("queries") && metrics.at("queries").is_number() &&
+              metrics.at("queries").as_double() > 0.0,
+          where + ": cell " + label + " has no queries");
+}
+
 // --- dohperf-bench-v1 --------------------------------------------------------
 
 void validate_bench(const JsonValue& doc, Errors& errors,
@@ -181,6 +212,7 @@ void validate_bench(const JsonValue& doc, Errors& errors,
           : "";
   const bool availability = bench_name == "availability_matrix";
   const bool overload = bench_name == "overload_matrix";
+  const bool obs_overhead = bench_name == "obs_overhead";
   for (const auto& [label, metrics] : doc.at("scenarios").as_object()) {
     if (!metrics.is_object()) {
       errors.push_back(where + ": scenario " + label + " is not an object");
@@ -198,6 +230,9 @@ void validate_bench(const JsonValue& doc, Errors& errors,
     }
     if (overload && label.find('/') != std::string::npos) {
       validate_overload_cell(label, metrics, errors, where);
+    }
+    if (obs_overhead && label.find('/') != std::string::npos) {
+      validate_obs_overhead_cell(label, metrics, errors, where);
     }
   }
   if (doc.contains("metrics")) {

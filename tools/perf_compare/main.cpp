@@ -3,6 +3,7 @@
 // Usage:
 //   perf_compare BASELINE.json CANDIDATE.json \
 //       [--require=scenarios.event_loop.schedule_fire_events_per_sec>=2.0] \
+//       [--require-abs-max=scenarios.tier.sampled64.overhead_ratio<=1.02] \
 //       [--warn=PATH>=RATIO] [--warn-abs=PATH>=VALUE] ...
 //
 // Prints every numeric leaf the two reports share (dotted path, baseline,
@@ -18,6 +19,10 @@
 // needed — the path may not exist in older baselines), also informational.
 // Both exist for metrics that are machine-dependent (jobs-scaling speedups
 // on CI runners with unknown core counts) but still worth eyeballing.
+//
+// --require-abs-max=PATH<=VALUE is the hard ceiling twin: the candidate's
+// absolute value at PATH must not exceed VALUE (exit 1 otherwise). CI uses
+// it to pin the obs_overhead sampling tax independent of any baseline.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -65,10 +70,12 @@ struct Gate {
   double min_ratio = 0.0;
   bool warn_only = false;      // --warn / --warn-abs: report, never fail
   bool absolute = false;       // --warn-abs: compare the candidate value
+  bool max_bound = false;      // --require-abs-max: candidate value <= bound
 };
 
 bool parse_gate(const std::string& spec, Gate& gate) {
-  const auto pos = spec.find(">=");
+  const char* op = gate.max_bound ? "<=" : ">=";
+  const auto pos = spec.find(op);
   if (pos == std::string::npos || pos == 0) return false;
   gate.path = spec.substr(0, pos);
   char* end = nullptr;
@@ -84,12 +91,17 @@ int main(int argc, char** argv) {
   const std::string require_prefix = "--require=";
   const std::string warn_prefix = "--warn=";
   const std::string warn_abs_prefix = "--warn-abs=";
+  const std::string abs_max_prefix = "--require-abs-max=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string spec;
     Gate gate;
     if (arg.rfind(require_prefix, 0) == 0) {
       spec = arg.substr(require_prefix.size());
+    } else if (arg.rfind(abs_max_prefix, 0) == 0) {
+      spec = arg.substr(abs_max_prefix.size());
+      gate.absolute = true;
+      gate.max_bound = true;
     } else if (arg.rfind(warn_prefix, 0) == 0) {
       spec = arg.substr(warn_prefix.size());
       gate.warn_only = true;
@@ -103,8 +115,8 @@ int main(int argc, char** argv) {
     }
     if (!parse_gate(spec, gate)) {
       std::fprintf(stderr,
-                   "perf_compare: bad gate %s (want PATH>=THRESHOLD)\n",
-                   arg.c_str());
+                   "perf_compare: bad gate %s (want PATH%sTHRESHOLD)\n",
+                   arg.c_str(), gate.max_bound ? "<=" : ">=");
       return 1;
     }
     gates.push_back(std::move(gate));
@@ -187,7 +199,16 @@ int main(int argc, char** argv) {
       if (it == cand.end()) {
         std::printf("GATE %s %s: path missing from candidate report\n",
                     miss_label, gate.path.c_str());
-        continue;  // informational by definition
+        ok = ok && gate.warn_only;
+        continue;
+      }
+      if (gate.max_bound) {
+        const bool pass = it->second <= gate.min_ratio;
+        std::printf("GATE %s %s: value %.3f (need <= %.3f)\n",
+                    pass ? "PASS" : "FAIL", gate.path.c_str(), it->second,
+                    gate.min_ratio);
+        ok = ok && pass;
+        continue;
       }
       const bool pass = it->second >= gate.min_ratio;
       std::printf("GATE %s %s: value %.3f (want >= %.3f, informational)\n",
