@@ -169,12 +169,16 @@ void report(const std::string& title, const std::string& key_prefix,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t pages = bench::flag(argc, argv, "pages", 500);
+  // Paper-scale defaults (Böttger et al. §5: Alexa top-1000 from the
+  // university vantage, 39 PlanetLab nodes): affordable since the per-shard
+  // arena removed the allocator bottleneck and the benches went parallel by
+  // default.
+  const std::size_t pages = bench::flag(argc, argv, "pages", 1000);
   const std::size_t loads = bench::flag(argc, argv, "loads", 3);
   const std::size_t planetlab_nodes =
       bench::flag(argc, argv, "planetlab-nodes", 39);
   const std::size_t planetlab_pages =
-      bench::flag(argc, argv, "planetlab-pages", 8);
+      bench::flag(argc, argv, "planetlab-pages", 25);
 
   const bool want_trace = !bench::flag_str(argc, argv, "trace").empty();
   std::size_t jobs = bench::jobs_flag(argc, argv, bench::default_jobs());

@@ -13,12 +13,14 @@
 // This file seeds the BENCH_*.json perf trajectory: run with
 //   micro_simcore --json=BENCH_simcore.json
 // and diff two snapshots with tools/perf_compare.
+#include <algorithm>
 #include <chrono>  // detlint: allow(DET001) wall-clock timing is the measurement here
 #include <cstdio>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "browser/page_load.hpp"
+#include "obs/bridge.hpp"
 #include "browser/vantage.hpp"
 #include "browser/web_farm.hpp"
 #include "core/udp_client.hpp"
@@ -291,15 +293,22 @@ int main(int argc, char** argv) {
              static_cast<std::int64_t>(echo.app_bytes));
 
   // Shard throughput at several --jobs values. The digest is derived from
-  // virtual time only and must be identical at every jobs value.
+  // virtual time only and must be identical at every jobs value. Arena
+  // accounting from the last (jobs=8) run lands in the mem.* gauges: the
+  // hot path served zero global-heap allocations when mem.global_allocs
+  // stays near the per-worker warm-up chunk count.
   std::int64_t reference_digest = 0;
   double serial_rate = 0.0;
+  obs::Registry registry;
+  simnet::ShardMemoryStats mem_stats;
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
                                  std::size_t{8}}) {
+    mem_stats = simnet::ShardMemoryStats{};
     const double t0 = now_sec();
     const auto outputs = bench::run_sharded<ShardOutput>(
         shards, jobs,
-        [shard_pages](std::size_t i) { return run_page_shard(i, shard_pages); });
+        [shard_pages](std::size_t i) { return run_page_shard(i, shard_pages); },
+        &mem_stats);
     const double elapsed = now_sec() - t0;
     std::int64_t digest = 0;
     std::uint64_t loads = 0;
@@ -325,18 +334,56 @@ int main(int argc, char** argv) {
     const std::string scenario = "shards/jobs" + std::to_string(jobs);
     report.set(scenario, "shards_per_sec", rate);
     report.set(scenario, "digest_us", digest);
-    // Jobs-scaling speedups vs the serial run, for the CI informational
-    // gate (perf-smoke warns — but does not fail — when parallel efficiency
-    // regresses; absolute thresholds live in .github/workflows/ci.yml).
+    // Jobs-scaling speedups vs the serial run, for the CI scaling gates
+    // (absolute thresholds live in .github/workflows/ci.yml).
+    // efficiency_jobsN = speedup / min(N, hardware threads): 1.0 is perfect
+    // scaling on this machine, and on 8-way hardware the paper-scale target
+    // "jobs8 >= 6x jobs1" is efficiency_jobs8 >= 0.75. Normalising by the
+    // thread count keeps the gate meaningful on small CI runners, where a
+    // raw 6x is physically impossible.
     if (jobs == 1) {
       serial_rate = rate;
     } else if (serial_rate > 0.0) {
+      const double speedup = rate / serial_rate;
+      const double capacity = static_cast<double>(
+          std::min(jobs, bench::default_jobs()));
       report.set("shards/scaling", "speedup_jobs" + std::to_string(jobs),
-                 rate / serial_rate);
+                 speedup);
+      report.set("shards/scaling", "efficiency_jobs" + std::to_string(jobs),
+                 speedup / capacity);
     }
   }
 
+  // Arena accounting for the jobs=8 run (8 workers, one arena each).
+  std::printf("\narena: %llu allocs (%llu recycled), %llu chunks / "
+              "%llu bytes, %llu huge, %llu global heap hits\n",
+              static_cast<unsigned long long>(mem_stats.arena_allocs),
+              static_cast<unsigned long long>(mem_stats.freelist_hits),
+              static_cast<unsigned long long>(mem_stats.arena_chunks),
+              static_cast<unsigned long long>(mem_stats.arena_bytes),
+              static_cast<unsigned long long>(mem_stats.huge_allocs),
+              static_cast<unsigned long long>(mem_stats.global_allocs));
+  obs::publish_arena_stats(registry, mem_stats);
+  // Mirror the counters into a scenario so CI's perf_compare can gate on
+  // them with dot-paths (gauge names themselves contain dots). All values
+  // are allocation counts — deterministic for a given flag set, so gates
+  // on them are exact, not statistical.
+  report.set("shards/mem", "arena_allocs",
+             static_cast<std::int64_t>(mem_stats.arena_allocs));
+  report.set("shards/mem", "arena_chunks",
+             static_cast<std::int64_t>(mem_stats.arena_chunks));
+  report.set("shards/mem", "arena_bytes",
+             static_cast<std::int64_t>(mem_stats.arena_bytes));
+  report.set("shards/mem", "freelist_hits",
+             static_cast<std::int64_t>(mem_stats.freelist_hits));
+  report.set("shards/mem", "huge_allocs",
+             static_cast<std::int64_t>(mem_stats.huge_allocs));
+  report.set("shards/mem", "global_allocs",
+             static_cast<std::int64_t>(mem_stats.global_allocs));
+
   std::printf("\nshard digests identical across jobs values: OK\n");
-  bench::finish(argc, argv, report);
+  report.params["hw_threads"] =
+      static_cast<std::int64_t>(bench::default_jobs());
+  bench::finish(argc, argv, report, nullptr, &registry);
   return 0;
 }

@@ -17,4 +17,20 @@ void NetMetricsBridge::on_packet(simnet::TimeUs /*when*/,
   registry_->add(packet.is_tcp() ? tcp_bytes_ : udp_bytes_, wire);
 }
 
+void publish_arena_stats(Registry& registry,
+                         const simnet::ShardMemoryStats& stats) {
+  registry.set_gauge("mem.arena_bytes",
+                     static_cast<std::int64_t>(stats.arena_bytes));
+  registry.set_gauge("mem.arena_chunks",
+                     static_cast<std::int64_t>(stats.arena_chunks));
+  registry.set_gauge("mem.arena_allocs",
+                     static_cast<std::int64_t>(stats.arena_allocs));
+  registry.set_gauge("mem.freelist_hits",
+                     static_cast<std::int64_t>(stats.freelist_hits));
+  registry.set_gauge("mem.huge_allocs",
+                     static_cast<std::int64_t>(stats.huge_allocs));
+  registry.set_gauge("mem.global_allocs",
+                     static_cast<std::int64_t>(stats.global_allocs));
+}
+
 }  // namespace dohperf::obs

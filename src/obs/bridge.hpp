@@ -15,9 +15,17 @@
 #pragma once
 
 #include "obs/registry.hpp"
+#include "simnet/arena.hpp"
 #include "simnet/packet.hpp"
 
 namespace dohperf::obs {
+
+/// Publish per-shard arena accounting (aggregated by the shard runner)
+/// as the mem.* gauge family — see the metric-name contract in
+/// EXPERIMENTS.md. In binaries without the allocator hooks every gauge is
+/// legitimately zero.
+void publish_arena_stats(Registry& registry,
+                         const simnet::ShardMemoryStats& stats);
 
 class NetMetricsBridge final : public simnet::PacketTap {
  public:

@@ -1,0 +1,253 @@
+#include "simnet/arena.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace dohperf::simnet {
+
+namespace detail {
+constinit thread_local ShardMemory* tls_current_arena = nullptr;
+constinit thread_local std::uint64_t tls_scope_global_allocs = 0;
+}  // namespace detail
+
+namespace {
+
+// 16 bytes immediately below every user pointer; `owner == nullptr` marks a
+// global-heap block. Implicit-lifetime aggregate so plain stores through
+// the malloc'd bytes are well-formed without placement-new.
+struct BlockHeader {
+  ShardMemory* owner;
+  std::uint32_t cls;
+  std::uint32_t offset;  // user pointer minus raw allocation start
+};
+static_assert(sizeof(BlockHeader) == ShardMemory::kHeaderSize);
+static_assert(alignof(BlockHeader) <= ShardMemory::kHeaderSize);
+
+std::byte* align_up(std::byte* p, std::size_t align) {
+  // detlint: allow(DET005) address used only for alignment math, never output
+  const auto v = reinterpret_cast<std::uintptr_t>(p);
+  const auto aligned = (v + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+  return p + (aligned - v);
+}
+
+BlockHeader* header_of(void* user) {
+  return reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(user) -
+                                        ShardMemory::kHeaderSize);
+}
+
+constexpr std::uint64_t kBumpKind = ~std::uint64_t{0};
+
+}  // namespace
+
+// Chunk header is 32 bytes so the payload stays 16-aligned on top of
+// malloc's own 16-byte alignment.
+struct ShardMemory::Chunk {
+  Chunk* next;
+  std::size_t payload_bytes;
+  std::uint64_t kind;  // kBumpKind, or the size class of a slab chunk
+  std::uint64_t reserved;
+
+  std::byte* payload() { return reinterpret_cast<std::byte*>(this + 1); }
+};
+std::size_t ShardMemory::class_for(std::size_t total_bytes) {
+  if (total_bytes <= kMinClassBytes) return 0;
+  if (total_bytes > kMaxClassBytes) return kHugeClass;
+  // 2^(p-1) < total <= 2^p with p >= 6; the half-step class 3*2^(p-2)
+  // sits between them.
+  const int p = std::bit_width(total_bytes - 1);
+  const std::size_t mid = std::size_t{3} << (p - 2);
+  if (total_bytes <= mid) return static_cast<std::size_t>(2 * p - 11);
+  return static_cast<std::size_t>(2 * (p - 5));
+}
+
+std::size_t ShardMemory::class_bytes(std::size_t cls) {
+  if (cls % 2 == 0) return std::size_t{1} << (5 + cls / 2);
+  return std::size_t{3} << (4 + cls / 2);
+}
+
+ShardMemory* ShardMemory::create() {
+  // detlint: allow(HYG002) self-owning arena factory; destroyed by release() or by the free of the last escaped block
+  return new ShardMemory();
+}
+
+ShardMemory::ShardMemory() {
+  static_assert(sizeof(Chunk) == 32, "chunk payload must stay 16-aligned");
+}
+
+ShardMemory::~ShardMemory() {
+  Chunk* lists[2] = {bump_head_, slab_head_};
+  for (Chunk* head : lists) {
+    while (head != nullptr) {
+      Chunk* next = head->next;
+      std::free(head);
+      head = next;
+    }
+  }
+}
+
+void ShardMemory::release() {
+  released_ = true;
+  maybe_self_destruct();
+}
+
+void ShardMemory::maybe_self_destruct() {
+  if (live_ == 0 && released_) {
+    // detlint: allow(HYG002) orphan lifetime: the arena owns itself until released and the last escaped block is freed
+    delete this;
+  }
+}
+
+auto ShardMemory::new_chunk(std::size_t payload_bytes, std::uint64_t kind)
+    -> Chunk* {
+  auto* chunk =
+      static_cast<Chunk*>(std::malloc(sizeof(Chunk) + payload_bytes));
+  if (chunk == nullptr) throw std::bad_alloc{};
+  chunk->next = nullptr;
+  chunk->payload_bytes = payload_bytes;
+  chunk->kind = kind;
+  chunk->reserved = 0;
+  ++stats_.arena_chunks;
+  stats_.arena_bytes += payload_bytes;
+  ++detail::tls_scope_global_allocs;
+  if (kind == kBumpKind) {
+    if (bump_tail_ == nullptr) {
+      bump_head_ = bump_tail_ = chunk;
+    } else {
+      bump_tail_->next = chunk;
+      bump_tail_ = chunk;
+    }
+  } else {
+    chunk->next = slab_head_;
+    slab_head_ = chunk;
+  }
+  return chunk;
+}
+
+void* ShardMemory::bump_alloc(std::size_t cls) {
+  const std::size_t bytes = class_bytes(cls);
+  if (static_cast<std::size_t>(end_ - cur_) < bytes) {
+    // The tail fragment of the active chunk is abandoned; chunks recycled
+    // by reset() are walked in allocation order before any new one.
+    Chunk* next = active_ != nullptr ? active_->next : nullptr;
+    if (next == nullptr) next = new_chunk(kChunkPayload, kBumpKind);
+    active_ = next;
+    cur_ = next->payload();
+    end_ = cur_ + next->payload_bytes;
+  }
+  void* raw = cur_;
+  cur_ += bytes;
+  return raw;
+}
+
+void* ShardMemory::slab_alloc(std::size_t cls) {
+  Chunk* chunk = new_chunk(class_bytes(cls), cls);
+  return chunk->payload();
+}
+
+// detlint: hot-loop
+void* ShardMemory::allocate(std::size_t size, std::size_t align) {
+  if (align < kHeaderSize) align = kHeaderSize;
+  const std::size_t slack = align > kHeaderSize ? align : 0;
+  const std::size_t total = size + kHeaderSize + slack;
+  const std::size_t cls = class_for(total);
+  if (cls == kHugeClass) {
+    ++stats_.huge_allocs;
+    ++detail::tls_scope_global_allocs;
+    return detail::global_alloc(size, align);
+  }
+  void* raw = nullptr;
+  FreeNode*& head = free_[cls];
+  if (head != nullptr) {
+    raw = head;
+    head = head->next;
+    ++stats_.freelist_hits;
+  } else if (class_bytes(cls) <= kChunkPayload) {
+    raw = bump_alloc(cls);
+  } else {
+    raw = slab_alloc(cls);
+  }
+  auto* base = static_cast<std::byte*>(raw);
+  std::byte* user = align_up(base + kHeaderSize, align);
+  BlockHeader* hdr = header_of(user);
+  hdr->owner = this;
+  hdr->cls = static_cast<std::uint32_t>(cls);
+  hdr->offset = static_cast<std::uint32_t>(user - base);
+  ++stats_.arena_allocs;
+  ++live_;
+  return user;
+}
+
+// detlint: hot-loop
+void ShardMemory::deallocate(void* user) {
+  if (user == nullptr) return;
+  BlockHeader* hdr = header_of(user);
+  ShardMemory* owner = hdr->owner;
+  std::byte* raw = static_cast<std::byte*>(user) - hdr->offset;
+  if (owner == nullptr) {
+    std::free(raw);
+    return;
+  }
+  owner->free_block(raw, hdr->cls);
+}
+
+void ShardMemory::free_block(void* raw, std::uint32_t cls) {
+  auto* node = static_cast<FreeNode*>(raw);
+  node->next = free_[cls];
+  free_[cls] = node;
+  --live_;
+  maybe_self_destruct();
+}
+
+bool ShardMemory::reset() {
+  if (live_ != 0) return false;
+  for (FreeNode*& head : free_) head = nullptr;
+  active_ = bump_head_;
+  if (active_ != nullptr) {
+    cur_ = active_->payload();
+    end_ = cur_ + active_->payload_bytes;
+  } else {
+    cur_ = end_ = nullptr;
+  }
+  for (Chunk* chunk = slab_head_; chunk != nullptr; chunk = chunk->next) {
+    auto* node = reinterpret_cast<FreeNode*>(chunk->payload());
+    node->next = free_[chunk->kind];
+    free_[chunk->kind] = node;
+  }
+  return true;
+}
+
+ShardMemoryStats ShardMemory::stats_snapshot() const {
+  ShardMemoryStats out = stats_;
+  out.live_blocks = live_;
+  return out;
+}
+
+ShardMemory* ShardMemory::owner_of(const void* user) {
+  const auto* hdr = reinterpret_cast<const BlockHeader*>(
+      static_cast<const std::byte*>(user) - kHeaderSize);
+  return hdr->owner;
+}
+
+namespace detail {
+
+void* global_alloc(std::size_t size, std::size_t align) {
+  if (align < ShardMemory::kHeaderSize) align = ShardMemory::kHeaderSize;
+  const std::size_t slack = align > ShardMemory::kHeaderSize ? align : 0;
+  void* raw = std::malloc(size + ShardMemory::kHeaderSize + slack);
+  if (raw == nullptr) return nullptr;
+  std::byte* user = align_up(static_cast<std::byte*>(raw) +
+                                 ShardMemory::kHeaderSize,
+                             align);
+  BlockHeader* hdr = header_of(user);
+  hdr->owner = nullptr;
+  hdr->cls = static_cast<std::uint32_t>(ShardMemory::kHugeClass);
+  hdr->offset =
+      static_cast<std::uint32_t>(user - static_cast<std::byte*>(raw));
+  return user;
+}
+
+}  // namespace detail
+
+}  // namespace dohperf::simnet

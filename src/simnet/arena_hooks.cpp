@@ -1,0 +1,109 @@
+// Replaced global operator new/delete: the allocation boundary where the
+// per-shard arena is installed (see arena.hpp). Compiled ONLY into the
+// bench executables and the arena-hooks test — libraries, unit tests and
+// examples keep the stock allocator, so nothing here can affect tier-1
+// behaviour. While a MemoryScope is active on the calling thread every
+// allocation is served from that shard's ShardMemory; otherwise a
+// header-tagged global-heap block is returned. Frees route on the block
+// header, never on thread state, so blocks may legally be freed on a
+// different thread than they were allocated on (after a join) and during
+// static destruction after main().
+#include <cstdlib>
+#include <new>
+
+#include "simnet/arena.hpp"
+
+namespace {
+
+using dohperf::simnet::ShardMemory;
+
+void* route_alloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  ShardMemory* arena = dohperf::simnet::detail::tls_current_arena;
+  if (arena != nullptr) return arena->allocate(size, align);
+  return dohperf::simnet::detail::global_alloc(size, align);
+}
+
+void* route_alloc_or_throw(std::size_t size, std::size_t align) {
+  void* p = route_alloc(size, align);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* route_alloc_nothrow(std::size_t size, std::size_t align) noexcept {
+  try {
+    return route_alloc(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return route_alloc_or_throw(size, 16); }
+
+void* operator new[](std::size_t size) {
+  return route_alloc_or_throw(size, 16);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return route_alloc_or_throw(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return route_alloc_or_throw(size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return route_alloc_nothrow(size, 16);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return route_alloc_nothrow(size, 16);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return route_alloc_nothrow(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return route_alloc_nothrow(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { ShardMemory::deallocate(p); }
+
+void operator delete[](void* p) noexcept { ShardMemory::deallocate(p); }
+
+void operator delete(void* p, std::size_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ShardMemory::deallocate(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ShardMemory::deallocate(p);
+}

@@ -62,6 +62,7 @@ class EventLoop {
 
   /// Cancel a pending event; cancelling an already-fired or invalid id is
   /// a harmless no-op. O(1): the heap entry stays behind as a tombstone.
+  // detlint: hot-loop
   void cancel(const EventId& id) {
     if (!id.valid || id.slot >= slots_.size()) return;
     const Slot& slot = slots_[id.slot];
@@ -86,6 +87,7 @@ class EventLoop {
   void run_until(TimeUs deadline);
 
   /// Execute exactly one event if any is pending; returns false when idle.
+  // detlint: hot-loop
   bool step() {
     for (;;) {
       if (heap_.empty()) return false;
@@ -137,8 +139,10 @@ class EventLoop {
 
   /// Append `entry` and restore the heap property (hole insertion: parents
   /// slide down into the hole, one store each, no swaps).
+  // detlint: hot-loop
   void sift_up(HeapEntry entry) {
     std::size_t hole = heap_.size();
+    // detlint: allow(CONC006) amortised growth; compact() bounds the heap so steady state stays in capacity
     heap_.push_back(entry);  // reserve the space; overwritten below
     while (hole > 0) {
       const std::size_t parent = (hole - 1) / 2;
@@ -150,6 +154,7 @@ class EventLoop {
   }
 
   /// Sink `entry` from `hole` to its place (hole insertion, as above).
+  // detlint: hot-loop
   void sift_down(std::size_t hole, HeapEntry entry) {
     const std::size_t size = heap_.size();
     for (;;) {

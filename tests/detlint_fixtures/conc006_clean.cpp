@@ -1,0 +1,22 @@
+// CONC006 clean fixture: a reserve() call in the same body absolves that
+// base's growth calls, and allocation-free kernels are silent. Expected:
+// zero findings.
+#include <cstddef>
+#include <vector>
+
+// detlint: hot-loop
+void hot_fill(std::vector<int>& out, std::size_t n) {
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));
+  }
+}
+
+// detlint: hot-loop
+long hot_sum(const std::vector<int>& xs) {
+  long sum = 0;
+  for (int x : xs) sum += x;
+  return sum;
+}
+
+void cold_grow(std::vector<int>& out) { out.push_back(1); }

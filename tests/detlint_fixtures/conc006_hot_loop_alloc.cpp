@@ -1,0 +1,34 @@
+// CONC006 fixture: global-heap allocation inside `// detlint: hot-loop`
+// annotated functions. Expected: 4 x CONC006 live — `new`, make_unique and
+// to_string in hot_fire(), plus the non-reserved push_back in hot_append()
+// — and 1 suppressed by the justified pragma in hot_amortized(). The
+// un-annotated slow_path() may allocate freely.
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+// detlint: hot-loop
+int hot_fire(std::size_t n) {
+  int* scratch = new int[n];
+  auto owned = std::make_unique<int>(7);
+  std::string label = std::to_string(n);
+  int sum = static_cast<int>(label.size()) + *owned + scratch[0];
+  delete[] scratch;
+  return sum;
+}
+
+// detlint: hot-loop
+void hot_append(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+// detlint: hot-loop
+void hot_amortized(std::vector<int>& out, int v) {
+  // detlint: allow(CONC006) capacity reused after warm-up; bounded by compaction
+  out.push_back(v);
+}
+
+void slow_path(std::vector<int>& out, int v) {
+  out.push_back(v);
+}

@@ -239,6 +239,30 @@ TEST(DetlintConc, Conc005SyncInParallelReachableCode) {
   EXPECT_EQ(counts.size(), 1u);
 }
 
+TEST(DetlintConc, Conc006HotLoopAllocations) {
+  auto diags = conc_fixtures({"conc006_hot_loop_alloc.cpp"});
+  auto counts = live_counts(diags);
+  // new + make_unique + to_string in hot_fire(), the non-reserved push_back
+  // in hot_append(); the pragma'd push_back in hot_amortized() is suppressed
+  // and the un-annotated slow_path() is never scanned.
+  EXPECT_EQ(counts[Code::CONC006], 4);
+  EXPECT_EQ(counts.size(), 1u);
+  int suppressed = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.suppressed) {
+      ++suppressed;
+      EXPECT_EQ(d.code, Code::CONC006);
+      EXPECT_FALSE(d.suppress_reason.empty());
+    }
+  }
+  EXPECT_EQ(suppressed, 1);
+}
+
+TEST(DetlintConc, Conc006ReservedGrowthStaysSilent) {
+  auto diags = conc_fixtures({"conc006_clean.cpp"});
+  ASSERT_TRUE(diags.empty()) << detlint::format_diagnostic(diags.front());
+}
+
 TEST(DetlintConc, JustifiedPragmaSuppressesConcFindings) {
   auto diags = conc_fixtures({"conc_allow_pragma.cpp"});
   int suppressed = 0, live = 0;

@@ -43,7 +43,8 @@ using detlint::TokenKind;
 
 // The metric families owned by the resolver tier / cache / hedging /
 // fairness / observability subsystems — the contract this tool enforces.
-const char* kFamilies[] = {"tier.", "cache.", "hedge.", "fairness.", "obs."};
+const char* kFamilies[] = {"tier.",     "cache.", "hedge.",
+                           "fairness.", "obs.",   "mem."};
 
 bool in_family(const std::string& name) {
   for (const char* f : kFamilies)

@@ -51,6 +51,20 @@ const std::set<std::string_view> kPerShardTypes = {
     "SplitMix64", "Registry", "Tracer", "Cdf",
 };
 
+// Allocation-by-name calls for CONC006: constructions that always hit
+// operator new (or malloc, for to_string's result string when it exceeds
+// SSO) regardless of receiver state.
+const std::set<std::string_view> kAllocCalls = {
+    "make_unique", "make_shared", "to_string",
+};
+
+// Member calls that may grow their receiver's heap storage (CONC006).
+// Growth from a base that also has a `reserve()` call in the same body is
+// amortised into warm-up and not reported.
+const std::set<std::string_view> kGrowthMembers = {
+    "push_back", "emplace_back", "emplace", "append", "insert", "resize",
+};
+
 // Member calls that mutate their receiver — used by the CONC002 write
 // detector so `captured.push_back(...)` counts as a write.
 const std::set<std::string_view> kMutatingMembers = {
@@ -227,6 +241,28 @@ void ConcAnalyzer::add_file(const std::string& path, const LexedFile& lexed) {
         }
         if (kSyncIdents.count(text)) {
           region.sync_tokens.push_back({t[i].line, text});
+        }
+        // CONC006 fact collection (reported only for hot-loop regions).
+        if (text == "new") {
+          if (!(i > 0 && is_ident(t, i - 1, "operator"))) {
+            region.allocs.push_back({t[i].line, "new", ""});
+          }
+        } else if (kAllocCalls.count(text) && call_open_paren(t, i) != 0) {
+          region.allocs.push_back({t[i].line, text, ""});
+        } else if (i >= 2 && is_punct(t, i + 1, '(') &&
+                   (is_punct(t, i - 1, '.') ||
+                    (is_punct(t, i - 1, '>') && is_punct(t, i - 2, '-')))) {
+          if (text == "reserve") {
+            const std::size_t base = member_chain_base(t, i);
+            if (base != i && any_ident(t, base)) {
+              region.reserved.insert(t[base].text);
+            }
+          } else if (kGrowthMembers.count(text)) {
+            const std::size_t base = member_chain_base(t, i);
+            if (base != i && any_ident(t, base)) {
+              region.allocs.push_back({t[i].line, text, t[base].text});
+            }
+          }
         }
         if (!region.refs.count(text) && !is_punct(t, i - 1, '.') &&
             !(i >= 2 && is_punct(t, i - 1, '>') && is_punct(t, i - 2, '-'))) {
@@ -427,6 +463,19 @@ void ConcAnalyzer::add_file(const std::string& path, const LexedFile& lexed) {
     body_ranges.push_back({k, body_end});
   }
 
+  // --- hot-loop annotations (for CONC006) -------------------------------
+  // `// detlint: hot-loop` on the definition line or the line(s) above
+  // marks a function whose body must stay free of global-heap allocation.
+  for (const Comment& c : lexed.comments) {
+    if (c.text.find("detlint: hot-loop") == std::string::npos) continue;
+    for (Region& fn : model.functions) {
+      if (fn.line == c.first_line || fn.line == c.last_line ||
+          fn.line == c.last_line + 1) {
+        fn.hot_loop = true;
+      }
+    }
+  }
+
   // --- namespace-scope mutable statics (outside every body) -------------
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!is_ident(t, i, "static")) continue;
@@ -576,6 +625,31 @@ std::vector<Diagnostic> ConcAnalyzer::finish() {
                      std::to_string(decl.line) +
                      ") is shared across shard functors; give each shard "
                      "its own instance and merge by shard index");
+        }
+      }
+    }
+
+    // CONC006 — hot-loop annotated functions must not allocate from the
+    // global heap. Opt-in and body-local (textually nested lambdas are
+    // attributed to the containing function, like every CONC check);
+    // growth calls on a base that is reserve()d in the same body are
+    // amortised warm-up and stay silent.
+    for (const Region& fn : file.functions) {
+      if (!fn.hot_loop) continue;
+      for (const AllocFact& a : fn.allocs) {
+        if (!a.base.empty() && fn.reserved.count(a.base)) continue;
+        if (a.base.empty()) {
+          report(a.line, Code::CONC006,
+                 "'" + a.what + "' allocates from the global heap inside "
+                     "hot-loop function '" + fn.name +
+                     "()'; the shard steady-state path must be "
+                     "allocation-free (reserve, pool, or arena)");
+        } else {
+          report(a.line, Code::CONC006,
+                 "'" + a.base + "." + a.what + "(...)' may grow heap "
+                     "storage inside hot-loop function '" + fn.name +
+                     "()' without a matching '" + a.base +
+                     ".reserve(...)'; pre-size it or pool the storage");
         }
       }
     }

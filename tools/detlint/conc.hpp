@@ -26,6 +26,13 @@
 //            inside parallel-reachable simulation code — each shard is
 //            single-threaded by design, so synchronization there signals
 //            accidental cross-shard sharing
+//   CONC006  global-heap allocation (`new`, make_unique/make_shared,
+//            std::to_string, or container growth from a non-reserved base)
+//            inside a function annotated `// detlint: hot-loop` — the
+//            per-shard arena keeps the steady-state hot path allocation-
+//            free, and this check polices the annotated kernels statically.
+//            A `base.reserve(...)` call in the same function body absolves
+//            that base's growth calls (amortised into warm-up).
 #pragma once
 
 #include <map>
@@ -50,13 +57,22 @@ class ConcAnalyzer {
   std::vector<Diagnostic> finish();
 
  private:
+  struct AllocFact {
+    int line = 0;
+    std::string what;  // "new", "make_unique", "push_back", ...
+    std::string base;  // member-chain base for growth calls, else ""
+  };
+
   struct Region {
     std::string name;  // unqualified function name ("" for a shard lambda)
     int line = 0;
+    bool hot_loop = false;  // `// detlint: hot-loop` annotation
     std::set<std::string> calls;          // callee names (incl. members)
     std::map<std::string, int> refs;      // identifier -> first ref line
     std::vector<std::pair<int, std::string>> mutable_statics;  // line,name
     std::vector<std::pair<int, std::string>> sync_tokens;      // line,name
+    std::vector<AllocFact> allocs;        // CONC006 candidates
+    std::set<std::string> reserved;       // bases with a reserve() call
   };
 
   struct ShardLambda {

@@ -17,6 +17,7 @@ std::string_view code_name(Code code) {
     case Code::CONC003: return "CONC003";
     case Code::CONC004: return "CONC004";
     case Code::CONC005: return "CONC005";
+    case Code::CONC006: return "CONC006";
   }
   return "DET???";
 }
@@ -49,6 +50,8 @@ std::string_view code_summary(Code code) {
       return "shared RNG/Registry/Tracer used inside a shard functor";
     case Code::CONC005:
       return "synchronization primitive in parallel-reachable sim code";
+    case Code::CONC006:
+      return "global-heap allocation inside a hot-loop annotated body";
   }
   return "unknown diagnostic";
 }

@@ -30,13 +30,14 @@ enum class Code {
   CONC003,  // per-shard result slot without alignas(64) (false sharing)
   CONC004,  // shared RNG/Registry/Tracer object used across shards
   CONC005,  // synchronization primitive inside parallel-reachable sim code
+  CONC006,  // global-heap allocation inside a `// detlint: hot-loop` body
 };
 
-inline constexpr std::array<Code, 13> kAllCodes = {
+inline constexpr std::array<Code, 14> kAllCodes = {
     Code::DET001,  Code::DET002,  Code::DET003,  Code::DET004,
     Code::DET005,  Code::HYG001,  Code::HYG002,  Code::HYG003,
     Code::CONC001, Code::CONC002, Code::CONC003, Code::CONC004,
-    Code::CONC005,
+    Code::CONC005, Code::CONC006,
 };
 
 std::string_view code_name(Code code);

@@ -23,6 +23,10 @@
 // --require-abs-max=PATH<=VALUE is the hard ceiling twin: the candidate's
 // absolute value at PATH must not exceed VALUE (exit 1 otherwise). CI uses
 // it to pin the obs_overhead sampling tax independent of any baseline.
+// --require-abs-min=PATH>=VALUE is the hard floor: the candidate's absolute
+// value at PATH must reach VALUE (exit 1 otherwise). CI uses it for the
+// shard-scaling gates (speedup/efficiency floors and the mem.* accounting
+// mirror), which are absolute properties of the candidate, not ratios.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -71,6 +75,7 @@ struct Gate {
   bool warn_only = false;      // --warn / --warn-abs: report, never fail
   bool absolute = false;       // --warn-abs: compare the candidate value
   bool max_bound = false;      // --require-abs-max: candidate value <= bound
+  bool min_bound = false;      // --require-abs-min: candidate value >= bound
 };
 
 bool parse_gate(const std::string& spec, Gate& gate) {
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
   const std::string warn_prefix = "--warn=";
   const std::string warn_abs_prefix = "--warn-abs=";
   const std::string abs_max_prefix = "--require-abs-max=";
+  const std::string abs_min_prefix = "--require-abs-min=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string spec;
@@ -102,6 +108,10 @@ int main(int argc, char** argv) {
       spec = arg.substr(abs_max_prefix.size());
       gate.absolute = true;
       gate.max_bound = true;
+    } else if (arg.rfind(abs_min_prefix, 0) == 0) {
+      spec = arg.substr(abs_min_prefix.size());
+      gate.absolute = true;
+      gate.min_bound = true;
     } else if (arg.rfind(warn_prefix, 0) == 0) {
       spec = arg.substr(warn_prefix.size());
       gate.warn_only = true;
@@ -211,9 +221,16 @@ int main(int argc, char** argv) {
         continue;
       }
       const bool pass = it->second >= gate.min_ratio;
-      std::printf("GATE %s %s: value %.3f (want >= %.3f, informational)\n",
-                  pass ? "PASS" : "WARN", gate.path.c_str(), it->second,
-                  gate.min_ratio);
+      if (gate.min_bound) {
+        std::printf("GATE %s %s: value %.3f (need >= %.3f)\n",
+                    pass ? "PASS" : "FAIL", gate.path.c_str(), it->second,
+                    gate.min_ratio);
+        ok = ok && pass;
+      } else {
+        std::printf("GATE %s %s: value %.3f (want >= %.3f, informational)\n",
+                    pass ? "PASS" : "WARN", gate.path.c_str(), it->second,
+                    gate.min_ratio);
+      }
       continue;
     }
     const auto it = ratios.find(gate.path);
