@@ -12,6 +12,8 @@
 //   servfail-10    resolver answers SERVFAIL for 10% of queries
 //   lat-spike      +300ms one-way latency for 2s mid-run
 //   throttle       link throttled to 64 kbit/s for 3s mid-run
+//   link-flap      client interface hard-down for 2s mid-run, back up with
+//                  a new address (old 5-tuples black-holed)
 //   retry-storm    resolver stalls 25% of queries behind a RecursiveTier
 //                  whose server-side retry budget (10% of fresh traffic)
 //                  detects the resulting client retransmissions/re-issues
@@ -40,6 +42,7 @@
 #include "resolver/dot_server.hpp"
 #include "resolver/udp_server.hpp"
 #include "simnet/fault.hpp"
+#include "simnet/netchange.hpp"
 #include "workload/names.hpp"
 
 namespace {
@@ -53,6 +56,8 @@ struct Scenario {
   simnet::FaultSchedule link_faults{};
   simnet::TimeUs restart_at = 0;  ///< 0 = no server restart
   simnet::TimeUs restart_downtime = 0;
+  simnet::TimeUs flap_at = 0;  ///< 0 = no client interface flap
+  simnet::TimeUs flap_down = 0;
   /// Put a RecursiveTier (with a server-side retry budget) between the
   /// front-ends and the engine — the retry-storm scenario.
   bool tier_storm = false;
@@ -98,6 +103,11 @@ std::vector<Scenario> scenarios() {
                                     /*bps=*/64'000.0);
   all.push_back(std::move(throttle));
 
+  Scenario flap{.name = "link-flap"};
+  flap.flap_at = simnet::seconds(4);
+  flap.flap_down = simnet::seconds(2);
+  all.push_back(std::move(flap));
+
   Scenario storm{.name = "retry-storm"};
   storm.engine_faults.stall_rate = 0.25;
   storm.tier_storm = true;
@@ -134,6 +144,16 @@ RunMetrics run(const Scenario& scenario, const std::string& transport,
   net.connect(client.id(), server.id(), link);
   if (!scenario.link_faults.empty()) {
     net.inject_faults(client.id(), server.id(), scenario.link_faults);
+  }
+  if (scenario.flap_at > 0) {
+    // Interface hard-down, then back up with a new address. The rebind is
+    // added first so at the up instant the host is already re-addressed
+    // (every pre-flap 5-tuple stays black-holed).
+    simnet::NetworkChangeSchedule schedule;
+    schedule.add_rebind(scenario.flap_at + scenario.flap_down,
+                        /*rst_old_flows=*/false);
+    schedule.add_flap(scenario.flap_at, scenario.flap_down);
+    simnet::apply_network_changes(client, server.id(), schedule);
   }
 
   const obs::SpanContext obs{nullptr, 0, registry};
@@ -382,15 +402,16 @@ int main(int argc, char** argv) {
   std::printf("\ndeterminism check (two full grid runs, same seed): %s\n",
               first == second ? "PASS - byte-identical" : "FAIL");
 
-  // The headline robustness claim: through a 2s resolver outage the
-  // reconnecting connection-oriented clients still answer everything
-  // eventually, without blowing any per-query retry budget. The grid cells
-  // already hold these runs; index back into them.
+  // The headline robustness claim: through a 2s resolver outage — or a 2s
+  // interface flap that comes back on a new address — the reconnecting
+  // connection-oriented clients still answer everything eventually, without
+  // blowing any per-query retry budget. The grid cells already hold these
+  // runs; index back into them.
   bool recovered = true;
   const auto grid = scenarios();
   for (std::size_t s = 0; s < grid.size(); ++s) {
     const auto& scenario = grid[s];
-    if (scenario.restart_at == 0) continue;
+    if (scenario.restart_at == 0 && scenario.flap_at == 0) continue;
     for (const char* transport : {"dot", "h1", "h2"}) {
       const std::size_t t = static_cast<std::size_t>(
           std::find(kTransports.begin(), kTransports.end(),
@@ -411,8 +432,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("recovery check (>=99%% success through restart-2s, budget "
-              "intact): %s\n",
+  std::printf("recovery check (>=99%% success through restart-2s and "
+              "link-flap, budget intact): %s\n",
               recovered ? "PASS" : "FAIL");
 
   // The retry-storm claim, end to end: in every retry-storm cell the tier

@@ -31,7 +31,19 @@ DohClient::DohClient(simnet::Host& host, simnet::Address server,
       config_(std::move(config)),
       backoff_(config_.retry),
       metric_key_(config_.http_version == HttpVersion::kHttp2 ? "doh_h2"
-                                                              : "doh_h1") {}
+                                                              : "doh_h1") {
+  if (config_.migration.enabled && config_.migration.react_to_host_events) {
+    listener_id_ = host_.add_network_change_listener(
+        [this](simnet::NetworkChangeKind kind) {
+          begin_migration(simnet::to_string(kind));
+        });
+  }
+}
+
+DohClient::~DohClient() {
+  host_.loop().cancel(stall_timer_);
+  if (listener_id_ != 0) host_.remove_network_change_listener(listener_id_);
+}
 
 void DohClient::bind_obs_ids() {
   obs::Registry* r = config_.obs.metrics;
@@ -44,6 +56,10 @@ void DohClient::bind_obs_ids() {
   m_reconnects_ = r->register_counter(prefix + ".reconnects");
   m_retries_ = r->register_counter(prefix + ".retries");
   m_timeouts_ = r->register_counter(prefix + ".timeouts");
+  m_migrations_ = r->register_counter(prefix + ".migrations");
+  m_migration_wasted_ =
+      r->register_counter(prefix + ".migration_wasted_bytes");
+  m_resumed_ = r->register_counter(prefix + ".resumed_handshakes");
   m_hpack_dyn_hits_ = r->register_counter("client.doh.hpack_dyn_hits");
 }
 
@@ -91,21 +107,30 @@ std::shared_ptr<DohClient::Stack> DohClient::make_stack(obs::SpanId parent) {
       s->tls_hs_span =
           config_.obs.tracer->begin(s->connect_span, "tls_handshake");
     });
-    tls->set_established_hook([this, weak]() {
-      auto s = weak.lock();
-      if (!s) return;
-      if (s->tls_hs_span != 0 && s->tls != nullptr) {
-        config_.obs.set_attr(s->tls_hs_span, "tls_version",
-                             tlssim::to_string(s->tls->version()));
-        config_.obs.set_attr(s->tls_hs_span, "resumed", s->tls->resumed());
-        config_.obs.set_attr(s->tls_hs_span, "alpn", s->tls->alpn());
-      }
-      config_.obs.end(s->tls_hs_span);
-      config_.obs.end(s->connect_span);
-      s->tls_hs_span = 0;
-      s->connect_span = 0;
-    });
   }
+  // Always installed (not only when tracing): this is where handshake and
+  // resumption accounting happens, and where a winning migration racer gets
+  // promoted.
+  tls->set_established_hook([this, weak]() {
+    auto s = weak.lock();
+    if (!s) return;
+    if (s->tls_hs_span != 0 && s->tls != nullptr) {
+      config_.obs.set_attr(s->tls_hs_span, "tls_version",
+                           tlssim::to_string(s->tls->version()));
+      config_.obs.set_attr(s->tls_hs_span, "resumed", s->tls->resumed());
+      config_.obs.set_attr(s->tls_hs_span, "alpn", s->tls->alpn());
+    }
+    config_.obs.end(s->tls_hs_span);
+    config_.obs.end(s->connect_span);
+    s->tls_hs_span = 0;
+    s->connect_span = 0;
+    account_established(s);
+    if (s == racing_stack_) {
+      // Defer one (zero-delay) event: promotion tears the old stack down
+      // and must not run inside this stack's own TLS callback.
+      host_.loop().schedule_in(0, [this]() { promote_racer(); });
+    }
+  });
 
   if (config_.http_version == HttpVersion::kHttp2) {
     stack->h2 = std::make_unique<http2::Http2Connection>(
@@ -173,7 +198,15 @@ std::shared_ptr<DohClient::Stack> DohClient::stack_for_query(
                       !(persistent_stack_->h2 &&
                         persistent_stack_->h2->goaway_received());
   if (!usable) {
-    persistent_stack_ = make_stack(parent);
+    // The main stack died while a migration race was still on: adopt the
+    // racer (whose handshake, possibly resumed, is already paid for)
+    // instead of opening yet another connection.
+    if (racing_stack_ && !racing_stack_->broken &&
+        !racing_stack_->tls->failed() && !racing_stack_->tls->closed()) {
+      persistent_stack_ = std::move(racing_stack_);
+    } else {
+      persistent_stack_ = make_stack(parent);
+    }
   } else if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->add(m_conn_reuse_);
   }
@@ -248,6 +281,8 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
   results_[query_id].cost.dns_message_bytes += query_dns_bytes;
 
   ++states_[query_id].attempt;
+  states_[query_id].rx_at_issue =
+      stack->tcp ? stack->tcp->counters().wire_bytes_received : 0;
   if (states_[query_id].span != 0) {
     QueryState& qstate = states_[query_id];
     qstate.request_span =
@@ -260,6 +295,7 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
   }
 
   stack->outstanding.push_back(query_id);
+  arm_stall_timer();
   if (config_.retry.query_timeout > 0) {
     states_[query_id].timeout_timer = host_.loop().schedule_in(
         config_.retry.query_timeout,
@@ -340,6 +376,16 @@ void DohClient::issue(const std::shared_ptr<Stack>& stack,
 
 void DohClient::on_stack_error(const std::shared_ptr<Stack>& stack) {
   if (stack->broken) return;  // double report (close after reset etc.)
+  if (stack == racing_stack_) {
+    // The migration racer died: the old path keeps the race. Defer the
+    // teardown one event — this may be running inside the racer's own
+    // TLS/HTTP callbacks.
+    stack->broken = true;
+    host_.loop().schedule_in(0, [this, stack]() {
+      if (stack == racing_stack_) teardown_racer();
+    });
+    return;
+  }
   stack->broken = true;
   if (persistent_stack_ == stack) persistent_stack_.reset();
 
@@ -411,8 +457,15 @@ void DohClient::on_query_timeout(std::uint64_t query_id) {
     config_.obs.metrics->add(m_timeouts_);
   }
   const auto stack = state.stack;
+  // Zero bytes received on the connection across the whole timeout window
+  // means the path, not the stream, is stalled (e.g. the 5-tuple died under
+  // a silent NAT rebind) — the moral equivalent of an h2 PING timeout. An
+  // h2 per-stream re-issue would just rejoin the dead connection.
+  const bool conn_dead =
+      stack && !stack->broken && stack->tcp &&
+      stack->tcp->counters().wire_bytes_received == state.rx_at_issue;
   if (config_.retry.max_retries > 0 && state.retries_left > 0) {
-    if (stack && stack->h1 && !stack->broken) {
+    if (stack && !stack->broken && (stack->h1 || conn_dead)) {
       // HTTP/1.1 serializes responses on the connection, so a stalled
       // exchange blocks everything queued behind it; re-issuing here would
       // join the same blocked queue. Kill the suspect connection and let
@@ -478,11 +531,18 @@ void DohClient::complete(std::uint64_t query_id, bool success,
   if (state.done) return;  // error handler may race the response
   state.done = true;
   host_.loop().cancel(state.timeout_timer);
+  host_.loop().cancel(stall_timer_);
+  stall_timer_ = simnet::EventId{};
   if (state.stack) {
     auto& out = state.stack->outstanding;
     out.erase(std::remove(out.begin(), out.end(), query_id), out.end());
   }
-  if (success) backoff_.reset();
+  if (success) {
+    backoff_.reset();
+    // A full response on the old path while racing: the stall was
+    // transient, keep the connection and drop the racer.
+    teardown_racer();
+  }
   if (!state.fresh_stack && state.stack) {
     // Persistent connection: freeze the counter window one event from now,
     // so the TCP ACK triggered by the response segment is still attributed
@@ -533,6 +593,9 @@ void DohClient::complete(std::uint64_t query_id, bool success,
   // reallocate states_ and invalidate `state`.
   auto callback = std::move(state.callback);
   if (callback) callback(result);
+  if (persistent_stack_ && !persistent_stack_->outstanding.empty()) {
+    arm_stall_timer();
+  }
 }
 
 const ResolutionResult& DohClient::result(std::uint64_t id) const {
@@ -556,6 +619,154 @@ const ResolutionResult& DohClient::result(std::uint64_t id) const {
     }
   }
   return result;
+}
+
+void DohClient::account_established(const std::shared_ptr<Stack>& stack) {
+  if (stack->tls == nullptr) return;
+  const bool resumed = stack->tls->resumed();
+  if (resumed) {
+    ++migration_stats_.resumed_handshakes;
+    if (config_.obs.metrics != nullptr) config_.obs.metrics->add(m_resumed_);
+  } else {
+    ++migration_stats_.full_handshakes;
+  }
+  const auto& c = stack->tls->counters();
+  migration_stats_.handshake_bytes +=
+      c.handshake_bytes_sent + c.handshake_bytes_received;
+  migration_stats_.handshake_rtts +=
+      1 + tls_handshake_rtts(stack->tls->version(), resumed);  // +1: TCP SYN
+  if (ever_connected_ && resumed && config_.obs.tracer != nullptr) {
+    // A reconnect that skipped the full handshake via the session ticket.
+    const obs::SpanId s = config_.obs.tracer->begin(0, "reconnect_resume");
+    config_.obs.set_attr(s, "transport", metric_key_);
+    config_.obs.end(s);
+  }
+  ever_connected_ = true;
+}
+
+void DohClient::arm_stall_timer() {
+  if (!config_.migration.enabled || config_.migration.stall_timeout <= 0) {
+    return;
+  }
+  if (stall_timer_.valid) return;
+  stall_timer_ = host_.loop().schedule_in(
+      config_.migration.stall_timeout, [this]() {
+        stall_timer_ = simnet::EventId{};
+        on_stall();
+      });
+}
+
+void DohClient::on_stall() {
+  if (!persistent_stack_ || persistent_stack_->outstanding.empty()) return;
+  if (config_.obs.tracer != nullptr) {
+    // The probe that condemned the old path before we migrate away from it.
+    const obs::SpanId s = config_.obs.tracer->begin(0, "path_probe");
+    config_.obs.set_attr(s, "transport", metric_key_);
+    config_.obs.end(s);
+  }
+  begin_migration("stall");
+}
+
+void DohClient::begin_migration(const char* reason) {
+  if (!config_.migration.enabled || !config_.persistent) return;
+  if (racing_stack_) return;  // a race is already deciding the new path
+  if (!persistent_stack_) return;  // nothing to migrate; next query reconnects
+  if (config_.obs.tracer != nullptr && migrate_span_ == 0) {
+    migrate_span_ = config_.obs.tracer->begin(0, "migrate");
+    config_.obs.set_attr(migrate_span_, "transport", metric_key_);
+    config_.obs.set_attr(migrate_span_, "reason", std::string(reason));
+  }
+  const bool usable = !persistent_stack_->broken &&
+                      !persistent_stack_->tls->failed() &&
+                      !persistent_stack_->tls->closed() &&
+                      !(persistent_stack_->h2 &&
+                        persistent_stack_->h2->goaway_received());
+  if (!usable || persistent_stack_->outstanding.empty() ||
+      !config_.migration.race) {
+    // Nothing worth racing against: drop the suspect connection so the next
+    // attempt reconnects on the new path, resuming via the session cache
+    // when one is configured.
+    auto old = persistent_stack_;
+    ++migration_stats_.migrations;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add(m_migrations_);
+    }
+    if (migrate_span_ != 0) {
+      config_.obs.set_attr(migrate_span_, "winner", std::string("fresh"));
+      config_.obs.end(migrate_span_);
+      migrate_span_ = 0;
+    }
+    if (old->tcp) old->tcp->abort();  // no local callbacks fire
+    on_stack_error(old);  // clears persistent_stack_, re-issues in flight
+    return;
+  }
+  // Happy-eyeballs: open a fresh stack and race it against the stalled one.
+  // make_stack wires the promote/teardown plumbing via the established and
+  // error hooks; whichever path proves itself first wins, and the loser's
+  // bytes are charged to migration_wasted_bytes.
+  const auto& tc = persistent_stack_->tcp->counters();
+  race_baseline_bytes_ = tc.wire_bytes_sent + tc.wire_bytes_received;
+  racing_stack_ = make_stack(migrate_span_);
+}
+
+void DohClient::promote_racer() {
+  if (!racing_stack_ || racing_stack_->broken ||
+      racing_stack_->tls == nullptr || !racing_stack_->tls->established() ||
+      racing_stack_->tls->failed() || racing_stack_->tls->closed()) {
+    return;  // adopted, torn down, or died before this event fired
+  }
+  // The fresh path won. Everything the stalled stack moved since the race
+  // began bought nothing — charge it as migration waste.
+  auto old = persistent_stack_;
+  std::uint64_t wasted = 0;
+  if (old && old->tcp) {
+    const auto& c = old->tcp->counters();
+    wasted = c.wire_bytes_sent + c.wire_bytes_received - race_baseline_bytes_;
+  }
+  migration_stats_.migration_wasted_bytes += wasted;
+  ++migration_stats_.migrations;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(m_migrations_);
+    config_.obs.metrics->add(m_migration_wasted_, wasted);
+  }
+  persistent_stack_ = std::move(racing_stack_);
+  if (migrate_span_ != 0) {
+    config_.obs.set_attr(migrate_span_, "winner", std::string("fresh"));
+    config_.obs.end(migrate_span_);
+    migrate_span_ = 0;
+  }
+  if (old) {
+    // Abort the stalled transport and let the group-retry path re-issue its
+    // in-flight queries — stack_for_query now hands out the promoted stack.
+    if (old->tcp) old->tcp->abort();
+    on_stack_error(old);
+  }
+}
+
+void DohClient::teardown_racer() {
+  if (!racing_stack_) return;
+  auto racer = std::move(racing_stack_);
+  racer->broken = true;
+  if (racer->tcp) racer->tcp->abort();
+  std::uint64_t wasted = 0;
+  if (racer->tcp) {
+    const auto& c = racer->tcp->counters();
+    wasted = c.wire_bytes_sent + c.wire_bytes_received;
+  }
+  migration_stats_.migration_wasted_bytes += wasted;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(m_migration_wasted_, wasted);
+  }
+  // Dangling connect spans of the abandoned racer must not stay open.
+  config_.obs.end(racer->tcp_hs_span);
+  config_.obs.end(racer->tls_hs_span);
+  config_.obs.end(racer->connect_span);
+  racer->tcp_hs_span = racer->tls_hs_span = racer->connect_span = 0;
+  if (migrate_span_ != 0) {
+    config_.obs.set_attr(migrate_span_, "winner", std::string("old"));
+    config_.obs.end(migrate_span_);
+    migrate_span_ = 0;
+  }
 }
 
 void DohClient::disconnect() {

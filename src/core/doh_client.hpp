@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/migration.hpp"
 #include "core/obs_hooks.hpp"
 #include "core/retry.hpp"
 #include "http1/client.hpp"
@@ -66,6 +67,9 @@ struct DohClientConfig {
   std::size_t pad_queries_to = 0;
   /// Reconnection + per-query retry behaviour; default is fail-fast.
   RetryPolicy retry;
+  /// Network-churn handling (stall detection, connection racing). Only
+  /// meaningful with persistent connections.
+  MigrationConfig migration;
   obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
@@ -73,6 +77,7 @@ class DohClient final : public ResolverClient {
  public:
   DohClient(simnet::Host& host, simnet::Address server,
             DohClientConfig config = {});
+  ~DohClient() override;
 
   std::uint64_t resolve(const dns::Name& name, dns::RType type,
                         ResolveCallback callback) override;
@@ -81,6 +86,9 @@ class DohClient final : public ResolverClient {
   std::size_t completed() const override { return completed_; }
   std::uint64_t failures() const noexcept { return failures_; }
   const RetryStats& retry_stats() const noexcept { return retry_stats_; }
+  const MigrationStats& migration_stats() const noexcept {
+    return migration_stats_;
+  }
 
   /// Close the persistent connection (if any).
   void disconnect();
@@ -133,6 +141,13 @@ class DohClient final : public ResolverClient {
   void reissue(std::uint64_t query_id);
   /// Re-register the client.<key>.* handles when the registry changes.
   void bind_obs_ids();
+  /// Handshake/resumption accounting when a stack establishes (always on).
+  void account_established(const std::shared_ptr<Stack>& stack);
+  void arm_stall_timer();
+  void on_stall();
+  void begin_migration(const char* reason);
+  void promote_racer();
+  void teardown_racer();
 
   simnet::Host& host_;
   simnet::Address server_;
@@ -148,13 +163,24 @@ class DohClient final : public ResolverClient {
   obs::MetricId m_retries_;
   obs::MetricId m_timeouts_;
   obs::MetricId m_hpack_dyn_hits_;
+  obs::MetricId m_migrations_;
+  obs::MetricId m_migration_wasted_;
+  obs::MetricId m_resumed_;
   obs::Registry* bound_metrics_ = nullptr;
+  MigrationStats migration_stats_;
 
   /// Query whose timeout triggered the current connection teardown: the
   /// group-retry charges only its budget and re-issues it last.
   std::uint64_t suspect_query_id_ = 0;
   bool timeout_teardown_ = false;
   std::shared_ptr<Stack> persistent_stack_;
+  /// Migration race: a fresh stack racing the stalled persistent one.
+  std::shared_ptr<Stack> racing_stack_;
+  std::uint64_t race_baseline_bytes_ = 0;
+  simnet::EventId stall_timer_;
+  std::uint64_t listener_id_ = 0;
+  bool ever_connected_ = false;
+  obs::SpanId migrate_span_ = 0;
   std::uint64_t next_query_id_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failures_ = 0;
@@ -167,6 +193,10 @@ class DohClient final : public ResolverClient {
     std::shared_ptr<Stack> stack;  ///< stack this query ran on
     CostReport start;              ///< stack snapshot at issue time
     CostReport end;                ///< snapshot at completion (persistent)
+    /// Stack's TCP wire_bytes_received when this attempt was issued; if it
+    /// has not advanced by the query timeout, the connection (not just the
+    /// stream) is stalled.
+    std::uint64_t rx_at_issue = 0;
     simnet::EventId timeout_timer;
     bool have_end = false;
     bool fresh_stack = false;      ///< cost = whole stack incl. teardown

@@ -9,7 +9,19 @@ DotClient::DotClient(simnet::Host& host, simnet::Address server,
     : host_(host),
       server_(server),
       config_(std::move(config)),
-      backoff_(config_.retry) {}
+      backoff_(config_.retry) {
+  if (config_.migration.enabled && config_.migration.react_to_host_events) {
+    listener_id_ = host_.add_network_change_listener(
+        [this](simnet::NetworkChangeKind kind) {
+          begin_migration(simnet::to_string(kind));
+        });
+  }
+}
+
+DotClient::~DotClient() {
+  host_.loop().cancel(stall_timer_);
+  if (listener_id_ != 0) host_.remove_network_change_listener(listener_id_);
+}
 
 void DotClient::bind_obs_ids() {
   obs::Registry* r = config_.obs.metrics;
@@ -21,6 +33,53 @@ void DotClient::bind_obs_ids() {
   m_reconnects_ = r->register_counter("client.dot.reconnects");
   m_retries_ = r->register_counter("client.dot.retries");
   m_timeouts_ = r->register_counter("client.dot.timeouts");
+  m_migrations_ = r->register_counter("client.dot.migrations");
+  m_migration_wasted_ =
+      r->register_counter("client.dot.migration_wasted_bytes");
+  m_resumed_ = r->register_counter("client.dot.resumed_handshakes");
+}
+
+void DotClient::install_handlers() {
+  tlssim::TlsConnection::Handlers h;
+  h.on_open = [this]() {
+    if (tls_hs_span_ != 0 && tls_) {
+      config_.obs.set_attr(tls_hs_span_, "tls_version",
+                           tlssim::to_string(tls_->version()));
+      config_.obs.set_attr(tls_hs_span_, "resumed", tls_->resumed());
+    }
+    config_.obs.end(tls_hs_span_);
+    config_.obs.end(connect_span_);
+    tls_hs_span_ = 0;
+    connect_span_ = 0;
+    account_established();
+  };
+  h.on_data = [this](std::span<const std::uint8_t> d) { on_data(d); };
+  h.on_close = [this]() { on_close(); };
+  tls_->set_handlers(std::move(h));
+}
+
+void DotClient::account_established() {
+  if (!tls_) return;
+  const bool resumed = tls_->resumed();
+  if (resumed) {
+    ++migration_stats_.resumed_handshakes;
+    if (config_.obs.metrics != nullptr) config_.obs.metrics->add(m_resumed_);
+  } else {
+    ++migration_stats_.full_handshakes;
+  }
+  const auto& c = tls_->counters();
+  migration_stats_.handshake_bytes +=
+      c.handshake_bytes_sent + c.handshake_bytes_received;
+  migration_stats_.handshake_rtts +=
+      1 + tls_handshake_rtts(tls_->version(), resumed);  // +1: TCP SYN
+  if (ever_connected_ && resumed && config_.obs.tracer != nullptr) {
+    // A reconnect that skipped the full handshake via the session ticket.
+    const obs::SpanId s =
+        config_.obs.tracer->begin(0, "reconnect_resume");
+    config_.obs.set_attr(s, "transport", std::string("dot"));
+    config_.obs.end(s);
+  }
+  ever_connected_ = true;
 }
 
 void DotClient::ensure_connection(obs::SpanId parent) {
@@ -31,6 +90,18 @@ void DotClient::ensure_connection(obs::SpanId parent) {
     if (config_.obs.metrics != nullptr) {
       config_.obs.metrics->add(m_conn_reuse_);
     }
+    return;
+  }
+  // The main connection died while a migration race was still on: adopt
+  // the racer instead of opening yet another connection.
+  if (racing_tls_ && !racing_tls_->failed() && !racing_tls_->closed()) {
+    tcp_ = std::move(racing_tcp_);
+    tls_ = std::move(racing_tls_);
+    racing_tcp_.reset();
+    rx_.clear();
+    const bool already_open = tls_->established();
+    install_handlers();
+    if (already_open) account_established();
     return;
   }
   if (config_.obs.metrics != nullptr) {
@@ -57,21 +128,7 @@ void DotClient::ensure_connection(obs::SpanId parent) {
           config_.obs.tracer->begin(connect_span_, "tls_handshake");
     });
   }
-  tlssim::TlsConnection::Handlers h;
-  h.on_open = [this]() {
-    if (tls_hs_span_ != 0 && tls_) {
-      config_.obs.set_attr(tls_hs_span_, "tls_version",
-                           tlssim::to_string(tls_->version()));
-      config_.obs.set_attr(tls_hs_span_, "resumed", tls_->resumed());
-    }
-    config_.obs.end(tls_hs_span_);
-    config_.obs.end(connect_span_);
-    tls_hs_span_ = 0;
-    connect_span_ = 0;
-  };
-  h.on_data = [this](std::span<const std::uint8_t> d) { on_data(d); };
-  h.on_close = [this]() { on_close(); };
-  tls_->set_handlers(std::move(h));
+  install_handlers();
   rx_.clear();
 }
 
@@ -128,10 +185,14 @@ void DotClient::send_query(std::uint16_t dns_id, Pending pending) {
   dns::ByteWriter framed;
   framed.u16(static_cast<std::uint16_t>(wire.size()));
   framed.bytes(wire);
+  arm_stall_timer();
   tls_->send(framed.take());  // queued internally until the handshake ends
 }
 
 void DotClient::on_data(std::span<const std::uint8_t> data) {
+  // Bytes arriving means the path is alive: restart stall detection.
+  host_.loop().cancel(stall_timer_);
+  stall_timer_ = simnet::EventId{};
   rx_.insert(rx_.end(), data.begin(), data.end());
   while (rx_.size() >= 2) {
     const std::size_t len = (static_cast<std::size_t>(rx_[0]) << 8) | rx_[1];
@@ -164,7 +225,11 @@ void DotClient::on_data(std::span<const std::uint8_t> data) {
     obs_count_cost(config_.obs, cmetrics_, result.cost);
     obs_finish_resolution(config_.obs, tmetrics_, pending.span, "dot", result);
     if (pending.callback) pending.callback(result);
+    // A full response on the old path while racing: the stall was
+    // transient, keep the connection and drop the racer.
+    teardown_racer();
   }
+  if (!pending_.empty()) arm_stall_timer();
 }
 
 void DotClient::on_close() {
@@ -278,6 +343,178 @@ void DotClient::fail_query(Pending pending) {
   obs_count_cost(config_.obs, cmetrics_, result.cost);
   obs_finish_resolution(config_.obs, tmetrics_, pending.span, "dot", result);
   if (pending.callback) pending.callback(result);
+}
+
+void DotClient::arm_stall_timer() {
+  if (!config_.migration.enabled || config_.migration.stall_timeout <= 0) {
+    return;
+  }
+  if (stall_timer_.valid) return;
+  stall_timer_ = host_.loop().schedule_in(
+      config_.migration.stall_timeout, [this]() {
+        stall_timer_ = simnet::EventId{};
+        on_stall();
+      });
+}
+
+void DotClient::on_stall() {
+  if (pending_.empty()) return;
+  if (config_.obs.tracer != nullptr) {
+    // The probe that condemned the old path before we migrate away from it.
+    const obs::SpanId s = config_.obs.tracer->begin(0, "path_probe");
+    config_.obs.set_attr(s, "transport", std::string("dot"));
+    config_.obs.end(s);
+  }
+  begin_migration("stall");
+}
+
+void DotClient::begin_migration(const char* reason) {
+  if (!config_.migration.enabled || closing_) return;
+  if (racing_tls_) return;  // a race is already deciding the new path
+  if (!tls_ && pending_.empty()) return;  // nothing to migrate
+  if (config_.obs.tracer != nullptr && migrate_span_ == 0) {
+    migrate_span_ = config_.obs.tracer->begin(0, "migrate");
+    config_.obs.set_attr(migrate_span_, "transport", std::string("dot"));
+    config_.obs.set_attr(migrate_span_, "reason", std::string(reason));
+  }
+  const bool usable = tls_ && !tls_->failed() && !tls_->closed();
+  if (!usable || pending_.empty() || !config_.migration.race) {
+    // Nothing worth racing against: drop the (suspect or already dead)
+    // connection so the next attempt reconnects on the new path, resuming
+    // via the session cache when one is configured.
+    if (tcp_) tcp_->abort();
+    tls_.reset();
+    rx_.clear();
+    ++migration_stats_.migrations;
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add(m_migrations_);
+    }
+    if (migrate_span_ != 0) {
+      config_.obs.set_attr(migrate_span_, "winner", std::string("fresh"));
+      config_.obs.end(migrate_span_);
+      migrate_span_ = 0;
+    }
+    if (!pending_.empty()) on_close();  // reconnect + re-issue in flight
+    return;
+  }
+  // Happy-eyeballs: open a fresh connection and race it against the
+  // stalled one. Whichever proves the path first wins; the loser's bytes
+  // are charged to migration_wasted_bytes.
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(m_conn_open_);
+  }
+  const auto& tc = tcp_->counters();
+  race_baseline_bytes_ = tc.wire_bytes_sent + tc.wire_bytes_received;
+  racing_tcp_ = host_.tcp_connect(server_);
+  tlssim::ClientConfig tls_config;
+  tls_config.sni = config_.server_name;
+  tls_config.min_version = config_.min_tls;
+  tls_config.max_version = config_.max_tls;
+  tls_config.session_cache = config_.session_cache;
+  racing_tls_ = std::make_unique<tlssim::TlsConnection>(
+      std::make_unique<simnet::TcpByteStream>(racing_tcp_),
+      std::move(tls_config));
+  tlssim::TlsConnection::Handlers rh;
+  // Both outcomes defer one (zero-delay) event: the handlers below must
+  // not destroy the std::function currently executing.
+  rh.on_open = [this]() {
+    host_.loop().schedule_in(0, [this]() { promote_racer(); });
+  };
+  rh.on_close = [this]() {
+    host_.loop().schedule_in(0, [this]() {
+      if (racing_tls_ && (racing_tls_->failed() || racing_tls_->closed())) {
+        teardown_racer();
+      }
+    });
+  };
+  racing_tls_->set_handlers(std::move(rh));
+}
+
+void DotClient::promote_racer() {
+  if (!racing_tls_ || !racing_tls_->established() || racing_tls_->failed() ||
+      racing_tls_->closed()) {
+    return;  // adopted, torn down, or died before this event fired
+  }
+  // The fresh path won. Everything the stalled connection moved since the
+  // race began bought nothing — charge it as migration waste.
+  std::uint64_t wasted = 0;
+  if (tcp_) {
+    const auto& c = tcp_->counters();
+    wasted = c.wire_bytes_sent + c.wire_bytes_received - race_baseline_bytes_;
+  }
+  migration_stats_.migration_wasted_bytes += wasted;
+  ++migration_stats_.migrations;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(m_migrations_);
+    config_.obs.metrics->add(m_migration_wasted_, wasted);
+  }
+  if (tcp_) tcp_->abort();
+  tls_.reset();
+  tcp_ = std::move(racing_tcp_);
+  tls_ = std::move(racing_tls_);
+  racing_tcp_.reset();
+  rx_.clear();
+  install_handlers();
+  account_established();
+  if (migrate_span_ != 0) {
+    config_.obs.set_attr(migrate_span_, "winner", std::string("fresh"));
+    config_.obs.end(migrate_span_);
+    migrate_span_ = 0;
+  }
+  reissue_after_migration();
+}
+
+void DotClient::teardown_racer() {
+  if (!racing_tls_) return;
+  if (racing_tcp_) racing_tcp_->abort();
+  std::uint64_t wasted = 0;
+  if (racing_tcp_) {
+    const auto& c = racing_tcp_->counters();
+    wasted = c.wire_bytes_sent + c.wire_bytes_received;
+  }
+  migration_stats_.migration_wasted_bytes += wasted;
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->add(m_migration_wasted_, wasted);
+  }
+  racing_tls_.reset();
+  racing_tcp_.reset();
+  if (migrate_span_ != 0) {
+    config_.obs.set_attr(migrate_span_, "winner", std::string("old"));
+    config_.obs.end(migrate_span_);
+    migrate_span_ = 0;
+  }
+}
+
+void DotClient::reissue_after_migration() {
+  // In-flight queries move to the validated new path immediately — no
+  // backoff, the path is known good — each charged one retry.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  const bool can_retry = config_.retry.max_retries > 0;
+  for (auto& [dns_id, entry] : pending) {
+    host_.loop().cancel(entry.timeout_timer);
+    config_.obs.end(entry.request_span);
+    entry.request_span = 0;
+    if (!can_retry || entry.retries_left <= 0) {
+      if (can_retry) ++retry_stats_.budget_exhausted;
+      fail_query(std::move(entry));
+      continue;
+    }
+    --entry.retries_left;
+    ++retry_stats_.retried_queries;
+    if (entry.span != 0) {
+      const obs::SpanId retry =
+          config_.obs.tracer->begin(entry.span, "retry");
+      config_.obs.set_attr(retry, "reason", std::string("migration"));
+      config_.obs.set_attr(retry, "attempt",
+                           static_cast<std::int64_t>(entry.attempt));
+      config_.obs.end(retry);
+    }
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->add(m_retries_);
+    }
+    send_query(allocate_dns_id(), std::move(entry));
+  }
 }
 
 void DotClient::disconnect() {

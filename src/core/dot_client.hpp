@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "core/migration.hpp"
 #include "core/retry.hpp"
 #include "core/obs_hooks.hpp"
 #include "obs/span.hpp"
@@ -28,6 +29,8 @@ struct DotClientConfig {
   tlssim::SessionCache* session_cache = nullptr;
   /// Reconnection + per-query retry behaviour; default is fail-fast.
   RetryPolicy retry;
+  /// Network-churn handling (stall detection, connection racing).
+  MigrationConfig migration;
   obs::SpanContext obs;  ///< tracing/metrics sink (default: off)
 };
 
@@ -35,12 +38,16 @@ class DotClient final : public ResolverClient {
  public:
   DotClient(simnet::Host& host, simnet::Address server,
             DotClientConfig config = {});
+  ~DotClient() override;
 
   std::uint64_t resolve(const dns::Name& name, dns::RType type,
                         ResolveCallback callback) override;
   const ResolutionResult& result(std::uint64_t id) const override;
   std::size_t completed() const override { return completed_; }
   const RetryStats& retry_stats() const noexcept { return retry_stats_; }
+  const MigrationStats& migration_stats() const noexcept {
+    return migration_stats_;
+  }
 
   /// Close the TLS connection (a new one is opened on the next resolve).
   /// Outstanding queries fail without retry — the close was deliberate.
@@ -74,6 +81,16 @@ class DotClient final : public ResolverClient {
   void on_query_timeout(std::uint16_t dns_id);
   void fail_query(Pending pending);
   std::uint16_t allocate_dns_id();
+  void install_handlers();
+  /// Handshake/resumption accounting at establishment (always on, unlike
+  /// the tracer-gated spans).
+  void account_established();
+  void arm_stall_timer();
+  void on_stall();
+  void begin_migration(const char* reason);
+  void promote_racer();
+  void teardown_racer();
+  void reissue_after_migration();
 
   simnet::Host& host_;
   TransportMetrics tmetrics_;
@@ -83,15 +100,30 @@ class DotClient final : public ResolverClient {
   obs::MetricId m_reconnects_;
   obs::MetricId m_retries_;
   obs::MetricId m_timeouts_;
+  obs::MetricId m_migrations_;
+  obs::MetricId m_migration_wasted_;
+  obs::MetricId m_resumed_;
   obs::Registry* bound_metrics_ = nullptr;
   simnet::Address server_;
   DotClientConfig config_;
   Backoff backoff_;
   RetryStats retry_stats_;
+  MigrationStats migration_stats_;
 
   std::shared_ptr<simnet::TcpConnection> tcp_;
   std::unique_ptr<tlssim::TlsConnection> tls_;
   dns::Bytes rx_;
+
+  // Migration machinery: the fresh connection racing the stalled one, the
+  // stalled side's byte counts at race start (everything it moves after
+  // that is wasted if it loses), and churn-detection state.
+  std::shared_ptr<simnet::TcpConnection> racing_tcp_;
+  std::unique_ptr<tlssim::TlsConnection> racing_tls_;
+  std::uint64_t race_baseline_bytes_ = 0;
+  simnet::EventId stall_timer_;
+  std::uint64_t listener_id_ = 0;
+  bool ever_connected_ = false;
+  obs::SpanId migrate_span_ = 0;
   obs::SpanId connect_span_ = 0;
   obs::SpanId tcp_hs_span_ = 0;
   obs::SpanId tls_hs_span_ = 0;

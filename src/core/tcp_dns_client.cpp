@@ -6,7 +6,31 @@ namespace dohperf::core {
 
 TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server,
                            obs::SpanContext obs)
-    : host_(host), server_(server), obs_(obs) {}
+    : TcpDnsClient(host, server, [&obs]() {
+        TcpDnsClientConfig config;
+        config.obs = obs;
+        return config;
+      }()) {}
+
+TcpDnsClient::TcpDnsClient(simnet::Host& host, simnet::Address server,
+                           TcpDnsClientConfig config)
+    : host_(host),
+      server_(server),
+      migration_(config.migration),
+      max_migration_reissues_(config.max_migration_reissues),
+      obs_(config.obs) {
+  if (migration_.enabled && migration_.react_to_host_events) {
+    listener_id_ = host_.add_network_change_listener(
+        [this](simnet::NetworkChangeKind kind) {
+          begin_migration(simnet::to_string(kind));
+        });
+  }
+}
+
+TcpDnsClient::~TcpDnsClient() {
+  host_.loop().cancel(stall_timer_);
+  if (listener_id_ != 0) host_.remove_network_change_listener(listener_id_);
+}
 
 void TcpDnsClient::bind_obs_ids() {
   obs::Registry* r = obs_.metrics;
@@ -15,6 +39,7 @@ void TcpDnsClient::bind_obs_ids() {
   if (r == nullptr) return;
   m_conn_open_ = r->register_counter("client.tcp.conn_open");
   m_conn_reuse_ = r->register_counter("client.tcp.conn_reuse");
+  m_migrations_ = r->register_counter("client.tcp.migrations");
 }
 
 void TcpDnsClient::ensure_connection(obs::SpanId parent) {
@@ -58,27 +83,37 @@ std::uint64_t TcpDnsClient::resolve(const dns::Name& name, dns::RType type,
   Pending pending;
   pending.query_id = query_id;
   pending.callback = std::move(callback);
+  pending.name = name;
+  pending.type = type;
+  pending.reissues_left = max_migration_reissues_;
   bind_obs_ids();
   pending.span = obs_begin_resolution(obs_, tmetrics_, "tcp", name, type);
   ensure_connection(pending.span);
-  const obs::SpanId span = pending.span;
+  send_framed(dns_id, pending);
   pending_.emplace(dns_id, std::move(pending));
-
-  const dns::Message query = dns::Message::make_query(dns_id, name, type);
-  const dns::Bytes wire = query.encode();
-  results_[query_id].cost.dns_message_bytes = wire.size();
-  dns::ByteWriter framed;
-  framed.u16(static_cast<std::uint16_t>(wire.size()));
-  framed.bytes(wire);
-  if (obs_.tracer != nullptr) {
-    const obs::SpanId request = obs_.tracer->begin(span, "request");
-    obs_.end(request);  // framed write handed to TCP in one call
-  }
-  stream_->send(framed.take());  // TCP queues until established
+  arm_stall_timer();
   return query_id;
 }
 
+void TcpDnsClient::send_framed(std::uint16_t dns_id, const Pending& pending) {
+  const dns::Message query =
+      dns::Message::make_query(dns_id, pending.name, pending.type);
+  const dns::Bytes wire = query.encode();
+  results_[pending.query_id].cost.dns_message_bytes += wire.size();
+  dns::ByteWriter framed;
+  framed.u16(static_cast<std::uint16_t>(wire.size()));
+  framed.bytes(wire);
+  if (obs_.tracer != nullptr && pending.span != 0) {
+    const obs::SpanId request = obs_.tracer->begin(pending.span, "request");
+    obs_.end(request);  // framed write handed to TCP in one call
+  }
+  stream_->send(framed.take());  // TCP queues until established
+}
+
 void TcpDnsClient::on_data(std::span<const std::uint8_t> data) {
+  // Bytes arriving means the path is alive: restart stall detection.
+  host_.loop().cancel(stall_timer_);
+  stall_timer_ = simnet::EventId{};
   rx_.insert(rx_.end(), data.begin(), data.end());
   while (rx_.size() >= 2) {
     const std::size_t len = (static_cast<std::size_t>(rx_[0]) << 8) | rx_[1];
@@ -109,6 +144,7 @@ void TcpDnsClient::on_data(std::span<const std::uint8_t> data) {
     obs_finish_resolution(obs_, tmetrics_, pending.span, "tcp", result);
     if (pending.callback) pending.callback(result);
   }
+  if (!pending_.empty()) arm_stall_timer();
 }
 
 void TcpDnsClient::on_close() {
@@ -122,6 +158,69 @@ void TcpDnsClient::on_close() {
     obs_finish_resolution(obs_, tmetrics_, entry.span, "tcp", result);
     if (entry.callback) entry.callback(result);
   }
+}
+
+void TcpDnsClient::arm_stall_timer() {
+  if (!migration_.enabled || migration_.stall_timeout <= 0) return;
+  if (stall_timer_.valid) return;
+  stall_timer_ = host_.loop().schedule_in(
+      migration_.stall_timeout, [this]() {
+        stall_timer_ = simnet::EventId{};
+        on_stall();
+      });
+}
+
+void TcpDnsClient::on_stall() {
+  if (pending_.empty()) return;
+  if (obs_.tracer != nullptr) {
+    const obs::SpanId s = obs_.tracer->begin(0, "path_probe");
+    obs_.set_attr(s, "transport", std::string("tcp"));
+    obs_.end(s);
+  }
+  begin_migration("stall");
+}
+
+void TcpDnsClient::begin_migration(const char* reason) {
+  if (!migration_.enabled) return;
+  if (!tcp_ && pending_.empty()) return;  // nothing to migrate
+  // No TLS state worth racing for: drop the suspect connection and re-send
+  // every in-flight query on a fresh one from the (new) address.
+  if (obs_.tracer != nullptr) {
+    const obs::SpanId s = obs_.tracer->begin(0, "migrate");
+    obs_.set_attr(s, "transport", std::string("tcp"));
+    obs_.set_attr(s, "reason", std::string(reason));
+    obs_.set_attr(s, "winner", std::string("fresh"));
+    obs_.end(s);
+  }
+  if (tcp_) tcp_->abort();  // no local callbacks fire
+  tcp_.reset();
+  stream_.reset();
+  rx_.clear();
+  ++migration_stats_.migrations;
+  if (obs_.metrics != nullptr) obs_.metrics->add(m_migrations_);
+  reissue_all();
+}
+
+void TcpDnsClient::reissue_all() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [dns_id, entry] : pending) {
+    if (entry.reissues_left <= 0) {
+      // Re-issue budget spent: fail rather than chase a dead path forever.
+      ResolutionResult& result = results_[entry.query_id];
+      result.success = false;
+      result.completed_at = host_.loop().now();
+      ++completed_;
+      obs_finish_resolution(obs_, tmetrics_, entry.span, "tcp", result);
+      if (entry.callback) entry.callback(result);
+      continue;
+    }
+    --entry.reissues_left;
+    ensure_connection(entry.span);
+    send_framed(dns_id, entry);
+    pending_.emplace(dns_id, std::move(entry));
+  }
+  if (!pending_.empty()) arm_stall_timer();
 }
 
 void TcpDnsClient::disconnect() {

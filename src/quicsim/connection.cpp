@@ -145,6 +145,16 @@ void QuicConnection::handle_frame(const Frame& frame) {
           if (on_closed_) on_closed_();
         } else if constexpr (std::is_same_v<T, HandshakeDoneFrame>) {
           // Client: server confirmed the handshake; nothing further needed.
+        } else if constexpr (std::is_same_v<T, PathChallengeFrame>) {
+          // Echo on the (possibly new) path; never blocked on anything.
+          send_packet({PathResponseFrame{f.data}}, /*long_header=*/false);
+        } else if constexpr (std::is_same_v<T, PathResponseFrame>) {
+          if (outstanding_path_token_ != 0 &&
+              f.data == outstanding_path_token_) {
+            outstanding_path_token_ = 0;
+            ++counters_.path_validations;
+            if (on_path_validated_) on_path_validated_();
+          }
         }
         // Padding and ping need no action.
       },
@@ -400,6 +410,13 @@ void QuicConnection::on_pto() {
       send_packet(std::move(frames), sent.packet.long_header);
     }
   }
+}
+
+void QuicConnection::probe_path() {
+  if (closed_) return;
+  outstanding_path_token_ = ++next_path_token_;
+  send_packet({PathChallengeFrame{outstanding_path_token_}},
+              /*long_header=*/false);
 }
 
 void QuicConnection::close(std::uint64_t error_code) {

@@ -21,6 +21,12 @@ namespace dohperf::quicsim {
 struct QuicConnectionConfig {
   simnet::TimeUs pto_initial = simnet::ms(200);  ///< probe timeout
   simnet::TimeUs pto_max = simnet::seconds(10);
+  /// Server-side (QuicServer): accept connection migration — when a known
+  /// connection id arrives from a new address, switch the return path to
+  /// it and validate with a PATH_CHALLENGE. Off by default: the legacy
+  /// server keeps replying to the address that opened the connection, so a
+  /// re-addressed client is stranded until it reconnects.
+  bool allow_migration = false;
 };
 
 class QuicConnection {
@@ -55,6 +61,21 @@ class QuicConnection {
     on_stream_data_ = std::move(cb);
   }
   void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+  /// Fired when a PATH_RESPONSE matches an outstanding challenge we sent —
+  /// the new path is validated and the migration is complete on this side.
+  void set_on_path_validated(std::function<void()> cb) {
+    on_path_validated_ = std::move(cb);
+  }
+
+  /// Replace the datagram transport mid-connection (connection migration:
+  /// the peer moved; subsequent packets — including PTO retransmits of
+  /// everything in flight — go out the new path).
+  void set_sender(DatagramSender sender) { sender_ = std::move(sender); }
+
+  /// RFC 9000 §8.2: start path validation — send a PATH_CHALLENGE with a
+  /// fresh deterministic token on the current path. Ack-eliciting, so loss
+  /// is repaired by the normal PTO machinery.
+  void probe_path();
 
   /// Feed one received UDP payload into the connection.
   void handle_datagram(std::span<const std::uint8_t> payload);
@@ -108,6 +129,7 @@ class QuicConnection {
   std::function<void()> on_established_;
   StreamDataHandler on_stream_data_;
   std::function<void()> on_closed_;
+  std::function<void()> on_path_validated_;
 
   bool established_ = false;
   bool closed_ = false;
@@ -116,6 +138,10 @@ class QuicConnection {
 
   std::uint64_t next_packet_number_ = 0;
   std::uint64_t next_stream_id_;
+  // Path validation: the token of the newest challenge we sent; any match
+  // validates (stale responses to earlier probes are ignored).
+  std::uint64_t next_path_token_ = 0;
+  std::uint64_t outstanding_path_token_ = 0;
 
   // Crypto stream reassembly.
   Bytes crypto_rx_;

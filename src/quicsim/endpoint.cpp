@@ -61,14 +61,33 @@ void QuicServer::on_datagram(const Bytes& payload, simnet::Address from) {
         host_.loop(), std::move(sender), packet.connection_id, tls_,
         config_);
     it = connections_.emplace(packet.connection_id, std::move(conn)).first;
+    if (config_.allow_migration) {
+      peer_addrs_.insert_or_assign(packet.connection_id, from);
+    }
     if (on_accept_) on_accept_(*it->second);
+  } else if (config_.allow_migration) {
+    // Connection migration (RFC 9000 §9): a known cid from a new address.
+    // Switch the return path before processing, so the reply to whatever
+    // this datagram carries — and every PTO retransmit in flight — already
+    // travels the new path, then validate it with a PATH_CHALLENGE.
+    const auto addr_it = peer_addrs_.find(packet.connection_id);
+    if (addr_it != peer_addrs_.end() && !(addr_it->second == from)) {
+      addr_it->second = from;
+      it->second->set_sender([this, from](Bytes data) {
+        socket_->send_to(from, std::move(data));
+      });
+      it->second->probe_path();
+    }
   }
   it->second->handle_datagram(payload);
 
   // Opportunistic cleanup of closed connections (not the one just touched).
   std::erase_if(connections_, [&](const auto& entry) {
-    return entry.second->closed() &&
-           entry.first != packet.connection_id;
+    if (!entry.second->closed() || entry.first == packet.connection_id) {
+      return false;
+    }
+    peer_addrs_.erase(entry.first);
+    return true;
   });
 }
 

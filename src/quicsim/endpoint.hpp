@@ -58,6 +58,9 @@ class QuicServer {
   AcceptHandler on_accept_;
   QuicConnectionConfig config_;
   std::map<std::uint64_t, std::unique_ptr<QuicConnection>> connections_;
+  /// Last validated-or-initial peer address per connection id; only
+  /// maintained when config_.allow_migration is set.
+  std::map<std::uint64_t, simnet::Address> peer_addrs_;
 };
 
 }  // namespace dohperf::quicsim

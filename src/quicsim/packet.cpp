@@ -51,6 +51,14 @@ void encode_frame(ByteWriter& w, const Frame& frame) {
           w.u32(static_cast<std::uint32_t>(f.error_code));
         } else if constexpr (std::is_same_v<T, HandshakeDoneFrame>) {
           w.u8(static_cast<std::uint8_t>(FrameType::kHandshakeDone));
+        } else if constexpr (std::is_same_v<T, PathChallengeFrame>) {
+          w.u8(static_cast<std::uint8_t>(FrameType::kPathChallenge));
+          w.u32(static_cast<std::uint32_t>(f.data >> 32));
+          w.u32(static_cast<std::uint32_t>(f.data & 0xffffffff));
+        } else if constexpr (std::is_same_v<T, PathResponseFrame>) {
+          w.u8(static_cast<std::uint8_t>(FrameType::kPathResponse));
+          w.u32(static_cast<std::uint32_t>(f.data >> 32));
+          w.u32(static_cast<std::uint32_t>(f.data & 0xffffffff));
         }
       },
       frame);
@@ -97,6 +105,20 @@ Frame decode_frame(ByteReader& r) {
     }
     case FrameType::kHandshakeDone:
       return HandshakeDoneFrame{};
+    case FrameType::kPathChallenge: {
+      PathChallengeFrame f;
+      const std::uint64_t hi = r.u32();
+      const std::uint64_t lo = r.u32();
+      f.data = (hi << 32) | lo;
+      return f;
+    }
+    case FrameType::kPathResponse: {
+      PathResponseFrame f;
+      const std::uint64_t hi = r.u32();
+      const std::uint64_t lo = r.u32();
+      f.data = (hi << 32) | lo;
+      return f;
+    }
   }
   throw WireError("unknown QUIC frame type");
 }

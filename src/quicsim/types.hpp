@@ -44,6 +44,8 @@ enum class FrameType : std::uint8_t {
   kAck = 0x02,
   kCrypto = 0x06,
   kStream = 0x08,
+  kPathChallenge = 0x1a,
+  kPathResponse = 0x1b,
   kConnectionClose = 0x1c,
   kHandshakeDone = 0x1e,
 };
@@ -79,9 +81,20 @@ struct ConnectionCloseFrame {
 
 struct HandshakeDoneFrame {};
 
+/// RFC 9000 §8.2: path validation after migration. The 8-byte token must
+/// be echoed back in a PATH_RESPONSE on the same (new) path.
+struct PathChallengeFrame {
+  std::uint64_t data = 0;
+};
+
+struct PathResponseFrame {
+  std::uint64_t data = 0;
+};
+
 using Frame = std::variant<PaddingFrame, PingFrame, AckFrame, CryptoFrame,
                            StreamFrame, ConnectionCloseFrame,
-                           HandshakeDoneFrame>;
+                           HandshakeDoneFrame, PathChallengeFrame,
+                           PathResponseFrame>;
 
 /// True if loss of this frame requires retransmission.
 bool is_ack_eliciting(const Frame& frame) noexcept;
@@ -95,6 +108,9 @@ struct QuicCounters {
   std::uint64_t stream_bytes_sent = 0;    ///< application stream payload
   std::uint64_t stream_bytes_received = 0;
   std::uint64_t retransmits = 0;
+  /// Successful path validations (PATH_RESPONSE matched an outstanding
+  /// challenge we sent) — one per completed migration on this side.
+  std::uint64_t path_validations = 0;
 
   std::uint64_t total_wire_bytes() const noexcept {
     return wire_bytes_sent + wire_bytes_received;

@@ -34,6 +34,9 @@ void DotServer::restart(simnet::TimeUs downtime) {
     listening_ = false;
   }
   ++restarts_;
+  // The crashed process loses its session-ticket keys: tickets issued
+  // before the restart must fall back to a full handshake.
+  ++config_.tls.ticket_epoch;
   host_.loop().schedule_in(downtime,
                            [this, alive = std::weak_ptr<bool>(alive_)]() {
                              const auto a = alive.lock();

@@ -79,7 +79,90 @@ std::uint16_t Host::allocate_ephemeral() {
   throw std::runtime_error("ephemeral port space exhausted");
 }
 
+void Host::rebind(bool rst_old_flows) {
+  ++addr_gen_;
+  // Re-port every UDP socket in place: pointers held by clients stay valid
+  // (the heap objects move maps, not memory), but the source port changes,
+  // so replies in flight toward the old port find no socket and vanish.
+  std::vector<std::unique_ptr<UdpSocket>> sockets;
+  sockets.reserve(udp_ports_.size());
+  for (auto& [port, socket] : udp_ports_) sockets.push_back(std::move(socket));
+  udp_ports_.clear();
+  for (auto& socket : sockets) {
+    const std::uint16_t fresh = allocate_ephemeral();
+    socket->port_ = fresh;
+    udp_ports_.emplace(fresh, std::move(socket));
+  }
+  if (rst_old_flows) {
+    // A RST-ing middlebox: each connection observes an immediate reset.
+    // abort()/unregister happen inside on_segment, so snapshot first.
+    std::vector<std::shared_ptr<TcpConnection>> victims;
+    victims.reserve(tcp_conns_.size());
+    for (const auto& [key, conn] : tcp_conns_) victims.push_back(conn);
+    for (const auto& conn : victims) {
+      TcpSegment rst;
+      rst.rst = true;
+      rst.ack_flag = true;
+      conn->on_segment(rst);
+    }
+  } else {
+    // Silent NAT: the mapping is simply gone. Gate the flows both ways;
+    // the client learns of it only through stalls and RTOs.
+    for (const auto& [key, conn] : tcp_conns_) blackholed_tcp_.insert(key);
+  }
+}
+
+void Host::interface_down() { if_up_ = false; }
+
+void Host::interface_up() {
+  if (if_up_) return;
+  if_up_ = true;
+  rebind(/*rst_old_flows=*/false);  // back with a fresh address
+  notify_network_change(NetworkChangeKind::kFlap);
+}
+
+std::uint64_t Host::add_network_change_listener(
+    NetworkChangeListener listener) {
+  const std::uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Host::remove_network_change_listener(std::uint64_t id) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Host::notify_network_change(NetworkChangeKind kind) {
+  // Snapshot: a listener may (un)register listeners from its callback.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(listeners_.size());
+  for (const auto& [id, fn] : listeners_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    for (const auto& [lid, fn] : listeners_) {
+      if (lid == id) {
+        fn(kind);
+        break;
+      }
+    }
+  }
+}
+
+void Host::send_gated(Packet packet) {
+  if (!if_up_) return;  // interface down: frames die at the NIC
+  if (const auto* seg = std::get_if<TcpSegment>(&packet.body)) {
+    const TcpKey key{seg->src_port, packet.dst_node, seg->dst_port};
+    if (blackholed_tcp_.count(key) != 0) return;  // dead NAT mapping
+  }
+  net_.send(std::move(packet));
+}
+
 void Host::dispatch(const Packet& packet) {
+  if (!if_up_) return;  // interface down: nothing is delivered
   if (const auto* dgram = std::get_if<UdpDatagram>(&packet.body)) {
     const auto it = udp_ports_.find(dgram->dst_port);
     if (it != udp_ports_.end()) {
@@ -92,6 +175,9 @@ void Host::dispatch(const Packet& packet) {
 
 void Host::dispatch_tcp(const TcpSegment& seg, NodeId from) {
   const TcpKey key{seg.dst_port, from, seg.src_port};
+  // Black-holed flows swallow ingress too — crucially before the RST
+  // fall-through below, so a dead mapping never answers anything.
+  if (blackholed_tcp_.count(key) != 0) return;
   const auto it = tcp_conns_.find(key);
   if (it != tcp_conns_.end()) {
     // Hold a reference so the connection can unregister itself mid-call.
@@ -131,7 +217,7 @@ void Host::send_rst(const TcpSegment& offending, NodeId to) {
   packet.src_node = id_;
   packet.dst_node = to;
   packet.body = std::move(rst);
-  net_.send(std::move(packet));
+  send_gated(std::move(packet));
 }
 
 void Host::tcp_reset_port(std::uint16_t port) {
@@ -143,6 +229,9 @@ void Host::tcp_reset_port(std::uint16_t port) {
   for (const auto& conn : victims) conn->abort();
 }
 
-void Host::tcp_unregister(const TcpKey& key) { tcp_conns_.erase(key); }
+void Host::tcp_unregister(const TcpKey& key) {
+  tcp_conns_.erase(key);
+  blackholed_tcp_.erase(key);
+}
 
 }  // namespace dohperf::simnet

@@ -2,10 +2,16 @@
 // TCP connections/listeners, plus the demultiplexing glue between them.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "simnet/netchange.hpp"
 #include "simnet/network.hpp"
 #include "simnet/tcp.hpp"
 #include "simnet/udp.hpp"
@@ -52,6 +58,34 @@ class Host {
   /// Number of live TCP connections (for leak-checking in tests).
   std::size_t tcp_connection_count() const noexcept { return tcp_conns_.size(); }
 
+  // --- Network changes (mobility) --------------------------------------------
+  /// NAT re-addressing: every UDP socket is silently re-ported (the socket
+  /// object survives; in-flight replies to the old port are dropped) and
+  /// every established TCP 5-tuple dies — black-holed when `rst_old_flows`
+  /// is false (silent NAT: packets vanish both ways), reset when true
+  /// (RST-ing middlebox: each connection sees an immediate RST). The OS is
+  /// not notified — rebinds are invisible until traffic stalls.
+  void rebind(bool rst_old_flows = false);
+
+  /// Hard interface flap. While down, nothing leaves or enters the host.
+  /// Coming back up re-addresses (silent rebind) and notifies listeners
+  /// with kFlap — the one churn event the OS *does* surface.
+  void interface_down();
+  void interface_up();
+  bool interface_is_up() const noexcept { return if_up_; }
+
+  /// Monotone counter bumped on every re-addressing (rebind or flap-up);
+  /// lets clients cheaply detect "the path changed under me".
+  std::uint64_t address_generation() const noexcept { return addr_gen_; }
+
+  /// OS-visible change notifications (kProfileSwap, kFlap). Silent NAT
+  /// rebinds are deliberately NOT delivered — clients must detect those by
+  /// stall + probe, like real ones do.
+  using NetworkChangeListener = std::function<void(NetworkChangeKind)>;
+  std::uint64_t add_network_change_listener(NetworkChangeListener listener);
+  void remove_network_change_listener(std::uint64_t id);
+  void notify_network_change(NetworkChangeKind kind);
+
  private:
   friend class TcpConnection;
   friend class UdpSocket;
@@ -64,12 +98,24 @@ class Host {
   std::uint16_t allocate_ephemeral();
   void tcp_unregister(const TcpKey& key);
 
+  /// The single egress point for this host's sockets: drops everything
+  /// while the interface is down, and TCP segments of black-holed (pre-
+  /// rebind) flows. Everything UdpSocket/TcpConnection emit funnels here.
+  void send_gated(Packet packet);
+
   Network& net_;
   NodeId id_;
   std::map<std::uint16_t, std::unique_ptr<UdpSocket>> udp_ports_;
   std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
   std::map<TcpKey, std::shared_ptr<TcpConnection>> tcp_conns_;
   std::uint16_t next_ephemeral_ = 49152;
+  bool if_up_ = true;
+  std::uint64_t addr_gen_ = 0;
+  /// 5-tuples whose NAT mapping died in a rebind: gated on both egress and
+  /// ingress until the owning connection unregisters.
+  std::set<TcpKey> blackholed_tcp_;
+  std::vector<std::pair<std::uint64_t, NetworkChangeListener>> listeners_;
+  std::uint64_t next_listener_id_ = 1;
 };
 
 }  // namespace dohperf::simnet

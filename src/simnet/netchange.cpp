@@ -1,0 +1,97 @@
+#include "simnet/netchange.hpp"
+
+#include <memory>
+
+#include "simnet/host.hpp"
+
+namespace dohperf::simnet {
+
+const char* to_string(NetworkChangeKind kind) noexcept {
+  switch (kind) {
+    case NetworkChangeKind::kRebind:
+      return "rebind";
+    case NetworkChangeKind::kProfileSwap:
+      return "profile_swap";
+    case NetworkChangeKind::kFlap:
+      return "flap";
+  }
+  return "?";
+}
+
+void NetworkChangeSchedule::add(NetworkChange change) {
+  changes_.push_back(std::move(change));
+}
+
+void NetworkChangeSchedule::add_rebind(TimeUs at, bool rst_old_flows) {
+  NetworkChange c;
+  c.kind = NetworkChangeKind::kRebind;
+  c.at = at;
+  c.rst_old_flows = rst_old_flows;
+  add(c);
+}
+
+void NetworkChangeSchedule::add_profile_swap(TimeUs at,
+                                             const LinkConfig& profile) {
+  NetworkChange c;
+  c.kind = NetworkChangeKind::kProfileSwap;
+  c.at = at;
+  c.profile = profile;
+  add(c);
+}
+
+void NetworkChangeSchedule::add_flap(TimeUs at, TimeUs down_for) {
+  NetworkChange c;
+  c.kind = NetworkChangeKind::kFlap;
+  c.at = at;
+  c.down_for = down_for;
+  add(c);
+}
+
+NetworkChangeSchedule NetworkChangeSchedule::periodic_handover(
+    TimeUs first, TimeUs interval, TimeUs horizon, const LinkConfig& profile_a,
+    const LinkConfig& profile_b) {
+  NetworkChangeSchedule schedule;
+  bool to_b = true;  // the host starts on profile_a
+  for (TimeUs at = first; at < horizon; at += interval) {
+    // Rebind first: both land on the same instant, and anything a change
+    // listener does in response to the (OS-visible) profile swap — like
+    // racing a fresh connection — must already originate from the new
+    // address, not a 5-tuple the handover is about to black-hole.
+    schedule.add_rebind(at, /*rst_old_flows=*/false);
+    schedule.add_profile_swap(at, to_b ? profile_b : profile_a);
+    to_b = !to_b;
+  }
+  return schedule;
+}
+
+void apply_network_changes(Host& host, NodeId peer,
+                           const NetworkChangeSchedule& schedule) {
+  // The schedule outlives the call via a shared copy; each event captures
+  // {owner, index} which fits EventLoop's inline SmallFn storage.
+  auto shared =
+      std::make_shared<const NetworkChangeSchedule>(schedule);
+  Host* h = &host;
+  for (std::size_t i = 0; i < shared->changes().size(); ++i) {
+    const NetworkChange& change = shared->changes()[i];
+    switch (change.kind) {
+      case NetworkChangeKind::kRebind:
+        host.loop().schedule_at(change.at, [h, shared, i] {
+          h->rebind(shared->changes()[i].rst_old_flows);
+        });
+        break;
+      case NetworkChangeKind::kProfileSwap:
+        host.loop().schedule_at(change.at, [h, shared, i, peer] {
+          h->network().reconfigure(h->id(), peer, shared->changes()[i].profile);
+          h->notify_network_change(NetworkChangeKind::kProfileSwap);
+        });
+        break;
+      case NetworkChangeKind::kFlap:
+        host.loop().schedule_at(change.at, [h] { h->interface_down(); });
+        host.loop().schedule_at(change.at + change.down_for,
+                                [h] { h->interface_up(); });
+        break;
+    }
+  }
+}
+
+}  // namespace dohperf::simnet

@@ -1,0 +1,84 @@
+// Deterministic network-change events: the client-side mobility fabric.
+//
+// Where fault.hpp models the *link* misbehaving (loss, outage, throttle),
+// this models the *endpoint's attachment point* changing — the events a
+// mobile client actually sees:
+//   * kRebind       — NAT re-addressing: every local port mapping is
+//                     replaced, old 5-tuples are black-holed (silent NAT)
+//                     or reset (RST-ing middlebox). The OS does not notice;
+//                     clients learn of it only through stalls.
+//   * kProfileSwap  — the access link's RTT/bandwidth/loss change
+//                     mid-connection (Wi-Fi -> LTE handover). OS-visible.
+//   * kFlap         — hard interface down for a window, then up with a new
+//                     address (kRebind semantics on recovery). OS-visible.
+//
+// Changes are plain data scheduled on the virtual clock via
+// apply_network_changes, exactly like FaultSchedule + inject_faults, so the
+// same schedule always yields the same churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/time.hpp"
+
+namespace dohperf::simnet {
+
+class Host;
+
+enum class NetworkChangeKind {
+  kRebind,       ///< NAT re-addressing; silent unless rst_old_flows
+  kProfileSwap,  ///< link RTT/bandwidth/loss replaced mid-connection
+  kFlap,         ///< interface down for `down_for`, then up + re-addressed
+};
+
+const char* to_string(NetworkChangeKind kind) noexcept;
+
+/// One scheduled attachment-point change at virtual time `at`.
+struct NetworkChange {
+  NetworkChangeKind kind = NetworkChangeKind::kRebind;
+  TimeUs at = 0;
+  TimeUs down_for = 0;        ///< kFlap only: outage window length
+  bool rst_old_flows = false; ///< kRebind only: RST-ing NAT vs silent drop
+  LinkConfig profile;         ///< kProfileSwap only: the new link config
+};
+
+/// A plain-data list of NetworkChanges with builder helpers. Attach to a
+/// client host via apply_network_changes; the schedule itself is immutable
+/// once applied (apply copies it into the scheduled events).
+class NetworkChangeSchedule {
+ public:
+  NetworkChangeSchedule() = default;
+
+  void add(NetworkChange change);
+  void add_rebind(TimeUs at, bool rst_old_flows = false);
+  void add_profile_swap(TimeUs at, const LinkConfig& profile);
+  void add_flap(TimeUs at, TimeUs down_for);
+
+  /// Mobility helper: alternating handovers between two access profiles
+  /// (e.g. Wi-Fi <-> LTE) every `interval` starting at `first`, each
+  /// pairing a profile swap with a silent NAT rebind at the same instant —
+  /// the shape of a real layer-3 handover.
+  static NetworkChangeSchedule periodic_handover(TimeUs first, TimeUs interval,
+                                                 TimeUs horizon,
+                                                 const LinkConfig& profile_a,
+                                                 const LinkConfig& profile_b);
+
+  const std::vector<NetworkChange>& changes() const noexcept {
+    return changes_;
+  }
+  bool empty() const noexcept { return changes_.empty(); }
+
+ private:
+  std::vector<NetworkChange> changes_;
+};
+
+/// Schedule every change in `schedule` on the host's event loop. `peer` is
+/// the far end of the client's access link (profile swaps reconfigure the
+/// host<->peer link). Safe to call before the loop runs; events fire in
+/// schedule order at their `at` timestamps.
+void apply_network_changes(Host& host, NodeId peer,
+                           const NetworkChangeSchedule& schedule);
+
+}  // namespace dohperf::simnet

@@ -146,7 +146,7 @@ void TcpConnection::abort() {
   ++counters_.packets_sent;
   counters_.wire_bytes_sent += kIpHeaderBytes + kTcpHeaderBytes;
   counters_.header_bytes_sent += kIpHeaderBytes + kTcpHeaderBytes;
-  host_.network().send(std::move(packet));
+  host_.send_gated(std::move(packet));
   enter_closed();
 }
 
@@ -183,7 +183,7 @@ void TcpConnection::send_segment(bool syn, bool fin, bool force_ack,
   packet.src_node = host_.id();
   packet.dst_node = remote_.node;
   packet.body = std::move(seg);
-  host_.network().send(std::move(packet));
+  host_.send_gated(std::move(packet));
 }
 
 void TcpConnection::send_ack() {
@@ -294,6 +294,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
     // timer from the base RTO; the exponential backoff applies only to
     // consecutive expirations with no forward progress.
     rto_backoff_ = 0;
+    rto_expirations_ = 0;
 
     // Retire fully acknowledged segments; sample RTT from any segment that
     // is now covered and was never retransmitted (Karn's rule: retransmits
@@ -489,6 +490,15 @@ void TcpConnection::disarm_rto() {
 
 void TcpConnection::on_rto() {
   if (state_ == TcpState::kClosed) return;
+  if (++rto_expirations_ > config_.max_retransmits) {
+    // Too many consecutive timeouts with no forward progress: the path is
+    // gone (or the peer re-addressed and our 5-tuple is black-holed). Give
+    // up like Linux after tcp_retries2 — error the connection locally; no
+    // RST is sent because nothing we transmit is getting through anyway.
+    enter_closed();
+    if (callbacks_.on_reset) callbacks_.on_reset();
+    return;
+  }
   ++counters_.retransmits;
   rto_backoff_ = std::min(rto_backoff_ + 1, 10);
   // Loss response: collapse the congestion window.

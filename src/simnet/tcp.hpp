@@ -32,6 +32,12 @@ struct TcpConfig {
   TimeUs rto_min = ms(200);
   TimeUs rto_initial = ms(1000);
   TimeUs rto_max = seconds(60);
+  /// Consecutive RTO expirations before the connection gives up and errors
+  /// out (on_reset), like Linux tcp_retries2. Without a cap a connection
+  /// whose 5-tuple is permanently black-holed (e.g. the peer NAT-rebound to
+  /// a new address) would retransmit forever and the event loop would never
+  /// drain.
+  int max_retransmits = 8;
 };
 
 struct TcpCounters {
@@ -181,6 +187,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TimeUs rto_;
   EventId rto_timer_;
   int rto_backoff_ = 0;
+  /// Consecutive RTO expirations with no forward progress (reset whenever
+  /// new data is acked); reaching config_.max_retransmits kills the
+  /// connection.
+  int rto_expirations_ = 0;
   /// Go-back-N state after a retransmission timeout: while snd_una has not
   /// yet reached the recovery point, every ACK for new data releases the
   /// next retransmission.

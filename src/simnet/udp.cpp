@@ -34,7 +34,7 @@ void UdpSocket::send_to(const Address& dst, Bytes payload) {
   packet.src_node = host_.id();
   packet.dst_node = dst.node;
   packet.body = std::move(dgram);
-  host_.network().send(std::move(packet));
+  host_.send_gated(std::move(packet));
 }
 
 void UdpSocket::deliver(const UdpDatagram& dgram, NodeId from_node) {

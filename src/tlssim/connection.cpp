@@ -65,7 +65,14 @@ std::size_t TlsConnection::recv_tag_bytes() const noexcept {
 
 Bytes TlsConnection::expected_ticket() const {
   assert(role_ == TlsRole::kServer);
-  return dns::to_bytes("TKT|" + server_config_->chain.subject);
+  // Epoch 0 keeps the legacy ticket bytes so pre-mobility traces are
+  // byte-identical; any bump (server restart) changes the expected value
+  // and silently rejects stale tickets.
+  if (server_config_->ticket_epoch == 0) {
+    return dns::to_bytes("TKT|" + server_config_->chain.subject);
+  }
+  return dns::to_bytes("TKT|" + server_config_->chain.subject + "|" +
+                       std::to_string(server_config_->ticket_epoch));
 }
 
 void TlsConnection::send_record(ContentType type, Bytes body) {

@@ -37,6 +37,10 @@ struct ServerConfig {
   std::vector<std::string> alpn_preference = {"h2", "http/1.1"};
   CertificateChain chain = CertificateChain::generic("example.net");
   bool issue_session_tickets = true;
+  /// Session-ticket key generation. A restarted server process loses its
+  /// ticket keys; bumping the epoch makes every previously issued ticket
+  /// unresumable, so clients fall back to a full handshake.
+  std::uint64_t ticket_epoch = 0;
 };
 
 enum class TlsRole { kClient, kServer };

@@ -42,9 +42,10 @@ using detlint::Token;
 using detlint::TokenKind;
 
 // The metric families owned by the resolver tier / cache / hedging /
-// fairness / observability subsystems — the contract this tool enforces.
+// fairness / observability subsystems, plus the client-side transport
+// counters — the contract this tool enforces.
 const char* kFamilies[] = {"tier.",     "cache.", "hedge.",
-                           "fairness.", "obs.",   "mem."};
+                           "fairness.", "obs.",   "mem.",  "client."};
 
 bool in_family(const std::string& name) {
   for (const char* f : kFamilies)
@@ -270,8 +271,8 @@ int main(int argc, char** argv) {
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
           "usage: contract_check [--root DIR]\n"
-          "Diffs tier./cache./hedge./fairness./obs. metric names and span\n"
-          "names\n"
+          "Diffs tier./cache./hedge./fairness./obs./client. metric names and\n"
+          "span names\n"
           "emitted by src/ against the contract in EXPERIMENTS.md.\n");
       return 0;
     } else {
